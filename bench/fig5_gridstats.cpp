@@ -1,0 +1,80 @@
+// Figure 5 reproduction: "The top left and right panels show the depth of
+// the hierarchy tree and the number of grids as a function of time.  The
+// bottom left and right panels plot the number of grids per level and an
+// estimate of the computational work required per level (normalized so the
+// maximum value is unity)" — plus the §5 memory-allocation statistics
+// ("extremely large number of memory allocations and frees").
+//
+// Paper curves: the grid count climbs slowly to ~8000 with a sudden jump of
+// the maximum level to 34 at the end as the core collapses; early times put
+// most grids at moderate levels, late times invest heavily at the deepest
+// levels.
+
+#include <cstdio>
+#include <vector>
+
+#include "collapse_common.hpp"
+#include "util/alloc_stats.hpp"
+
+using namespace enzo;
+
+int main() {
+  util::AllocStats::global().reset();
+  auto run = bench::collapse_run_config(16, 5, /*chemistry=*/true);
+  core::Simulation sim(run.cfg);
+  core::setup_collapse_cloud(sim, run.opt);
+  const double t_kyr = sim.config().units.time_s / constants::kYear / 1e3;
+
+  struct Snapshot {
+    double t;
+    int max_level;
+    std::size_t grids;
+    std::vector<std::size_t> per_level;
+    std::vector<double> work;
+  };
+  std::vector<Snapshot> snaps;
+  auto snap = [&] {
+    const auto st = analysis::hierarchy_stats(sim.hierarchy());
+    snaps.push_back({sim.time_d() * t_kyr, st.max_level, st.total_grids,
+                     st.grids_per_level, st.work_per_level});
+  };
+  snap();
+  const double n_stop = 3e9;
+  for (int s = 0; s < 60; ++s) {
+    sim.advance_root_step();
+    snap();
+    const double n_cen = analysis::find_densest_point(sim.hierarchy()).density *
+                         sim.chem_units().n_factor;
+    if (n_cen > n_stop) break;
+  }
+
+  std::printf("top panels: hierarchy depth and grid count vs time\n");
+  std::printf("%10s %10s %8s\n", "t [kyr]", "max level", "grids");
+  for (const auto& s : snaps)
+    std::printf("%10.1f %10d %8zu\n", s.t, s.max_level, s.grids);
+
+  const Snapshot& early = snaps[snaps.size() / 3];
+  const Snapshot& late = snaps.back();
+  std::printf("\nbottom panels: grids per level / work per level "
+              "(early t=%.1f kyr vs late t=%.1f kyr)\n",
+              early.t, late.t);
+  std::printf("%6s %12s %12s %12s %12s\n", "level", "grids(early)",
+              "grids(late)", "work(early)", "work(late)");
+  const std::size_t nl = std::max(early.per_level.size(), late.per_level.size());
+  for (std::size_t l = 0; l < nl; ++l) {
+    const std::size_t ge = l < early.per_level.size() ? early.per_level[l] : 0;
+    const std::size_t gl = l < late.per_level.size() ? late.per_level[l] : 0;
+    const double we = l < early.work.size() ? early.work[l] : 0;
+    const double wl = l < late.work.size() ? late.work[l] : 0;
+    std::printf("%6zu %12zu %12zu %12.3f %12.3f\n", l, ge, gl, we, wl);
+  }
+
+  std::printf("\nmemory / data-structure churn (§5):\n%s",
+              util::AllocStats::global().report().c_str());
+  std::printf(
+      "\npaper: >8000 grids, 34 levels, hierarchy rebuilt thousands of\n"
+      "times, 20 GB peak; here the same *shapes* at laptop scale — the\n"
+      "sudden late-time deepening and the late-time shift of work toward\n"
+      "the finest levels.\n");
+  return 0;
+}

@@ -1,0 +1,158 @@
+// Micro-benchmarks (google-benchmark) of the solver kernels: PPM sweeps,
+// the ZEUS alternative, FFT, multigrid V-cycles, the chemistry network,
+// CIC deposition, and double–double arithmetic — the per-kernel numbers
+// behind the §5 performance discussion.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "chemistry/chemistry.hpp"
+#include "ext/dd.hpp"
+#include "fft/fft.hpp"
+#include "gravity/gravity.hpp"
+#include "hydro/hydro.hpp"
+#include "mesh/boundary.hpp"
+#include "mesh/hierarchy.hpp"
+#include "nbody/nbody.hpp"
+#include "util/constants.hpp"
+#include "util/rng.hpp"
+
+using namespace enzo;
+using mesh::Field;
+
+namespace {
+
+mesh::Hierarchy hydro_box(int n, bool chem = false) {
+  mesh::HierarchyParams p;
+  p.root_dims = {n, n, n};
+  if (chem) p.fields = mesh::chemistry_field_list();
+  mesh::Hierarchy h(p);
+  h.build_root();
+  mesh::Grid* g = h.grids(0)[0];
+  util::Rng rng(7);
+  for (Field f : g->field_list()) {
+    for (auto& v : g->field(f))
+      v = mesh::is_density_like(f) ? 0.5 + rng.uniform()
+                                   : 0.2 * rng.uniform(-1, 1);
+  }
+  g->field(Field::kInternalEnergy).fill(1.0);
+  g->field(Field::kTotalEnergy).fill(1.1);
+  return h;
+}
+
+void BM_PpmStep(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto h = hydro_box(n);
+  mesh::Grid* g = h.grids(0)[0];
+  hydro::HydroParams hp;
+  auto exp = cosmology::Expansion::statics();
+  mesh::set_boundary_values(h, 0);
+  for (auto _ : state) {
+    hydro::solve_hydro_step(*g, 1e-4, hp, exp);
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_PpmStep)->Arg(16)->Arg(32);
+
+void BM_ZeusStep(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto h = hydro_box(n);
+  mesh::Grid* g = h.grids(0)[0];
+  hydro::HydroParams hp;
+  hp.solver = hydro::Solver::kZeus;
+  auto exp = cosmology::Expansion::statics();
+  mesh::set_boundary_values(h, 0);
+  for (auto _ : state) hydro::solve_hydro_step(*g, 1e-4, hp, exp);
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_ZeusStep)->Arg(16)->Arg(32);
+
+void BM_Fft3(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  util::Array3<fft::cplx> a(n, n, n);
+  util::Rng rng(3);
+  for (auto& c : a) c = fft::cplx(rng.gaussian(), 0.0);
+  for (auto _ : state) {
+    fft::fft3(a, false);
+    fft::fft3(a, true);
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Fft3)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_MultigridSolve(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  util::Array3<double> rhs(n + 2, n + 2, n + 2, 0.0);
+  util::Rng rng(5);
+  for (int k = 1; k <= n; ++k)
+    for (int j = 1; j <= n; ++j)
+      for (int i = 1; i <= n; ++i) rhs(i, j, k) = rng.uniform(-1, 1);
+  gravity::GravityParams p;
+  for (auto _ : state) {
+    util::Array3<double> phi(n + 2, n + 2, n + 2, 0.0);
+    gravity::multigrid_solve(phi, rhs, 1.0 / n, p);
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MultigridSolve)->Arg(16)->Arg(32);
+
+void BM_ChemistryStep(benchmark::State& state) {
+  auto h = hydro_box(8, true);
+  mesh::Grid* g = h.grids(0)[0];
+  chemistry::ChemistryParams prm;
+  chemistry::initialize_primordial_composition(*g, prm, 1e-3, 1e-4);
+  chemistry::ChemUnits u;
+  u.n_factor = 1e4;
+  u.rho_cgs = 1e4 * constants::kHydrogenMass;
+  u.e_cgs = constants::kBoltzmann / constants::kHydrogenMass;
+  for (auto& v : g->field(Field::kInternalEnergy)) v = 500.0;
+  for (auto _ : state) chemistry::solve_chemistry_step(*g, 3.15e10, prm, u);
+  state.SetItemsProcessed(state.iterations() * 8 * 8 * 8);
+}
+BENCHMARK(BM_ChemistryStep);
+
+void BM_CicDeposit(benchmark::State& state) {
+  auto h = hydro_box(16);
+  mesh::Grid* g = h.grids(0)[0];
+  g->allocate_gravity();
+  util::Rng rng(11);
+  for (int i = 0; i < 32768; ++i) {
+    mesh::Particle p;
+    p.x = {ext::pos_t(rng.uniform()), ext::pos_t(rng.uniform()),
+           ext::pos_t(rng.uniform())};
+    p.mass = 1.0 / 32768;
+    g->particles().push_back(p);
+  }
+  for (auto _ : state) {
+    g->gravitating_mass().fill(0.0);
+    nbody::deposit_particles_cic(*g);
+  }
+  state.SetItemsProcessed(state.iterations() * 32768);
+}
+BENCHMARK(BM_CicDeposit);
+
+void BM_DdArithmetic(benchmark::State& state) {
+  using enzo::ext::dd;
+  dd acc(1.0), x(1.0 + 1e-12);
+  for (auto _ : state) {
+    for (int i = 0; i < 1024; ++i) acc = acc * x + dd(1e-20);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_DdArithmetic);
+
+void BM_DoubleArithmetic(benchmark::State& state) {
+  double acc = 1.0, x = 1.0 + 1e-12;
+  for (auto _ : state) {
+    for (int i = 0; i < 1024; ++i) acc = acc * x + 1e-20;
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_DoubleArithmetic);
+
+}  // namespace
+
+BENCHMARK_MAIN();

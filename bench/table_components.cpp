@@ -1,0 +1,61 @@
+// §5 table reproduction: the fraction of compute time per science component.
+//
+//   paper (64-proc SP2):        hydrodynamics 36 %, Poisson solver 17 %,
+//   chemistry & cooling 11 %, N-body 1 %, hierarchy rebuild 9 %,
+//   boundary conditions 15 %, other overhead 11 %
+//
+// We run the instrumented scaled collapse (with a dark-matter component so
+// the N-body line is exercised) and print the measured table side by side
+// with the paper's.
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "collapse_common.hpp"
+#include "util/timer.hpp"
+
+using namespace enzo;
+
+int main() {
+  auto& timers = util::ComponentTimers::global();
+  timers.reset();
+
+  auto run = bench::collapse_run_config(16, 4, /*chemistry=*/true,
+                                        /*with_dark_matter=*/true);
+  core::Simulation sim(run.cfg);
+  core::setup_collapse_cloud(sim, run.opt);
+  bench::add_dark_matter(sim, 16, /*total_mass=*/0.1);
+
+  for (int s = 0; s < 8; ++s) sim.advance_root_step();
+
+  const std::map<std::string, double> paper = {
+      {util::ComponentTimers::kHydro, 36.0},
+      {util::ComponentTimers::kGravity, 17.0},
+      {util::ComponentTimers::kChemistry, 11.0},
+      {util::ComponentTimers::kNbody, 1.0},
+      {util::ComponentTimers::kRebuild, 9.0},
+      {util::ComponentTimers::kBoundary, 15.0},
+      {util::ComponentTimers::kOther, 11.0},
+  };
+
+  std::printf("component usage (fractions of instrumented compute time)\n\n");
+  std::printf("%-28s %10s %10s\n", "component", "paper", "measured");
+  double measured_total = 0;
+  for (auto& [name, frac] : paper) measured_total += timers.seconds(name);
+  for (auto& [name, frac] : paper) {
+    const double m =
+        measured_total > 0 ? 100.0 * timers.seconds(name) / measured_total
+                           : 0.0;
+    std::printf("%-28s %8.1f %% %8.1f %%\n", name.c_str(), frac, m);
+  }
+  std::printf("\nraw timer report:\n%s", timers.report().c_str());
+  std::printf(
+      "\nnotes: fractions depend on problem scale — our chemistry share is\n"
+      "larger (12-species network on few, small grids), the N-body share is\n"
+      "small as in the paper, and hydro+gravity dominate the rest.  The\n"
+      "paper's further 40%% (communication + load imbalance on 64 procs)\n"
+      "does not exist in this single-address-space run; see the parallel\n"
+      "module benches for the communication-layer measurements.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Sod shock tube on an adaptive mesh: the standard hydro verification
+// problem, run twice — unigrid and with a statically refined region over the
+// diaphragm — demonstrating that flux correction and projection keep the
+// AMR solution consistent with the unigrid one (§3.2.1).
+//
+//   $ ./sod_shock_tube
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/setup.hpp"
+#include "core/simulation.hpp"
+
+using namespace enzo;
+using mesh::Field;
+
+namespace {
+core::Simulation make_tube(int n, bool refined) {
+  core::SimulationConfig cfg;
+  cfg.hierarchy.root_dims = {n, 1, 1};
+  cfg.hierarchy.max_level = refined ? 1 : 0;
+  cfg.hydro.gamma = 1.4;
+  cfg.rebuild_interval = 1 << 20;  // static tree
+  core::Simulation sim(cfg);
+  if (refined) {
+    // Refine the middle half of the tube at 2×.
+    sim.add_static_region(1, {{n / 2, 0, 0}, {3 * n / 2, 1, 1}});
+  }
+  core::setup_sod_tube(sim);
+  return sim;
+}
+}  // namespace
+
+int main() {
+  const int n = 128;
+  const double t_end = 0.15;
+
+  core::Simulation uni = make_tube(n, false);
+  uni.evolve_until(t_end, 10000);
+
+  core::Simulation amr = make_tube(n, true);
+  amr.evolve_until(t_end, 10000);
+  std::printf("AMR run: %d levels, %zu grids\n",
+              amr.hierarchy().deepest_level() + 1,
+              amr.hierarchy().total_grids());
+
+  mesh::Grid* gu = uni.hierarchy().grids(0)[0];
+  mesh::Grid* ga = amr.hierarchy().grids(0)[0];
+  std::printf("\n%8s %12s %12s %12s\n", "x", "rho(unigrid)", "rho(AMR)",
+              "diff");
+  double l1 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double ru = gu->field(Field::kDensity)(gu->sx(i), 0, 0);
+    const double ra = ga->field(Field::kDensity)(ga->sx(i), 0, 0);
+    l1 += std::abs(ru - ra);
+    if (i % 8 == 0)
+      std::printf("%8.4f %12.5f %12.5f %12.2e\n", (i + 0.5) / n, ru, ra,
+                  ra - ru);
+  }
+  std::printf("\nL1(AMR - unigrid) = %.3e  (coarse-grid projection of the "
+              "refined solution)\n",
+              l1 / n);
+  std::printf("expected structures at t=0.15: rarefaction to x~0.26, contact "
+              "x~0.64, shock x~0.76\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+#pragma once
+// Analysis of AMR data (§6): routines that "understand the structure of the
+// hierarchy" — finding the collapsed object, mass-weighted spherical radial
+// profiles about the densest point (Fig. 4), zoomable slices through the
+// finest available data (Fig. 3), and hierarchy statistics (Fig. 5).
+//
+// All routines visit each physical location exactly once by masking coarse
+// cells covered by finer grids.
+
+#include <optional>
+#include <vector>
+
+#include "chemistry/chemistry.hpp"
+#include "hydro/hydro.hpp"
+#include "mesh/hierarchy.hpp"
+
+namespace enzo::analysis {
+
+/// Location and value of the densest gas cell at the finest resolution.
+struct Peak {
+  ext::PosVec position{};
+  double density = 0.0;
+  int level = 0;
+};
+Peak find_densest_point(const mesh::Hierarchy& h);
+
+/// Mass-weighted spherical averages in logarithmic radial bins about a
+/// center — the Fig. 4 panels.
+struct RadialProfile {
+  std::vector<double> r;              ///< bin centers (code length, comoving)
+  std::vector<double> gas_density;    ///< mass-weighted mean (code units)
+  std::vector<double> dm_density;     ///< dark matter (CIC onto bins)
+  std::vector<double> temperature;    ///< K (needs chemistry fields + units)
+  std::vector<double> v_radial;       ///< mass-weighted (code velocity)
+  std::vector<double> sound_speed;    ///< mass-weighted (code velocity)
+  std::vector<double> h2_fraction;    ///< mass fraction relative to total H
+  std::vector<double> hi_fraction;
+  std::vector<double> enclosed_gas_mass;  ///< cumulative (code mass)
+  std::vector<double> cell_count;
+};
+
+struct ProfileOptions {
+  int nbins = 48;
+  double r_min = 1e-6;  ///< code units
+  double r_max = 0.5;
+  bool periodic = true;
+  /// When chemistry fields are absent, temperature assumes this μ.
+  double mu_fallback = 1.22;
+};
+
+RadialProfile radial_profile(const mesh::Hierarchy& h, const ext::PosVec& c,
+                             const ProfileOptions& opt,
+                             const hydro::HydroParams& hydro_params,
+                             const chemistry::ChemUnits& units);
+
+/// Square slice of log10(gas density) perpendicular to `axis` through
+/// absolute coordinate `coord`, covering a half-width `half` around
+/// (cx, cy): sampled at n×n points from the finest grid containing each
+/// point (the Fig. 3 zoom frames).
+struct Slice {
+  int n = 0;
+  std::vector<double> log10_density;  ///< row-major n×n
+  double min_log = 0, max_log = 0;
+  int finest_level_touched = 0;
+};
+Slice density_slice(const mesh::Hierarchy& h, int axis, ext::pos_t coord,
+                    const std::array<double, 2>& center2d, double half, int n);
+
+/// Fig. 5 statistics snapshot.
+struct HierarchyStats {
+  int max_level = 0;
+  std::size_t total_grids = 0;
+  std::int64_t total_cells = 0;
+  std::vector<std::size_t> grids_per_level;
+  std::vector<double> work_per_level;  ///< normalized to max = 1
+};
+HierarchyStats hierarchy_stats(const mesh::Hierarchy& h);
+
+}  // namespace enzo::analysis

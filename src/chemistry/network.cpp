@@ -1,0 +1,364 @@
+#include <algorithm>
+#include <cmath>
+
+#include "chemistry/chemistry.hpp"
+#include "chemistry/rates.hpp"
+#include "util/constants.hpp"
+#include "util/error.hpp"
+#include "util/flops.hpp"
+
+namespace enzo::chemistry {
+
+using mesh::Field;
+using mesh::Grid;
+
+namespace {
+
+/// Indices into the per-cell species workspace (number densities, cm⁻³).
+enum Sp {
+  sHI, sHII, sHeI, sHeII, sHeIII, sE, sHM, sH2, sH2p, sDI, sDII, sHD, kNsp
+};
+
+constexpr Field kSpeciesField[kNsp] = {
+    Field::kHI, Field::kHII, Field::kHeI,  Field::kHeII,
+    Field::kHeIII, Field::kElectron, Field::kHM, Field::kH2I,
+    Field::kH2II, Field::kDI, Field::kDII, Field::kHDI};
+
+/// Atomic mass numbers (electron stored with A=1 by convention: its field
+/// holds n_e in proton-mass units, so charge sums are direct).
+constexpr double kA[kNsp] = {1, 1, 4, 4, 4, 1, 1, 2, 2, 2, 2, 3};
+
+double charge_sum(const double n[kNsp]) {
+  return n[sHII] + n[sHeII] + 2.0 * n[sHeIII] + n[sDII] + n[sH2p] - n[sHM];
+}
+
+/// Mean molecular weight from number densities.
+double mu_of(const double n[kNsp]) {
+  double ntot = 0, rho = 0;
+  for (int s = 0; s < kNsp; ++s) {
+    ntot += n[s];
+    rho += n[s] * kA[s];
+  }
+  // Electrons carry negligible mass; their A=1 bookkeeping convention would
+  // overcount, so subtract it from the mass sum.
+  rho -= n[sE] * 1.0;
+  return ntot > 0 ? rho / ntot : 1.0;
+}
+
+double temperature_of(double e_cgs_specific, const double n[kNsp],
+                      double gamma) {
+  const double mu = mu_of(n);
+  return std::max((gamma - 1.0) * e_cgs_specific * mu *
+                      constants::kHydrogenMass / constants::kBoltzmann,
+                  1e-3);
+}
+
+/// One backward-Euler (linearized) species update: n ← (n + dt·C)/(1 + dt·D).
+double bdf(double n, double c, double d, double dt) {
+  const double out = (n + dt * c) / (1.0 + dt * d);
+  return std::max(out, 0.0);
+}
+
+struct CellState {
+  double n[kNsp];
+  double e;  // specific internal energy, erg/g
+};
+
+/// Advance one cell by dt_s seconds.
+void advance_cell(CellState& st, double dt_s, double rho_cgs,
+                  const ChemistryParams& prm, double t_cmb) {
+  double t = 0.0;
+  int cycles = 0;
+  double* n = st.n;
+
+  // Conserved nuclei sums for renormalization.
+  const double nH_tot =
+      n[sHI] + n[sHII] + n[sHM] + 2.0 * (n[sH2] + n[sH2p]) + n[sHD];
+  const double nHe_tot = n[sHeI] + n[sHeII] + n[sHeIII];
+  const double nD_tot = n[sDI] + n[sDII] + n[sHD];
+
+  while (t < dt_s && cycles < prm.max_subcycles) {
+    ++cycles;
+    const double T = temperature_of(st.e, n, prm.gamma);
+    const Rates r = compute_rates(T);
+
+    // ---- cooling rate and electron derivative for subcycle control --------
+    CoolingInput ci{T, t_cmb, n[sHI], n[sHII], n[sHeI], n[sHeII],
+                    n[sHeIII], n[sE], n[sH2], n[sHD]};
+    const double lambda = prm.cooling ? cooling_rate(ci) : 0.0;
+    const double edot = -lambda / rho_cgs;  // erg/g/s
+    const double ne_dot =
+        r.k1 * n[sHI] * n[sE] - r.k2 * n[sHII] * n[sE] +
+        r.k3 * n[sHeI] * n[sE] - r.k4 * n[sHeII] * n[sE] +
+        r.k5 * n[sHeII] * n[sE] - r.k6 * n[sHeIII] * n[sE];
+    // A-priori H₂ rate: the sequential-implicit update can falsely
+    // equilibrate H₂ against destruction channels whose reactants would be
+    // exhausted within the step (e.g. the tiny D reservoir), so the H₂
+    // relative change per subcycle must be bounded too.
+    const double h2_dot =
+        r.k8 * n[sHM] * n[sHI] + r.k10 * n[sH2p] * n[sHI] +
+        r.k22 * n[sHI] * n[sHI] * n[sHI] -
+        (r.k11 * n[sHII] + r.k12 * n[sE] + r.k13 * n[sHI]) * n[sH2];
+    double dt_sub = dt_s - t;
+    if (std::abs(ne_dot) > 0)
+      dt_sub = std::min(dt_sub, prm.accuracy * (n[sE] + 1e-6 * nH_tot) /
+                                    std::abs(ne_dot));
+    if (std::abs(h2_dot) > 0)
+      dt_sub = std::min(dt_sub, prm.accuracy * (n[sH2] + 1e-3 * nH_tot) /
+                                    std::abs(h2_dot));
+    if (std::abs(edot) > 0)
+      dt_sub = std::min(dt_sub, prm.accuracy * st.e / std::abs(edot));
+    dt_sub = std::max(dt_sub, dt_s / prm.max_subcycles);
+    dt_sub = std::min(dt_sub, dt_s - t);
+
+    // ---- sequential implicit updates (production C, destruction freq D) ---
+    // Helium first (decoupled from the H₂ network).
+    n[sHeI] = bdf(n[sHeI], r.k4 * n[sHeII] * n[sE], r.k3 * n[sE], dt_sub);
+    n[sHeII] = bdf(n[sHeII], r.k3 * n[sHeI] * n[sE] + r.k6 * n[sHeIII] * n[sE],
+                   (r.k4 + r.k5) * n[sE], dt_sub);
+    n[sHeIII] = bdf(n[sHeIII], r.k5 * n[sHeII] * n[sE], r.k6 * n[sE], dt_sub);
+
+    // Hydrogen ionization balance.
+    {
+      const double cHI = r.k2 * n[sHII] * n[sE] +
+                         2.0 * r.k12 * n[sH2] * n[sE] +
+                         3.0 * r.k13 * n[sH2] * n[sHI] +
+                         r.k14 * n[sHM] * n[sE] +
+                         2.0 * r.k15 * n[sHM] * n[sHI] +
+                         2.0 * r.k16 * n[sHM] * n[sHII] +
+                         2.0 * r.k18 * n[sH2p] * n[sE] +
+                         r.k19 * n[sH2p] * n[sHM] +
+                         r.k11 * n[sH2] * n[sHII] +
+                         r.k51 * n[sDI] * n[sHII] + r.k54 * n[sDI] * n[sH2];
+      const double dHI = r.k1 * n[sE] + r.k7 * n[sE] + r.k8 * n[sHM] +
+                         r.k9 * n[sHII] + r.k10 * n[sH2p] +
+                         r.k13 * n[sH2] + r.k15 * n[sHM] +
+                         2.0 * r.k22 * n[sHI] * n[sHI] +
+                         r.k50 * n[sDII] + r.k55 * n[sHD];
+      n[sHI] = bdf(n[sHI], cHI, dHI, dt_sub);
+    }
+    {
+      const double cHII = r.k1 * n[sHI] * n[sE] + r.k10 * n[sH2p] * n[sHI] +
+                          r.k50 * n[sDII] * n[sHI];
+      const double dHII = r.k2 * n[sE] + r.k9 * n[sHI] + r.k11 * n[sH2] +
+                          (r.k16 + r.k17) * n[sHM] + r.k51 * n[sDI] +
+                          r.k53 * n[sHD];
+      n[sHII] = bdf(n[sHII], cHII, dHII, dt_sub);
+    }
+
+    // Fast intermediaries: H⁻ and H₂⁺ (near equilibrium at low density —
+    // the implicit update handles both regimes).
+    n[sHM] = bdf(n[sHM], r.k7 * n[sHI] * n[sE],
+                 r.k8 * n[sHI] + r.k14 * n[sE] + r.k15 * n[sHI] +
+                     (r.k16 + r.k17) * n[sHII] + r.k19 * n[sH2p],
+                 dt_sub);
+    n[sH2p] = bdf(n[sH2p],
+                  r.k9 * n[sHI] * n[sHII] + r.k11 * n[sH2] * n[sHII] +
+                      r.k17 * n[sHM] * n[sHII],
+                  r.k10 * n[sHI] + r.k18 * n[sE] + r.k19 * n[sHM], dt_sub);
+
+    // Molecular hydrogen (incl. three-body formation, §4's 10⁹ cm⁻³ regime).
+    // The deuterium-exchange reactions (k52–k55) are deliberately excluded
+    // here: the D reservoir is ~4×10⁻⁵ of H by mass, so their *net* effect
+    // on H₂ is negligible, while including them lets the lagged HD/D ratio
+    // pin H₂ to a false equilibrium in the linearized update.  They do
+    // appear in the D/HD updates below, where H₂ acts as a reservoir.
+    n[sH2] = bdf(n[sH2],
+                 r.k8 * n[sHM] * n[sHI] + r.k10 * n[sH2p] * n[sHI] +
+                     r.k19 * n[sH2p] * n[sHM] +
+                     r.k22 * n[sHI] * n[sHI] * n[sHI],
+                 r.k11 * n[sHII] + r.k12 * n[sE] + r.k13 * n[sHI],
+                 dt_sub);
+
+    // Deuterium.
+    n[sDI] = bdf(n[sDI],
+                 r.k50 * n[sDII] * n[sHI] + r.k55 * n[sHD] * n[sHI] +
+                     r.k56 * n[sDII] * n[sE],
+                 r.k51 * n[sHII] + r.k54 * n[sH2] + r.k57 * n[sE], dt_sub);
+    n[sDII] = bdf(n[sDII],
+                  r.k51 * n[sDI] * n[sHII] + r.k53 * n[sHD] * n[sHII] +
+                      r.k57 * n[sDI] * n[sE],
+                  r.k50 * n[sHI] + r.k52 * n[sH2] + r.k56 * n[sE], dt_sub);
+    n[sHD] = bdf(n[sHD],
+                 r.k52 * n[sDII] * n[sH2] + r.k54 * n[sDI] * n[sH2],
+                 r.k53 * n[sHII] + r.k55 * n[sHI], dt_sub);
+
+    // ---- conservation repairs ----------------------------------------------
+    // Hydrogen nuclei.
+    {
+      const double sum =
+          n[sHI] + n[sHII] + n[sHM] + 2.0 * (n[sH2] + n[sH2p]) + n[sHD];
+      if (sum > 0) {
+        const double f = nH_tot / sum;
+        n[sHI] *= f;
+        n[sHII] *= f;
+        n[sHM] *= f;
+        n[sH2] *= f;
+        n[sH2p] *= f;
+      }
+    }
+    // Helium nuclei.
+    {
+      const double sum = n[sHeI] + n[sHeII] + n[sHeIII];
+      if (sum > 0) {
+        const double f = nHe_tot / sum;
+        n[sHeI] *= f;
+        n[sHeII] *= f;
+        n[sHeIII] *= f;
+      }
+    }
+    // Deuterium nuclei.
+    {
+      const double sum = n[sDI] + n[sDII] + n[sHD];
+      if (sum > 0) {
+        const double f = nD_tot / sum;
+        n[sDI] *= f;
+        n[sDII] *= f;
+        n[sHD] *= f;
+      }
+    }
+    // Electrons by charge conservation.
+    n[sE] = std::max(charge_sum(n), 1e-20 * nH_tot);
+
+    // ---- energy -----------------------------------------------------------
+    if (prm.cooling && st.e > 0.0) {
+      // Semi-implicit: exact exponential decay of the instantaneous rate.
+      const double k = lambda / (rho_cgs * st.e);  // 1/s (signed)
+      if (k * dt_sub > 1e-8)
+        st.e *= std::exp(-k * dt_sub);
+      else
+        st.e -= dt_sub * lambda / rho_cgs;
+      // Temperature floor.
+      const double mu = mu_of(n);
+      const double e_floor = prm.temperature_floor * constants::kBoltzmann /
+                             ((prm.gamma - 1.0) * mu *
+                              constants::kHydrogenMass);
+      st.e = std::max(st.e, e_floor);
+    }
+    t += dt_sub;
+  }
+}
+
+}  // namespace
+
+ChemUnits ChemUnits::from(const cosmology::CodeUnits& u, double a) {
+  ChemUnits c;
+  c.rho_cgs = u.density_cgs / (a * a * a);
+  c.n_factor = c.rho_cgs / constants::kHydrogenMass;
+  c.e_cgs = u.velocity_cgs() * u.velocity_cgs();
+  c.time_s = u.time_s;
+  c.t_cmb = constants::kTcmb0 / a;
+  return c;
+}
+
+void solve_chemistry_step(Grid& g, double dt, const ChemistryParams& params,
+                          const ChemUnits& units) {
+  ENZO_REQUIRE(g.has_field(Field::kH2I), "chemistry fields not allocated");
+  const double dt_s = dt * units.time_s;
+  auto& rho = g.field(Field::kDensity);
+  auto& eint = g.field(Field::kInternalEnergy);
+  auto& etot = g.field(Field::kTotalEnergy);
+
+#ifdef _OPENMP
+#pragma omp parallel for collapse(2) schedule(dynamic, 4)
+#endif
+  for (int k = 0; k < g.nx(2); ++k) {
+    for (int j = 0; j < g.nx(1); ++j) {
+      for (int i = 0; i < g.nx(0); ++i) {
+        const int si = g.sx(i), sj = g.sy(j), sk = g.sz(k);
+        CellState st;
+        for (int s = 0; s < kNsp; ++s)
+          st.n[s] = std::max(g.field(kSpeciesField[s])(si, sj, sk), 0.0) *
+                    units.n_factor / kA[s];
+        st.e = eint(si, sj, sk) * units.e_cgs;
+        const double rho_cgs = rho(si, sj, sk) * units.rho_cgs;
+        const double e_before = st.e;
+        advance_cell(st, dt_s, rho_cgs, params, units.t_cmb);
+        for (int s = 0; s < kNsp; ++s)
+          g.field(kSpeciesField[s])(si, sj, sk) =
+              st.n[s] * kA[s] / units.n_factor;
+        const double de_code = (st.e - e_before) / units.e_cgs;
+        eint(si, sj, sk) += de_code;
+        etot(si, sj, sk) += de_code;
+      }
+    }
+  }
+  util::FlopCounter::global().add(
+      "chemistry", util::flop_cost::kChemistryPerCellPerSubcycle *
+                       static_cast<std::uint64_t>(g.nx(0)) * g.nx(1) *
+                       g.nx(2) * 10);
+}
+
+double cell_mu(const Grid& g, int si, int sj, int sk) {
+  double n[kNsp];
+  for (int s = 0; s < kNsp; ++s)
+    n[s] = std::max(g.field(kSpeciesField[s])(si, sj, sk), 0.0) / kA[s];
+  return mu_of(n);
+}
+
+double cell_temperature(const Grid& g, int si, int sj, int sk,
+                        const ChemistryParams& params,
+                        const ChemUnits& units) {
+  double n[kNsp];
+  for (int s = 0; s < kNsp; ++s)
+    n[s] = std::max(g.field(kSpeciesField[s])(si, sj, sk), 0.0) *
+           units.n_factor / kA[s];
+  const double e = g.field(Field::kInternalEnergy)(si, sj, sk) * units.e_cgs;
+  return temperature_of(e, n, params.gamma);
+}
+
+void initialize_primordial_composition(Grid& g, const ChemistryParams& params,
+                                       double x_e, double f_h2) {
+  const auto& rho = g.field(Field::kDensity);
+  const double X = params.hydrogen_fraction;
+  const double Y = 1.0 - X;
+  const double fD = params.deuterium_fraction;
+  for (int k = 0; k < g.nt(2); ++k)
+    for (int j = 0; j < g.nt(1); ++j)
+      for (int i = 0; i < g.nt(0); ++i) {
+        const double r = rho(i, j, k);
+        const double rH = X * r;
+        g.field(Field::kH2I)(i, j, k) = f_h2 * rH;
+        g.field(Field::kHII)(i, j, k) = x_e * rH;
+        g.field(Field::kHI)(i, j, k) = (1.0 - x_e - f_h2) * rH;
+        g.field(Field::kHM)(i, j, k) = 1e-12 * rH;
+        g.field(Field::kH2II)(i, j, k) = 1e-12 * rH;
+        g.field(Field::kHeI)(i, j, k) = Y * r;
+        g.field(Field::kHeII)(i, j, k) = 1e-12 * Y * r;
+        g.field(Field::kHeIII)(i, j, k) = 1e-14 * Y * r;
+        g.field(Field::kDI)(i, j, k) = (1.0 - x_e) * fD * rH;
+        g.field(Field::kDII)(i, j, k) = x_e * fD * rH;
+        g.field(Field::kHDI)(i, j, k) = 1e-8 * fD * rH;
+        // Electron field in proton-mass units = n_e · m_H.
+        g.field(Field::kElectron)(i, j, k) =
+            x_e * rH + 1e-12 * Y * r / 4.0;
+      }
+}
+
+double min_cooling_time(const Grid& g, const ChemistryParams& params,
+                        const ChemUnits& units) {
+  double tmin = std::numeric_limits<double>::max();
+  for (int k = 0; k < g.nx(2); ++k)
+    for (int j = 0; j < g.nx(1); ++j)
+      for (int i = 0; i < g.nx(0); ++i) {
+        const int si = g.sx(i), sj = g.sy(j), sk = g.sz(k);
+        double n[kNsp];
+        for (int s = 0; s < kNsp; ++s)
+          n[s] = std::max(g.field(kSpeciesField[s])(si, sj, sk), 0.0) *
+                 units.n_factor / kA[s];
+        const double e =
+            g.field(Field::kInternalEnergy)(si, sj, sk) * units.e_cgs;
+        const double T = temperature_of(e, n, params.gamma);
+        CoolingInput ci{T, units.t_cmb, n[sHI], n[sHII], n[sHeI], n[sHeII],
+                        n[sHeIII], n[sE], n[sH2], n[sHD]};
+        const double lambda = cooling_rate(ci);
+        if (lambda <= 0) continue;
+        const double rho_cgs =
+            g.field(Field::kDensity)(si, sj, sk) * units.rho_cgs;
+        const double tc = rho_cgs * e / lambda / units.time_s;
+        tmin = std::min(tmin, tc);
+      }
+  return tmin;
+}
+
+}  // namespace enzo::chemistry

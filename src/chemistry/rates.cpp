@@ -1,0 +1,157 @@
+#include "chemistry/rates.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace enzo::chemistry {
+
+namespace {
+double clamp_T(double T) { return std::min(std::max(T, 1.0), 1e9); }
+}  // namespace
+
+Rates compute_rates(double T_in) {
+  const double T = clamp_T(T_in);
+  const double Tev = T * 8.617385e-5;  // K → eV
+  const double lnTe = std::log(Tev);
+  const double sqrtT = std::sqrt(T);
+  const double T5 = std::sqrt(T / 1e5);
+  Rates r{};
+
+  // k1: H + e → H⁺ + 2e.  Janev et al. (1987) fit as used by Abel+97.
+  {
+    const double c[9] = {-32.71396786, 13.5365560, -5.73932875, 1.56315498,
+                         -0.28770560, 3.48255977e-2, -2.63197617e-3,
+                         1.11954395e-4, -2.03914985e-6};
+    double s = 0, p = 1;
+    for (int i = 0; i < 9; ++i) {
+      s += c[i] * p;
+      p *= lnTe;
+    }
+    r.k1 = std::exp(s);
+  }
+  // k2: H⁺ + e → H (case A, Cen 1992 form).
+  r.k2 = 8.4e-11 / sqrtT * std::pow(T / 1e3, -0.2) /
+         (1.0 + std::pow(T / 1e6, 0.7));
+  // k3 / k5: He, He⁺ collisional ionization (Cen 1992).
+  r.k3 = 2.38e-11 * sqrtT * std::exp(-285335.4 / T) / (1.0 + T5);
+  r.k5 = 5.68e-12 * sqrtT * std::exp(-631515.0 / T) / (1.0 + T5);
+  // k4: He⁺ recombination, radiative + dielectronic (Cen 1992).
+  r.k4 = 1.5e-10 * std::pow(T, -0.6353) +
+         1.9e-3 * std::pow(T, -1.5) * std::exp(-470000.0 / T) *
+             (1.0 + 0.3 * std::exp(-94000.0 / T));
+  // k6: He⁺⁺ recombination (hydrogenic, Z=2).
+  r.k6 = 3.36e-10 / sqrtT * std::pow(T / 1e3, -0.2) /
+         (1.0 + std::pow(T / 1e6, 0.7));
+
+  // k7: radiative attachment H + e → H⁻ (Abel+97 fit).
+  r.k7 = 6.775e-15 * std::pow(Tev, 0.8779);
+  // k8: associative detachment H⁻ + H → H₂ + e (weak T dependence).
+  r.k8 = 1.43e-9;
+  // k9: radiative association H + H⁺ → H₂⁺ (Abel+97 piecewise fit).
+  if (T < 6700.0)
+    r.k9 = 1.85e-23 * std::pow(T, 1.8);
+  else
+    r.k9 = 5.81e-16 * std::pow(T / 56200.0,
+                               -0.6657 * std::log10(T / 56200.0));
+  // k10: charge transfer H₂⁺ + H → H₂ + H⁺.
+  r.k10 = 6.0e-10;
+  // k11: H₂ + H⁺ → H₂⁺ + H (endothermic by ~1.83 eV).
+  r.k11 = 2.4e-9 * std::exp(-21237.15 / T);
+  // k12: electron-impact dissociation H₂ + e → 2H + e.
+  r.k12 = 4.38e-10 * std::exp(-102000.0 / T) * std::pow(T, 0.35);
+  // k13: collisional dissociation H₂ + H → 3H (Dove & Mandy form).
+  r.k13 = 1.067e-10 * std::pow(Tev, 2.012) * std::exp(-4.463 / Tev) /
+          std::pow(1.0 + 0.2472 * Tev, 3.512);
+  // k14: collisional detachment H⁻ + e → H + 2e (threshold 0.755 eV).
+  r.k14 = 4.38e-10 * std::exp(-8750.0 / T) * std::pow(T, 0.35) * 0.1 +
+          1.0e-11 * sqrtT * std::exp(-8750.0 / T);
+  // k15: H⁻ + H → 2H + e.
+  r.k15 = 5.3e-20 * T * T * std::exp(-8750.0 / T) + 1.0e-12;
+  // k16: mutual neutralization H⁻ + H⁺ → 2H (strong at low T).
+  r.k16 = 7.0e-8 * std::pow(T / 100.0, -0.35);
+  // k17: H⁻ + H⁺ → H₂⁺ + e.
+  r.k17 = (T < 1e4) ? 1.0e-8 * std::pow(T, -0.4)
+                    : 4.0e-4 * std::pow(T, -1.4) * std::exp(-15100.0 / T);
+  // k18: dissociative recombination H₂⁺ + e → 2H.
+  r.k18 = 1.0e-8 * std::pow(std::max(T, 10.0) / 1000.0, -0.5) * 0.2;
+  // k19: H₂⁺ + H⁻ → H₂ + H.
+  r.k19 = 5.0e-7 * std::sqrt(100.0 / T);
+  // k22: three-body H₂ formation 3H → H₂ + H (Palla, Salpeter & Stahler 83).
+  r.k22 = 5.5e-29 / T;
+
+  // Deuterium: charge exchange nearly thermoneutral (ΔE/k = 43 K).
+  r.k50 = 1.0e-9;                                   // D⁺ + H → D + H⁺
+  r.k51 = 1.0e-9 * std::exp(-43.0 / T);             // D + H⁺ → D⁺ + H
+  r.k52 = 2.1e-9;                                   // D⁺ + H₂ → HD + H⁺
+  r.k53 = 1.0e-9 * std::exp(-464.0 / T);            // HD + H⁺ → H₂ + D⁺
+  r.k54 = 7.5e-11 * std::exp(-3820.0 / T);          // D + H₂ → HD + H
+  r.k55 = 7.5e-11 * std::exp(-4240.0 / T);          // HD + H → H₂ + D
+  r.k56 = r.k2;                                     // D⁺ recombination ≈ H⁺
+  r.k57 = r.k1;                                     // D ionization ≈ H
+  return r;
+}
+
+double h2_cooling_rate(double T_in, double n_H2, double n_H) {
+  // Galli & Palla (1998) low-density (n→0) H₂ cooling function, valid for
+  // 13 K < T < 10⁵ K, blended with an LTE cap via a critical density so the
+  // cooling time stops dropping at n ≳ n_cr (the quasi-hydrostatic phase of
+  // §4 depends on this saturation).
+  const double T = std::min(std::max(T_in, 13.0), 1e5);
+  const double lt = std::log10(T);
+  const double log_lambda = -103.0 + 97.59 * lt - 48.05 * lt * lt +
+                            10.80 * lt * lt * lt - 0.9032 * lt * lt * lt * lt;
+  const double lambda_low = std::pow(10.0, log_lambda);  // erg cm³/s
+  // Critical density above which level populations reach LTE (~10⁴ cm⁻³,
+  // weakly T-dependent).
+  const double n_cr = 1.0e4 * std::sqrt(T / 1000.0);
+  return n_H2 * n_H * lambda_low / (1.0 + n_H / n_cr);
+}
+
+double cooling_rate(const CoolingInput& in) {
+  const double T = clamp_T(in.T);
+  const double sqrtT = std::sqrt(T);
+  const double T5 = std::sqrt(T / 1e5);
+  double cool = 0.0;
+
+  // Collisional excitation (line) cooling: H (Lyα) and He⁺ (Cen 1992).
+  cool += 7.50e-19 * std::exp(-118348.0 / T) / (1.0 + T5) * in.n_e * in.n_HI;
+  cool += 5.54e-17 * std::pow(T, -0.397) * std::exp(-473638.0 / T) /
+          (1.0 + T5) * in.n_e * in.n_HeII;
+  // Collisional ionization cooling.
+  cool += 1.27e-21 * sqrtT * std::exp(-157809.1 / T) / (1.0 + T5) * in.n_e *
+          in.n_HI;
+  cool += 9.38e-22 * sqrtT * std::exp(-285335.4 / T) / (1.0 + T5) * in.n_e *
+          in.n_HeI;
+  cool += 4.95e-22 * sqrtT * std::exp(-631515.0 / T) / (1.0 + T5) * in.n_e *
+          in.n_HeII;
+  // Recombination cooling.
+  cool += 8.70e-27 * sqrtT * std::pow(T / 1e3, -0.2) /
+          (1.0 + std::pow(T / 1e6, 0.7)) * in.n_e * in.n_HII;
+  cool += 1.55e-26 * std::pow(T, 0.3647) * in.n_e * in.n_HeII;
+  cool += 3.48e-26 * sqrtT * std::pow(T / 1e3, -0.2) /
+          (1.0 + std::pow(T / 1e6, 0.7)) * in.n_e * in.n_HeIII;
+  // Bremsstrahlung (free-free), Gaunt ≈ 1.3.
+  cool += 1.42e-27 * 1.3 * sqrtT * in.n_e *
+          (in.n_HII + in.n_HeII + 4.0 * in.n_HeIII);
+  // H₂ ro-vibrational cooling, net of the CMB radiation bath (the lines
+  // thermalize with the CMB, so the gas cannot radiatively cool below
+  // T_cmb — at z≈19 that floor is ~55 K).
+  const double n_H_tot = in.n_HI + in.n_HII;
+  cool += std::max(h2_cooling_rate(T, in.n_H2, n_H_tot) -
+                       h2_cooling_rate(in.T_cmb, in.n_H2, n_H_tot),
+                   0.0);
+  // HD cooling (simple low-T fit; subdominant to H₂ above ~150 K), with the
+  // same CMB radiative floor.
+  auto hd_rate = [&](double temp) {
+    if (temp >= 2e4 || temp <= 0.0) return 0.0;
+    return 2.7e-26 * std::pow(temp / 100.0, 1.4) * std::exp(-128.0 / temp) *
+           in.n_HD * n_H_tot / (1.0 + n_H_tot / 1e6);
+  };
+  cool += std::max(hd_rate(T) - hd_rate(in.T_cmb), 0.0);
+  // Compton heating/cooling against the CMB (§2.2).
+  const double a4 = std::pow(in.T_cmb / 2.725, 4.0);
+  cool += 5.65e-36 * a4 * (T - in.T_cmb) * in.n_e;
+  return cool;
+}
+
+}  // namespace enzo::chemistry

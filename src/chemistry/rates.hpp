@@ -1,0 +1,73 @@
+#pragma once
+// Reaction-rate and cooling-rate coefficients for the 12-species primordial
+// network (§2.2): H, H⁺, He, He⁺, He⁺⁺, e⁻, H⁻, H₂, H₂⁺, D, D⁺, HD.
+//
+// The rate *forms* follow the compilation used by the paper (Abel, Anninos,
+// Zhang & Norman 1997; Anninos et al. 1997), with the atomic
+// ionization/recombination fits of Cen (1992) / Hui & Gnedin (1997), the
+// three-body H₂ formation of Palla, Salpeter & Stahler (1983), and the H₂
+// cooling function of Galli & Palla (1998).  Coefficients were re-entered
+// from the literature; EXPERIMENTS.md compares profile *shapes*, which are
+// insensitive to few-percent rate differences.
+//
+// All rates are cgs: two-body in cm³ s⁻¹, three-body in cm⁶ s⁻¹, cooling in
+// erg cm³ s⁻¹ (multiply by the two number densities involved).
+
+namespace enzo::chemistry {
+
+/// Two-body/three-body rate coefficients at one temperature.
+struct Rates {
+  // -- hydrogen/helium ionization & recombination --------------------------
+  double k1;  ///< H  + e  → H⁺  + 2e
+  double k2;  ///< H⁺ + e  → H   + γ
+  double k3;  ///< He + e  → He⁺ + 2e
+  double k4;  ///< He⁺+ e  → He  + γ  (incl. dielectronic)
+  double k5;  ///< He⁺+ e  → He⁺⁺+ 2e
+  double k6;  ///< He⁺⁺+e  → He⁺ + γ
+  // -- H₂ chemistry ---------------------------------------------------------
+  double k7;   ///< H  + e  → H⁻  + γ
+  double k8;   ///< H⁻ + H  → H₂  + e
+  double k9;   ///< H  + H⁺ → H₂⁺ + γ
+  double k10;  ///< H₂⁺+ H  → H₂  + H⁺
+  double k11;  ///< H₂ + H⁺ → H₂⁺ + H
+  double k12;  ///< H₂ + e  → 2H  + e
+  double k13;  ///< H₂ + H  → 3H
+  double k14;  ///< H⁻ + e  → H   + 2e
+  double k15;  ///< H⁻ + H  → 2H  + e
+  double k16;  ///< H⁻ + H⁺ → 2H
+  double k17;  ///< H⁻ + H⁺ → H₂⁺ + e
+  double k18;  ///< H₂⁺+ e  → 2H
+  double k19;  ///< H₂⁺+ H⁻ → H₂ + H
+  double k22;  ///< 3H → H₂ + H   (three-body; cm⁶/s)
+  // -- deuterium -------------------------------------------------------------
+  double k50;  ///< D⁺ + H  → D  + H⁺  (charge exchange)
+  double k51;  ///< D  + H⁺ → D⁺ + H
+  double k52;  ///< D⁺ + H₂ → HD + H⁺
+  double k53;  ///< HD + H⁺ → H₂ + D⁺
+  double k54;  ///< D  + H₂* → HD + H (neutral exchange, slow)
+  double k55;  ///< HD + H  → H₂ + D
+  double k56;  ///< D⁺ + e  → D  + γ
+  double k57;  ///< D  + e  → D⁺ + 2e
+};
+
+/// Evaluate the full rate set at gas temperature T (Kelvin).
+Rates compute_rates(double T);
+
+/// Cooling/heating terms (erg cm⁻³ s⁻¹ once multiplied by densities inside):
+struct CoolingInput {
+  double T;        ///< gas temperature (K)
+  double T_cmb;    ///< CMB temperature at this redshift (K)
+  double n_HI, n_HII, n_HeI, n_HeII, n_HeIII, n_e, n_H2, n_HD;
+};
+
+/// Total volumetric cooling rate Λ (erg cm⁻³ s⁻¹); positive = energy loss.
+/// Includes H/He line & ionization cooling, recombination, bremsstrahlung,
+/// H₂ ro-vibrational (Galli & Palla 1998 low-density limit with an LTE/
+/// critical-density cap), HD, and Compton scattering off the CMB (which
+/// heats when T < T_cmb).
+double cooling_rate(const CoolingInput& in);
+
+/// The H₂ contribution alone (diagnostics / Fig. 4 reasoning).
+double h2_cooling_rate(double T, double n_H2, double n_H);
+
+}  // namespace enzo::chemistry

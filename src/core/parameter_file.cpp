@@ -1,0 +1,262 @@
+#include "core/parameter_file.hpp"
+
+#include <fstream>
+#include <functional>
+#include <map>
+#include <sstream>
+
+#include "util/constants.hpp"
+#include "util/error.hpp"
+
+namespace enzo::core {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+struct Parser {
+  ParameterDeck deck;
+  int line_no = 0;
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw enzo::Error("parameter deck line " + std::to_string(line_no) + ": " +
+                      msg);
+  }
+
+  double num(const std::string& v) const {
+    try {
+      std::size_t pos = 0;
+      const double x = std::stod(v, &pos);
+      if (trim(v.substr(pos)).empty()) return x;
+    } catch (...) {
+    }
+    fail("expected a number, got '" + v + "'");
+  }
+  int integer(const std::string& v) const {
+    const double x = num(v);
+    const int i = static_cast<int>(x);
+    if (static_cast<double>(i) != x) fail("expected an integer, got '" + v + "'");
+    return i;
+  }
+  bool boolean(const std::string& v) const {
+    if (v == "1" || v == "true" || v == "yes") return true;
+    if (v == "0" || v == "false" || v == "no") return false;
+    fail("expected a boolean (0/1/true/false), got '" + v + "'");
+  }
+  mesh::Index3 dims(const std::string& v) const {
+    std::istringstream ss(v);
+    mesh::Index3 d{1, 1, 1};
+    if (!(ss >> d[0])) fail("expected up to three integers, got '" + v + "'");
+    ss >> d[1] >> d[2];
+    std::string rest;
+    if (ss.clear(), std::getline(ss, rest); !trim(rest).empty())
+      fail("trailing text after dimensions: '" + rest + "'");
+    return d;
+  }
+
+  void apply(const std::string& key, const std::string& value) {
+    auto& cfg = deck.config;
+    // --- problem selection -----------------------------------------------
+    if (key == "ProblemType") {
+      static const std::map<std::string, ProblemType> kinds = {
+          {"Uniform", ProblemType::kUniform},
+          {"SodTube", ProblemType::kSodTube},
+          {"CollapseCloud", ProblemType::kCollapseCloud},
+          {"Cosmology", ProblemType::kCosmology},
+          {"ZeldovichPancake", ProblemType::kZeldovichPancake}};
+      auto it = kinds.find(value);
+      if (it == kinds.end()) fail("unknown ProblemType '" + value + "'");
+      deck.problem = it->second;
+      return;
+    }
+    // --- hierarchy ----------------------------------------------------------
+    if (key == "TopGridDimensions") { cfg.hierarchy.root_dims = dims(value); return; }
+    if (key == "RefineBy") { cfg.hierarchy.refine_factor = integer(value); return; }
+    if (key == "MaximumRefinementLevel") { cfg.hierarchy.max_level = integer(value); return; }
+    if (key == "PeriodicBoundary") { cfg.hierarchy.periodic = boolean(value); return; }
+    if (key == "GhostZones") { cfg.hierarchy.nghost = integer(value); return; }
+    if (key == "FlagBufferCells") { cfg.hierarchy.flag_buffer = integer(value); return; }
+    if (key == "ClusterEfficiency") { cfg.hierarchy.cluster.min_efficiency = num(value); return; }
+    // --- refinement criteria -----------------------------------------------
+    if (key == "RefineByBaryonMass") { cfg.refinement.baryon_mass_threshold = num(value); return; }
+    if (key == "RefineByDarkMatterMass") { cfg.refinement.dm_mass_threshold = num(value); return; }
+    if (key == "RefineByJeansLength") { cfg.refinement.jeans_number = num(value); return; }
+    if (key == "RefineByOverdensity") { cfg.refinement.overdensity_threshold = num(value); return; }
+    // --- physics toggles -----------------------------------------------------
+    if (key == "HydroEnabled") { cfg.enable_hydro = boolean(value); return; }
+    if (key == "GravityEnabled") { cfg.enable_gravity = boolean(value); return; }
+    if (key == "ChemistryEnabled") {
+      cfg.enable_chemistry = boolean(value);
+      if (cfg.enable_chemistry) cfg.hierarchy.fields = mesh::chemistry_field_list();
+      return;
+    }
+    if (key == "ParticlesEnabled") { cfg.enable_particles = boolean(value); return; }
+    // --- hydro ---------------------------------------------------------------
+    if (key == "Gamma") { cfg.hydro.gamma = num(value); return; }
+    if (key == "CourantSafetyNumber") { cfg.hydro.cfl = num(value); return; }
+    if (key == "HydroMethod") {
+      if (value == "PPM") cfg.hydro.solver = hydro::Solver::kPpm;
+      else if (value == "Zeus") cfg.hydro.solver = hydro::Solver::kZeus;
+      else fail("unknown HydroMethod '" + value + "' (PPM or Zeus)");
+      return;
+    }
+    if (key == "PPMFlattening") { cfg.hydro.flattening = boolean(value); return; }
+    if (key == "DualEnergyEta") { cfg.hydro.dual_energy_eta1 = num(value); return; }
+    // --- cosmology -------------------------------------------------------------
+    if (key == "ComovingCoordinates") { cfg.comoving = boolean(value); return; }
+    if (key == "HubbleConstantNow") { cfg.frw.hubble = num(value); return; }
+    if (key == "OmegaMatterNow") { cfg.frw.omega_matter = num(value); return; }
+    if (key == "OmegaBaryonNow") { cfg.frw.omega_baryon = num(value); return; }
+    if (key == "OmegaLambdaNow") { cfg.frw.omega_lambda = num(value); return; }
+    if (key == "Sigma8") { cfg.frw.sigma8 = num(value); return; }
+    if (key == "InitialRedshift") { cfg.initial_redshift = num(value); return; }
+    if (key == "ComovingBoxSizeMpc") {
+      deck.cosmology.box_comoving_cm = num(value) * constants::kMpc;
+      return;
+    }
+    if (key == "RandomSeed") { deck.cosmology.seed = static_cast<std::uint64_t>(num(value)); return; }
+    if (key == "NestedStaticLevels") { deck.cosmology.nested_static_levels = integer(value); return; }
+    if (key == "ParticlesPerAxis") { deck.cosmology.particles_per_axis = integer(value); return; }
+    // --- collapse problem --------------------------------------------------------
+    if (key == "BoxSizeParsec") {
+      deck.collapse.box_proper_cm = num(value) * constants::kParsec;
+      return;
+    }
+    if (key == "CloudRadius") { deck.collapse.cloud_radius = num(value); return; }
+    if (key == "CloudOverdensity") { deck.collapse.overdensity = num(value); return; }
+    if (key == "BackgroundDensityCGS") { deck.collapse.mean_density_cgs = num(value); return; }
+    if (key == "InitialTemperature") {
+      deck.collapse.temperature = num(value);
+      deck.pancake.initial_temperature = num(value);
+      return;
+    }
+    if (key == "InitialIonizationFraction") {
+      deck.collapse.ionization = num(value);
+      deck.cosmology.initial_ionization = num(value);
+      return;
+    }
+    if (key == "InitialH2Fraction") {
+      deck.collapse.h2_fraction = num(value);
+      deck.cosmology.initial_h2_fraction = num(value);
+      return;
+    }
+    // --- pancake -------------------------------------------------------------------
+    if (key == "PancakeCausticRedshift") { deck.pancake.a_caustic_redshift = num(value); return; }
+    // --- uniform -------------------------------------------------------------------
+    if (key == "UniformDensity") { deck.uniform_density = num(value); return; }
+    if (key == "UniformInternalEnergy") { deck.uniform_eint = num(value); return; }
+    // --- run control ----------------------------------------------------------------
+    if (key == "StopTime") { deck.stop_time = num(value); return; }
+    if (key == "StopSteps") { deck.stop_steps = integer(value); return; }
+    if (key == "RebuildInterval") { cfg.rebuild_interval = integer(value); return; }
+    if (key == "CheckpointPath") { deck.checkpoint_path = value; return; }
+    fail("unknown parameter '" + key + "'");
+  }
+};
+
+}  // namespace
+
+ParameterDeck parse_parameter_deck(std::istream& in) {
+  Parser p;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++p.line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) p.fail("expected 'Key = value'");
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty()) p.fail("empty key");
+    if (value.empty()) p.fail("empty value for '" + key + "'");
+    p.apply(key, value);
+  }
+  return std::move(p.deck);
+}
+
+ParameterDeck parse_parameter_file(const std::string& path) {
+  std::ifstream in(path);
+  ENZO_REQUIRE(in.good(), "cannot open parameter file: " + path);
+  return parse_parameter_deck(in);
+}
+
+void setup_from_deck(Simulation& sim, const ParameterDeck& deck) {
+  switch (deck.problem) {
+    case ProblemType::kUniform:
+      setup_uniform(sim, deck.uniform_density, deck.uniform_eint);
+      break;
+    case ProblemType::kSodTube:
+      setup_sod_tube(sim);
+      break;
+    case ProblemType::kCollapseCloud: {
+      CollapseSetupOptions opt = deck.collapse;
+      opt.chemistry = sim.config().enable_chemistry;
+      setup_collapse_cloud(sim, opt);
+      break;
+    }
+    case ProblemType::kCosmology:
+      setup_cosmological(sim, deck.cosmology);
+      break;
+    case ProblemType::kZeldovichPancake:
+      setup_zeldovich_pancake(sim, deck.pancake);
+      break;
+  }
+}
+
+std::string render_deck(const ParameterDeck& deck) {
+  std::ostringstream os;
+  const auto& cfg = deck.config;
+  const char* ptype = "Uniform";
+  switch (deck.problem) {
+    case ProblemType::kUniform: ptype = "Uniform"; break;
+    case ProblemType::kSodTube: ptype = "SodTube"; break;
+    case ProblemType::kCollapseCloud: ptype = "CollapseCloud"; break;
+    case ProblemType::kCosmology: ptype = "Cosmology"; break;
+    case ProblemType::kZeldovichPancake: ptype = "ZeldovichPancake"; break;
+  }
+  os << "ProblemType = " << ptype << "\n";
+  os << "TopGridDimensions = " << cfg.hierarchy.root_dims[0] << " "
+     << cfg.hierarchy.root_dims[1] << " " << cfg.hierarchy.root_dims[2]
+     << "\n";
+  os << "RefineBy = " << cfg.hierarchy.refine_factor << "\n";
+  os << "MaximumRefinementLevel = " << cfg.hierarchy.max_level << "\n";
+  os << "PeriodicBoundary = " << (cfg.hierarchy.periodic ? 1 : 0) << "\n";
+  os << "HydroEnabled = " << (cfg.enable_hydro ? 1 : 0) << "\n";
+  os << "GravityEnabled = " << (cfg.enable_gravity ? 1 : 0) << "\n";
+  os << "ChemistryEnabled = " << (cfg.enable_chemistry ? 1 : 0) << "\n";
+  os << "ParticlesEnabled = " << (cfg.enable_particles ? 1 : 0) << "\n";
+  os << "Gamma = " << cfg.hydro.gamma << "\n";
+  os << "CourantSafetyNumber = " << cfg.hydro.cfl << "\n";
+  os << "HydroMethod = "
+     << (cfg.hydro.solver == hydro::Solver::kPpm ? "PPM" : "Zeus") << "\n";
+  if (cfg.refinement.baryon_mass_threshold > 0)
+    os << "RefineByBaryonMass = " << cfg.refinement.baryon_mass_threshold
+       << "\n";
+  if (cfg.refinement.jeans_number > 0)
+    os << "RefineByJeansLength = " << cfg.refinement.jeans_number << "\n";
+  if (cfg.refinement.overdensity_threshold > 0)
+    os << "RefineByOverdensity = " << cfg.refinement.overdensity_threshold
+       << "\n";
+  if (cfg.comoving) {
+    os << "ComovingCoordinates = 1\n";
+    os << "HubbleConstantNow = " << cfg.frw.hubble << "\n";
+    os << "OmegaMatterNow = " << cfg.frw.omega_matter << "\n";
+    os << "OmegaBaryonNow = " << cfg.frw.omega_baryon << "\n";
+    os << "OmegaLambdaNow = " << cfg.frw.omega_lambda << "\n";
+    os << "InitialRedshift = " << cfg.initial_redshift << "\n";
+  }
+  os << "StopSteps = " << deck.stop_steps << "\n";
+  if (deck.stop_time > 0) os << "StopTime = " << deck.stop_time << "\n";
+  if (!deck.checkpoint_path.empty())
+    os << "CheckpointPath = " << deck.checkpoint_path << "\n";
+  return os.str();
+}
+
+}  // namespace enzo::core

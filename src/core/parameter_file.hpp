@@ -1,0 +1,69 @@
+#pragma once
+// Parameter-file front end.
+//
+// Production cosmology codes are driven by plain-text parameter files
+// (Enzo's `ProblemType = 30`-style decks); this module parses that format
+// into a SimulationConfig + problem selection so runs are reproducible from
+// a checked-in text file rather than recompiled C++.
+//
+// Format: one `Key = value` per line; `#` starts a comment; keys are
+// case-sensitive; unknown keys are an error (catching typos is the whole
+// point of a deck parser).  Example:
+//
+//     # first-star collapse at laptop scale
+//     ProblemType            = CollapseCloud
+//     TopGridDimensions      = 16 16 16
+//     MaximumRefinementLevel = 4
+//     RefineByJeansLength    = 4
+//     ChemistryEnabled       = 1
+//     CloudOverdensity       = 10.0
+//
+// See `parse_parameter_file` for the full key list.
+
+#include <iosfwd>
+#include <string>
+
+#include "core/setup.hpp"
+#include "core/simulation.hpp"
+
+namespace enzo::core {
+
+enum class ProblemType {
+  kUniform,
+  kSodTube,
+  kCollapseCloud,
+  kCosmology,
+  kZeldovichPancake,
+};
+
+/// Everything a deck specifies: the simulation config, the problem, and the
+/// per-problem options.
+struct ParameterDeck {
+  ProblemType problem = ProblemType::kUniform;
+  SimulationConfig config;
+  CollapseSetupOptions collapse;
+  CosmologySetupOptions cosmology;
+  PancakeOptions pancake;
+  double uniform_density = 1.0;
+  double uniform_eint = 1.0;
+  // Run control.
+  double stop_time = -1.0;      ///< code units; <0 → use stop_steps only
+  int stop_steps = 10;
+  std::string checkpoint_path;  ///< write a checkpoint at the end if set
+};
+
+/// Parse a deck from a stream; throws enzo::Error with line numbers on
+/// malformed input or unknown keys.
+ParameterDeck parse_parameter_deck(std::istream& in);
+
+/// Convenience: parse from a file path.
+ParameterDeck parse_parameter_file(const std::string& path);
+
+/// Apply the deck's problem setup to a simulation constructed from
+/// deck.config (build_root + fields + finalize).
+void setup_from_deck(Simulation& sim, const ParameterDeck& deck);
+
+/// Render the effective deck back to text (round-trip/debugging).
+std::string render_deck(const ParameterDeck& deck);
+
+}  // namespace enzo::core

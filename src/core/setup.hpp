@@ -1,0 +1,72 @@
+#pragma once
+// Problem initializers.
+//
+// setup_cosmological builds the paper's production configuration at
+// configurable scale: a CDM box with Gaussian-random-field baryon fields +
+// Zel'dovich-displaced dark-matter particles, optionally with nested static
+// refinement levels over a target region (§4's "restart with three
+// additional levels of static meshes, equivalent to 512³ initial
+// conditions").
+//
+// setup_collapse_cloud builds the controlled primordial-cloud collapse used
+// by the Fig. 3/4 benches: an overdense isothermal sphere of primordial
+// composition in a periodic box, which collapses, cools through H₂ and runs
+// the hierarchy deep — minutes of laptop time instead of 10⁶ SP2-seconds.
+//
+// The remaining setups are standard verification problems.
+
+#include "core/simulation.hpp"
+
+namespace enzo::core {
+
+struct CosmologySetupOptions {
+  double box_comoving_cm = 128.0 * 3.0857e21;  ///< 128 comoving kpc default
+  std::uint64_t seed = 2001;
+  int particles_per_axis = 0;  ///< 0 → same as root dims
+  /// Nested static levels covering the central half-box (each level halves
+  /// the covered region, like the paper's zoom-in region).
+  int nested_static_levels = 0;
+  double initial_ionization = 2e-4;  ///< residual x_e from recombination
+  double initial_h2_fraction = 2e-6;
+};
+
+/// Initialize a comoving CDM simulation; cfg.hierarchy.root_dims, frw and
+/// initial_redshift must be set.  Fills cfg.units, builds the root grid,
+/// fields and particles, and (if requested) the nested static levels with
+/// mode-consistent small-scale power.
+void setup_cosmological(Simulation& sim, const CosmologySetupOptions& opt);
+
+struct CollapseSetupOptions {
+  double box_proper_cm = 2.0 * 3.0857e18;  ///< 2 pc box
+  double cloud_radius = 0.2;               ///< code units
+  double overdensity = 8.0;                ///< ρ_cloud / ρ_background
+  double mean_density_cgs = 1e-20;         ///< ~6×10³ H/cm³ background
+  double temperature = 400.0;              ///< K
+  double ionization = 1e-4;
+  double h2_fraction = 5e-4;
+  bool chemistry = true;
+};
+
+/// Initialize the isolated primordial-cloud collapse (static space, full
+/// gravity + chemistry).  Sets cfg.units to a self-consistent simple system
+/// in which G_code = 4πG·ρ_unit·t_unit² with t_unit the background free-fall
+/// scale.
+void setup_collapse_cloud(Simulation& sim, const CollapseSetupOptions& opt);
+
+/// Sod shock tube along x (n×1×1, outflow boundaries).
+void setup_sod_tube(Simulation& sim);
+
+/// Zel'dovich pancake: single sinusoidal perturbation collapsing to a
+/// caustic at a_caustic (1-d comoving problem, the classic cosmology-hydro
+/// verification test).
+struct PancakeOptions {
+  double a_caustic_redshift = 1.0;  ///< caustic forms at z = 1
+  double box_comoving_cm = 64.0 * 3.0857e24;  ///< 64 Mpc
+  double initial_temperature = 100.0;         ///< K
+};
+void setup_zeldovich_pancake(Simulation& sim, const PancakeOptions& opt);
+
+/// Uniform medium (smoke tests).
+void setup_uniform(Simulation& sim, double rho, double eint);
+
+}  // namespace enzo::core

@@ -1,0 +1,345 @@
+#include "core/simulation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "chemistry/chemistry.hpp"
+#include "gravity/gravity.hpp"
+#include "hydro/hydro.hpp"
+#include "mesh/boundary.hpp"
+#include "mesh/project.hpp"
+#include "nbody/nbody.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace enzo::core {
+
+using mesh::Field;
+using mesh::Grid;
+namespace ct = util;
+
+namespace {
+constexpr Field kVelField[3] = {Field::kVelocityX, Field::kVelocityY,
+                                Field::kVelocityZ};
+}  // namespace
+
+Simulation::Simulation(SimulationConfig cfg)
+    : cfg_(std::move(cfg)), hierarchy_(cfg_.hierarchy), frw_(cfg_.frw) {
+  if (cfg_.comoving) {
+    a_ = cosmology::Frw::a_of_z(cfg_.initial_redshift);
+    time_ = ext::pos_t(frw_.time_of_a(a_) / cfg_.units.time_s);
+  }
+}
+
+void Simulation::sync_hierarchy_params() {
+  ENZO_REQUIRE(hierarchy_.grids(0).empty(),
+               "cannot re-parameterize a built hierarchy");
+  hierarchy_ = mesh::Hierarchy(cfg_.hierarchy);
+}
+
+void Simulation::build_root(int tiles_per_axis) {
+  // Problem setups may adjust hierarchy parameters (boundary type, field
+  // list) between construction and here: rebuild the (still-empty)
+  // hierarchy from the current configuration.
+  sync_hierarchy_params();
+  hierarchy_.build_root(tiles_per_axis);
+}
+
+void Simulation::add_static_region(int level, const mesh::IndexBox& box) {
+  ENZO_REQUIRE(level >= 1 && level <= cfg_.hierarchy.max_level,
+               "static region level out of range");
+  static_regions_.emplace_back(level, box);
+}
+
+mesh::Hierarchy::FlagFn Simulation::flagger() {
+  return [this](const Grid& g, std::vector<mesh::Index3>& flags) {
+    const int child_level = g.level() + 1;
+    const RefinementCriteria& rc = cfg_.refinement;
+    double vol = 1.0;
+    for (int d = 0; d < 3; ++d)
+      vol *= 1.0 / static_cast<double>(g.spec().level_dims[d]);
+    const auto& rho = g.field(Field::kDensity);
+    const auto& eint = g.field(Field::kInternalEnergy);
+    const double gamma = cfg_.hydro.gamma;
+    const double gc = cfg_.units.grav_const_code;
+    const double dx = g.cell_width_d(0);
+
+    // NGP dark-matter mass per cell (for the DM mass criterion).
+    util::Array3<double> dm;
+    if (rc.dm_mass_threshold > 0 && !g.particles().empty()) {
+      dm.resize(g.nx(0), g.nx(1), g.nx(2), 0.0);
+      for (const mesh::Particle& p : g.particles()) {
+        int idx[3];
+        bool ok = true;
+        for (int d = 0; d < 3; ++d) {
+          idx[d] = static_cast<int>(g.local_index_of(p.x[d], d));
+          if (idx[d] < 0 || idx[d] >= g.nx(d)) ok = false;
+        }
+        if (ok) dm(idx[0], idx[1], idx[2]) += p.mass;
+      }
+    }
+
+    for (int k = 0; k < g.nx(2); ++k)
+      for (int j = 0; j < g.nx(1); ++j)
+        for (int i = 0; i < g.nx(0); ++i) {
+          const int si = g.sx(i), sj = g.sy(j), sk = g.sz(k);
+          bool flag = false;
+          const double r = rho(si, sj, sk);
+          if (rc.baryon_mass_threshold > 0 &&
+              r * vol > rc.baryon_mass_threshold)
+            flag = true;
+          if (!flag && rc.overdensity_threshold > 0 &&
+              r > rc.overdensity_threshold)
+            flag = true;
+          if (!flag && !dm.empty() && dm(i, j, k) > rc.dm_mass_threshold)
+            flag = true;
+          if (!flag && rc.jeans_number > 0) {
+            // Comoving Jeans length: λ_J = 2π c_s sqrt(a) / sqrt(G_code ρ_c)
+            // (see hydro.hpp unit conventions).
+            const double cs2 =
+                gamma * (gamma - 1.0) * std::max(eint(si, sj, sk), 0.0);
+            const double lj =
+                2.0 * M_PI * std::sqrt(cs2 * a_ / (gc * std::max(r, 1e-300)));
+            if (dx > lj / rc.jeans_number) flag = true;
+          }
+          if (flag)
+            flags.push_back({g.box().lo[0] + i, g.box().lo[1] + j,
+                             g.box().lo[2] + k});
+        }
+
+    // Static regions pinned at child_level (§4 nested initial conditions):
+    // flag the parent cells under them.
+    for (const auto& [lvl, box] : static_regions_) {
+      if (lvl != child_level) continue;
+      const int r = cfg_.hierarchy.refine_factor;
+      mesh::IndexBox foot = box.coarsened(r).intersect(g.box());
+      for (std::int64_t k = foot.lo[2]; k < foot.hi[2]; ++k)
+        for (std::int64_t j = foot.lo[1]; j < foot.hi[1]; ++j)
+          for (std::int64_t i = foot.lo[0]; i < foot.hi[0]; ++i)
+            flags.push_back({i, j, k});
+    }
+  };
+}
+
+void Simulation::finalize_setup() {
+  ENZO_REQUIRE(!hierarchy_.grids(0).empty(), "root level not built");
+  // The unit system is typically filled in by the problem setup after
+  // construction: (re)base the cosmic clock on the final units.
+  if (cfg_.comoving) {
+    a_ = cosmology::Frw::a_of_z(cfg_.initial_redshift);
+    time_ = ext::pos_t(frw_.time_of_a(a_) / cfg_.units.time_s);
+  }
+  for (Grid* g : hierarchy_.grids(0)) {
+    g->set_time(time_);
+    g->set_old_time(time_);
+    g->store_old_fields();
+  }
+  if (cfg_.hierarchy.max_level >= 1) {
+    ct::ScopedTimer t(ct::ComponentTimers::global(),
+                      ct::ComponentTimers::kRebuild);
+    hierarchy_.rebuild(1, flagger());
+  }
+  for (int l = 1; l <= hierarchy_.deepest_level(); ++l)
+    for (Grid* g : hierarchy_.grids(l)) {
+      g->set_time(time_);
+      g->set_old_time(time_);
+    }
+  level_steps_.assign(static_cast<std::size_t>(cfg_.hierarchy.max_level) + 2,
+                      0);
+}
+
+void Simulation::restore_clock(ext::pos_t t) {
+  time_ = t;
+  update_scale_factor();
+  level_steps_.assign(static_cast<std::size_t>(cfg_.hierarchy.max_level) + 2,
+                      0);
+}
+
+cosmology::Expansion Simulation::expansion_at(double t_code) const {
+  if (!cfg_.comoving) return cosmology::Expansion::statics();
+  const double a = frw_.a_of_time(t_code * cfg_.units.time_s);
+  return {a, frw_.hubble(a) * cfg_.units.time_s};
+}
+
+chemistry::ChemUnits Simulation::chem_units() const {
+  return chemistry::ChemUnits::from(cfg_.units, a_);
+}
+
+void Simulation::update_scale_factor() {
+  if (cfg_.comoving)
+    a_ = frw_.a_of_time(ext::pos_to_double(time_) * cfg_.units.time_s);
+}
+
+double Simulation::compute_level_timestep(int level) {
+  double dt = std::numeric_limits<double>::max();
+  const cosmology::Expansion exp = expansion_at(
+      ext::pos_to_double(hierarchy_.grids(level)[0]->time()));
+  for (Grid* g : hierarchy_.grids(level)) {
+    if (cfg_.enable_hydro)
+      dt = std::min(dt, hydro::compute_timestep(*g, cfg_.hydro, exp));
+    if (cfg_.enable_particles)
+      dt = std::min(dt, nbody::particle_timestep(*g, exp.a, cfg_.hydro.cfl));
+  }
+  ENZO_REQUIRE(dt > 0 && std::isfinite(dt),
+               "non-positive timestep at level " + std::to_string(level));
+  return dt;
+}
+
+void Simulation::solve_gravity_level(int level) {
+  ct::ScopedTimer t(ct::ComponentTimers::global(),
+                    ct::ComponentTimers::kGravity);
+  // Assemble gravitating mass everywhere at/below this level, deposit
+  // particles, and push child mass down into parents.
+  for (int l = hierarchy_.deepest_level(); l >= 0; --l) {
+    gravity::begin_gravitating_mass(hierarchy_, l);
+    if (cfg_.enable_particles)
+      for (Grid* g : hierarchy_.grids(l)) nbody::deposit_particles_cic(*g);
+  }
+  gravity::restrict_gravitating_mass(hierarchy_);
+  if (level == 0)
+    gravity::solve_root_gravity(hierarchy_, cfg_.gravity, a_);
+  else
+    gravity::solve_subgrid_gravity(hierarchy_, level, cfg_.gravity, a_);
+  for (Grid* g : hierarchy_.grids(level))
+    gravity::compute_accelerations(*g, a_);
+}
+
+void Simulation::step_grids(int level, double dt,
+                            const cosmology::Expansion& exp) {
+  for (Grid* g : hierarchy_.grids(level)) {
+    g->store_old_fields();
+    if (cfg_.enable_hydro) {
+      ct::ScopedTimer t(ct::ComponentTimers::global(),
+                        ct::ComponentTimers::kHydro);
+      hydro::solve_hydro_step(*g, dt, cfg_.hydro, exp);
+    }
+    if (cfg_.enable_gravity) {
+      ct::ScopedTimer t(ct::ComponentTimers::global(),
+                        ct::ComponentTimers::kGravity);
+      hydro::apply_gravity_sources(*g, dt, cfg_.hydro);
+    }
+    if (cfg_.enable_chemistry) {
+      ct::ScopedTimer t(ct::ComponentTimers::global(),
+                        ct::ComponentTimers::kChemistry);
+      chemistry::solve_chemistry_step(*g, dt, cfg_.chemistry, chem_units());
+    }
+    if (cfg_.enable_particles) {
+      ct::ScopedTimer t(ct::ComponentTimers::global(),
+                        ct::ComponentTimers::kNbody);
+      nbody::kick_particles(*g, dt, exp.adot_over_a);
+      nbody::drift_particles(*g, dt, exp.a);
+    }
+  }
+}
+
+void Simulation::evolve_level(int level, ext::pos_t parent_time) {
+  auto level_grids = hierarchy_.grids(level);
+  if (level_grids.empty()) return;
+  // A new parent window opens: zero the boundary flux registers that the
+  // parent's flux correction will read after this level catches up.
+  if (cfg_.enable_hydro)
+    for (Grid* g : level_grids) g->reset_boundary_fluxes();
+  mesh::set_boundary_values(hierarchy_, level);
+
+  int substeps = 0;
+  while (level_grids[0]->time() < parent_time) {
+    ENZO_REQUIRE(++substeps <= cfg_.max_substeps_per_level,
+                 "too many substeps at level " + std::to_string(level));
+    level_grids = hierarchy_.grids(level);
+    const ext::pos_t t_now = level_grids[0]->time();
+    double dt = compute_level_timestep(level);
+    const double remaining = ext::pos_to_double(parent_time - t_now);
+    bool last = false;
+    if (dt >= remaining * (1.0 - 1e-12)) {
+      dt = remaining;
+      last = true;
+    }
+    if (cfg_.trace_wcycle)
+      trace_.push_back({level, ext::pos_to_double(t_now), dt});
+    if (std::getenv("ENZO_DEBUG_LEVELS")) {
+      double vmax = 0, emin = 1e300, rmax = 0;
+      for (Grid* g : level_grids) {
+        for (int d = 0; d < 3; ++d) {
+          vmax = std::max(vmax, std::abs(g->field(kVelField[d]).min()));
+          vmax = std::max(vmax, std::abs(g->field(kVelField[d]).max()));
+        }
+        emin = std::min(emin, g->field(Field::kInternalEnergy).min());
+        rmax = std::max(rmax, g->field(Field::kDensity).max());
+      }
+      std::fprintf(stderr,
+                   "[lvl %d] sub %d t=%.5f dt=%.3e vmax=%.3e emin=%.3e "
+                   "rmax=%.3e grids=%zu\n",
+                   level, substeps, ext::pos_to_double(t_now), dt, vmax, emin,
+                   rmax, level_grids.size());
+    }
+
+    const cosmology::Expansion exp =
+        expansion_at(ext::pos_to_double(t_now) + 0.5 * dt);
+
+    if (cfg_.enable_gravity) solve_gravity_level(level);
+    step_grids(level, dt, exp);
+
+    // Advance the level clock in extended precision; the final substep lands
+    // on the parent time *exactly*.
+    const ext::pos_t t_new = last ? parent_time : t_now + ext::pos_t(dt);
+    for (Grid* g : level_grids) g->set_time(t_new);
+    if (level == 0) {
+      time_ = t_new;
+      update_scale_factor();
+    }
+
+    mesh::set_boundary_values(hierarchy_, level);
+    evolve_level(level + 1, t_new);
+
+    // Flux correction + projection (§3.2.1 two-way coupling).
+    {
+      ct::ScopedTimer t(ct::ComponentTimers::global(),
+                        ct::ComponentTimers::kOther);
+      for (Grid* child : hierarchy_.grids(level + 1)) {
+        mesh::flux_correct_from_child(*child, *child->parent());
+        mesh::project_to_parent(*child, *child->parent());
+      }
+    }
+    if (cfg_.enable_particles) {
+      ct::ScopedTimer t(ct::ComponentTimers::global(),
+                        ct::ComponentTimers::kNbody);
+      nbody::redistribute_particles(hierarchy_);
+    }
+
+    // RebuildHierarchy(level+1).
+    ++level_steps_[static_cast<std::size_t>(level)];
+    if (level + 1 <= cfg_.hierarchy.max_level &&
+        level_steps_[static_cast<std::size_t>(level)] %
+                cfg_.rebuild_interval ==
+            0) {
+      ct::ScopedTimer t(ct::ComponentTimers::global(),
+                        ct::ComponentTimers::kRebuild);
+      hierarchy_.rebuild(level + 1, flagger());
+      for (int l = level + 1; l <= hierarchy_.deepest_level(); ++l)
+        for (Grid* g : hierarchy_.grids(l))
+          if (!(g->time() == t_new)) g->set_time(t_new);
+    }
+    level_grids = hierarchy_.grids(level);
+  }
+}
+
+double Simulation::advance_root_step() {
+  ENZO_REQUIRE(!hierarchy_.grids(0).empty(), "run finalize_setup() first");
+  const double dt0 = compute_level_timestep(0);
+  evolve_level(0, time_ + ext::pos_t(dt0));
+  ++root_steps_;
+  return dt0;
+}
+
+void Simulation::evolve_until(double t_stop, int max_steps) {
+  for (int s = 0; s < max_steps && time_d() < t_stop; ++s) {
+    const double dt0 = compute_level_timestep(0);
+    const double dt = std::min(dt0, t_stop - time_d());
+    evolve_level(0, time_ + ext::pos_t(dt));
+    ++root_steps_;
+  }
+}
+
+}  // namespace enzo::core

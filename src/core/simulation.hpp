@@ -1,0 +1,106 @@
+#pragma once
+// The Enzo-style driver (§3.2): the recursive EvolveLevel routine.
+//
+//   EvolveLevel(level, ParentTime):
+//     SetBoundaryValues(all grids)
+//     while (Time < ParentTime):
+//       dt = ComputeTimeStep(all grids)
+//       SolveHydroEquations(all grids, dt)      [+ gravity, chemistry, N-body]
+//       Time += dt
+//       SetBoundaryValues(all grids)
+//       EvolveLevel(level+1, Time)
+//       FluxCorrection
+//       Projection
+//       RebuildHierarchy(level+1)
+//
+// producing the multigrid-W-cycle ordering of timesteps (Fig. 2).  Times are
+// extended precision so a child level always lands on its parent's time
+// exactly, no matter how deep the hierarchy (§3.5).
+
+#include <vector>
+
+#include "core/config.hpp"
+#include "ext/position.hpp"
+
+namespace enzo::core {
+
+class Simulation {
+ public:
+  explicit Simulation(SimulationConfig cfg);
+
+  SimulationConfig& config() { return cfg_; }
+  const SimulationConfig& config() const { return cfg_; }
+  mesh::Hierarchy& hierarchy() { return hierarchy_; }
+  const mesh::Hierarchy& hierarchy() const { return hierarchy_; }
+
+  /// Build the root level (tiles_per_axis per side).  The caller then fills
+  /// the root fields/particles (see setup.hpp) and calls finalize_setup().
+  void build_root(int tiles_per_axis = 1);
+
+  /// Re-derive the (still-empty) hierarchy from the current config — needed
+  /// when a problem setup adjusted hierarchy parameters after construction
+  /// (build_root does this automatically; checkpoint loading calls it).
+  void sync_hierarchy_params();
+
+  /// Snapshot old states, set times, and run the initial rebuild cascade so
+  /// the starting hierarchy reflects the refinement criteria.
+  void finalize_setup();
+
+  /// Pin a region (box in that level's index space) as permanently refined —
+  /// the §4 "additional levels of static meshes" for nested initial
+  /// conditions.
+  void add_static_region(int level, const mesh::IndexBox& box);
+
+  /// Advance by exactly one root-grid timestep (the whole W-cycle beneath).
+  double advance_root_step();
+
+  /// Advance until code time t_stop (or max_steps root steps).
+  void evolve_until(double t_stop, int max_steps = 1 << 20);
+
+  // ---- state ---------------------------------------------------------------
+  ext::pos_t time() const { return time_; }
+  double time_d() const { return ext::pos_to_double(time_); }
+  double scale_factor() const { return a_; }
+  double redshift() const { return 1.0 / a_ - 1.0; }
+  long root_steps_taken() const { return root_steps_; }
+
+  /// Restore the clock after loading a checkpoint (code-time units); also
+  /// re-derives the scale factor and resets per-level step counters.
+  void restore_clock(ext::pos_t t);
+
+  /// Expansion state at a given code time.
+  cosmology::Expansion expansion_at(double t_code) const;
+  /// Chemistry unit conversions at the current scale factor.
+  chemistry::ChemUnits chem_units() const;
+
+  /// Fig. 2 trace: the order in which (level, t → t+dt) steps were taken.
+  struct WcycleEvent {
+    int level;
+    double t0;
+    double dt;
+  };
+  const std::vector<WcycleEvent>& trace() const { return trace_; }
+  void clear_trace() { trace_.clear(); }
+
+  /// The refinement-criteria flagger (exposed for tests/benches).
+  mesh::Hierarchy::FlagFn flagger();
+
+ private:
+  void evolve_level(int level, ext::pos_t parent_time);
+  double compute_level_timestep(int level);
+  void solve_gravity_level(int level);
+  void step_grids(int level, double dt, const cosmology::Expansion& exp);
+  void update_scale_factor();
+
+  SimulationConfig cfg_;
+  mesh::Hierarchy hierarchy_;
+  cosmology::Frw frw_;
+  ext::pos_t time_{0.0};
+  double a_ = 1.0;
+  long root_steps_ = 0;
+  std::vector<std::pair<int, mesh::IndexBox>> static_regions_;
+  std::vector<long> level_steps_;  ///< per-level step counters (rebuild cadence)
+  std::vector<WcycleEvent> trace_;
+};
+
+}  // namespace enzo::core

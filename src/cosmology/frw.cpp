@@ -1,0 +1,128 @@
+#include "cosmology/frw.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace enzo::cosmology {
+
+Frw::Frw(FrwParameters p) : p_(p) {
+  ENZO_REQUIRE(p_.hubble > 0 && p_.omega_matter > 0, "bad FRW parameters");
+  build_table();
+}
+
+double Frw::big_e(double a) const {
+  ENZO_REQUIRE(a > 0, "big_e: a must be positive");
+  const double ok = omega_curvature();
+  return std::sqrt(p_.omega_matter / (a * a * a) + ok / (a * a) +
+                   p_.omega_lambda);
+}
+
+namespace {
+/// Adaptive Simpson quadrature, absolute tolerance.
+template <typename F>
+double simpson(F f, double a, double b, double fa, double fm, double fb,
+               double tol, int depth) {
+  const double m = 0.5 * (a + b);
+  const double lm = 0.5 * (a + m), rm = 0.5 * (m + b);
+  const double flm = f(lm), frm = f(rm);
+  const double whole = (b - a) / 6.0 * (fa + 4 * fm + fb);
+  const double left = (m - a) / 6.0 * (fa + 4 * flm + fm);
+  const double right = (b - m) / 6.0 * (fm + 4 * frm + fb);
+  if (depth <= 0 || std::abs(left + right - whole) < 15 * tol)
+    return left + right + (left + right - whole) / 15.0;
+  return simpson(f, a, m, fa, flm, fm, tol / 2, depth - 1) +
+         simpson(f, m, b, fm, frm, fb, tol / 2, depth - 1);
+}
+
+template <typename F>
+double integrate(F f, double a, double b, double tol = 1e-12) {
+  if (a == b) return 0.0;
+  const double m = 0.5 * (a + b);
+  return simpson(f, a, b, f(a), f(m), f(b), tol, 40);
+}
+}  // namespace
+
+double Frw::time_of_a(double a) const {
+  // t(a) = ∫_0^a da' / (a' H(a')).  Near a'→0 the integrand ~ a'^{1/2} for a
+  // matter-dominated era, so substitute a' = u² to regularize.
+  const double h0 = hubble0();
+  auto integrand = [&](double u) {
+    const double aa = u * u;
+    if (aa <= 0) return 0.0;
+    return 2.0 * u / (aa * h0 * big_e(aa));
+  };
+  return integrate(integrand, 0.0, std::sqrt(a), 1e-10 / h0);
+}
+
+void Frw::build_table() {
+  // Log-spaced in a from deep in the matter era to a bit past today.
+  const int n = 2048;
+  const double a_min = 1e-5, a_max = 2.0;
+  tab_a_.resize(n);
+  tab_t_.resize(n);
+  for (int i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i) / (n - 1);
+    tab_a_[i] = a_min * std::pow(a_max / a_min, x);
+    tab_t_[i] = time_of_a(tab_a_[i]);
+  }
+}
+
+double Frw::a_of_time(double t) const {
+  ENZO_REQUIRE(t > 0, "a_of_time: t must be positive");
+  // Bracket in the table, then Newton with da/dt = a H(a).
+  auto it = std::lower_bound(tab_t_.begin(), tab_t_.end(), t);
+  double a;
+  if (it == tab_t_.begin()) {
+    // Early matter era: a ∝ t^{2/3}.
+    a = tab_a_.front() * std::pow(t / tab_t_.front(), 2.0 / 3.0);
+  } else if (it == tab_t_.end()) {
+    a = tab_a_.back();
+  } else {
+    const std::size_t i = static_cast<std::size_t>(it - tab_t_.begin());
+    const double w = (t - tab_t_[i - 1]) / (tab_t_[i] - tab_t_[i - 1]);
+    a = tab_a_[i - 1] * std::pow(tab_a_[i] / tab_a_[i - 1], w);
+  }
+  for (int iter = 0; iter < 8; ++iter) {
+    const double f = time_of_a(a) - t;
+    const double dfda = 1.0 / (a * hubble(a));
+    const double da = -f / dfda;
+    a += da;
+    if (std::abs(da) < 1e-14 * a) break;
+  }
+  return a;
+}
+
+double Frw::mean_matter_density(double a) const {
+  return comoving_matter_density() / (a * a * a);
+}
+
+double Frw::comoving_matter_density() const {
+  return p_.omega_matter * constants::kRhoCrit0 * p_.hubble * p_.hubble;
+}
+
+double Frw::growth_factor(double a) const {
+  // D(a) ∝ H(a) ∫_0^a da' / (a' H(a'))³, normalized to D(1) = 1.
+  const double h0 = hubble0();
+  auto integrand = [&](double u) {
+    // substitute a' = u² again for the a'→0 end.
+    const double aa = u * u;
+    if (aa <= 0) return 0.0;
+    const double ahe = aa * h0 * big_e(aa);
+    return 2.0 * u * std::pow(h0, 3) / (ahe * ahe * ahe);
+  };
+  auto unnormalized = [&](double aa) {
+    return big_e(aa) * integrate(integrand, 0.0, std::sqrt(aa), 1e-12);
+  };
+  return unnormalized(a) / unnormalized(1.0);
+}
+
+double Frw::growth_rate(double a) const {
+  const double eps = 1e-4;
+  const double d1 = growth_factor(a * (1 - eps));
+  const double d2 = growth_factor(a * (1 + eps));
+  return (std::log(d2) - std::log(d1)) / (2 * eps);
+}
+
+}  // namespace enzo::cosmology

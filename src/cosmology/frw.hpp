@@ -1,0 +1,77 @@
+#pragma once
+// Friedmann–Robertson–Walker background cosmology.
+//
+// The simulation is "carried out in a proper expanding cosmological
+// background spacetime" (§1): all solvers take the scale factor a(t) and the
+// expansion rate ȧ/a from this class.  We integrate the Friedmann equation
+//
+//     (ȧ/a)² = H0² [ Ω_m a⁻³ + Ω_k a⁻² + Ω_Λ ]
+//
+// for a matter + curvature + Λ universe ("standard CDM" in the paper is
+// Ω_m = 1, Ω_Λ = 0, h ≈ 0.5, σ8 ≈ 0.7 [16]).  a(t) is tabulated once over
+// the run's range and interpolated, since EvolveLevel queries it every
+// subgrid timestep.
+
+#include <vector>
+
+#include "util/constants.hpp"
+
+namespace enzo::cosmology {
+
+struct FrwParameters {
+  double hubble = 0.5;        ///< h  (H0 = 100 h km/s/Mpc)
+  double omega_matter = 1.0;  ///< Ω_m (CDM + baryons)
+  double omega_baryon = 0.06; ///< Ω_b ⊂ Ω_m
+  double omega_lambda = 0.0;  ///< Ω_Λ
+  double sigma8 = 0.7;        ///< power-spectrum normalization
+  double spectral_index = 1.0;  ///< primordial n_s
+};
+
+class Frw {
+ public:
+  explicit Frw(FrwParameters p = {});
+
+  const FrwParameters& params() const { return p_; }
+
+  /// H0 in s^-1.
+  double hubble0() const { return p_.hubble * constants::kHubble100; }
+  double omega_curvature() const {
+    return 1.0 - p_.omega_matter - p_.omega_lambda;
+  }
+
+  /// Dimensionless expansion rate E(a) = H(a)/H0.
+  double big_e(double a) const;
+  /// H(a) in s^-1.
+  double hubble(double a) const { return hubble0() * big_e(a); }
+
+  /// Cosmic time since the big bang at scale factor a, in seconds.
+  double time_of_a(double a) const;
+  /// Inverse of time_of_a via the precomputed table + Newton polish.
+  double a_of_time(double t_seconds) const;
+
+  static double a_of_z(double z) { return 1.0 / (1.0 + z); }
+  static double z_of_a(double a) { return 1.0 / a - 1.0; }
+
+  /// Proper mean matter density at scale factor a (g/cm^3).
+  double mean_matter_density(double a) const;
+  /// Comoving mean matter density (g/cm^3, constant).
+  double comoving_matter_density() const;
+
+  /// CMB temperature at scale factor a (K).
+  static double cmb_temperature(double a) {
+    return constants::kTcmb0 / a;
+  }
+
+  /// Linear growth factor, normalized D(a=1)=1.
+  double growth_factor(double a) const;
+  /// Logarithmic growth rate f = dlnD/dlna.
+  double growth_rate(double a) const;
+
+ private:
+  void build_table();
+  FrwParameters p_;
+  // Table of (a, t) pairs for fast inversion.
+  std::vector<double> tab_a_, tab_t_;
+};
+
+}  // namespace enzo::cosmology

@@ -1,0 +1,60 @@
+#include "cosmology/power_spectrum.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace enzo::cosmology {
+
+PowerSpectrum::PowerSpectrum(const Frw& frw) : p_(frw.params()) {
+  gamma_ = p_.omega_matter * p_.hubble;
+  ENZO_REQUIRE(gamma_ > 0, "power spectrum: bad shape parameter");
+  amplitude_ = 1.0;
+  const double r8 = 8.0 / p_.hubble;  // 8 h^-1 Mpc in Mpc
+  const double s = sigma(r8);
+  amplitude_ = p_.sigma8 * p_.sigma8 / (s * s);
+}
+
+double PowerSpectrum::transfer(double k) const {
+  // BBKS fit.  q = k / (Γ h) with k in h Mpc^-1, equivalently
+  // q = k_Mpc / (Ω_m h²) with k in Mpc^-1.
+  const double q = k / (gamma_ * p_.hubble);
+  if (q < 1e-12) return 1.0;
+  const double poly = 1.0 + 3.89 * q + std::pow(16.1 * q, 2) +
+                      std::pow(5.46 * q, 3) + std::pow(6.71 * q, 4);
+  return std::log(1.0 + 2.34 * q) / (2.34 * q) * std::pow(poly, -0.25);
+}
+
+double PowerSpectrum::unnormalized(double k) const {
+  const double t = transfer(k);
+  return std::pow(k, p_.spectral_index) * t * t;
+}
+
+double PowerSpectrum::operator()(double k) const {
+  if (k <= 0) return 0.0;
+  return amplitude_ * unnormalized(k);
+}
+
+double PowerSpectrum::sigma(double r) const {
+  // σ²(R) = 1/(2π²) ∫ k² P(k) W²(kR) dk, W the spherical top hat.
+  // Integrate in ln k over a generous range with Simpson's rule.
+  auto window = [](double x) {
+    if (x < 1e-4) return 1.0 - x * x / 10.0;
+    return 3.0 * (std::sin(x) - x * std::cos(x)) / (x * x * x);
+  };
+  const double lk_min = std::log(1e-5), lk_max = std::log(1e4 / r);
+  const int n = 4096;  // even
+  const double h = (lk_max - lk_min) / n;
+  double sum = 0.0;
+  for (int i = 0; i <= n; ++i) {
+    const double k = std::exp(lk_min + i * h);
+    const double w = window(k * r);
+    const double f = k * k * k * amplitude_ * unnormalized(k) * w * w;
+    const double coef = (i == 0 || i == n) ? 1.0 : (i % 2 ? 4.0 : 2.0);
+    sum += coef * f;
+  }
+  sum *= h / 3.0;
+  return std::sqrt(sum / (2.0 * M_PI * M_PI));
+}
+
+}  // namespace enzo::cosmology

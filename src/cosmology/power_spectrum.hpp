@@ -1,0 +1,38 @@
+#pragma once
+// CDM linear power spectrum.
+//
+// §2.1: the "standard CDM" model's mean density and power spectrum P(k) are
+// the calculable inputs; the rms fluctuations diverge logarithmically toward
+// small scales, driving bottom-up hierarchical collapse.  We implement the
+// classic BBKS (Bardeen, Bond, Kaiser & Szalay 1986) transfer function with
+// primordial slope n_s and top-hat σ8 normalization — the standard choice for
+// 2001-era "standard CDM" initial conditions.
+
+#include "cosmology/frw.hpp"
+
+namespace enzo::cosmology {
+
+class PowerSpectrum {
+ public:
+  /// Builds and normalizes to frw.params().sigma8 at R = 8/h Mpc.
+  explicit PowerSpectrum(const Frw& frw);
+
+  /// BBKS transfer function; k in comoving Mpc^-1 (not h/Mpc).
+  double transfer(double k_invmpc) const;
+
+  /// Linear power spectrum today, P(k) in comoving Mpc³; k in Mpc^-1.
+  double operator()(double k_invmpc) const;
+
+  /// rms of top-hat-filtered density field at radius R (comoving Mpc).
+  double sigma(double r_mpc) const;
+
+  double amplitude() const { return amplitude_; }
+
+ private:
+  double unnormalized(double k) const;
+  FrwParameters p_;
+  double gamma_;      ///< shape parameter Ω_m h
+  double amplitude_;  ///< normalization A in P = A k^n T²
+};
+
+}  // namespace enzo::cosmology

@@ -1,0 +1,77 @@
+#pragma once
+// Code unit system (comoving, Enzo-style).
+//
+// Code coordinates x ∈ [0,1)³ are comoving across the root domain; code
+// density is comoving density in units of the mean matter density; peculiar
+// velocity carries the unit length_cm/time_s independent of a.  The code
+// time unit is chosen so that the comoving Poisson equation reads
+//
+//     ∇²_x φ = (G_code / a) (ρ_code − ρ̄_code),   G_code = 4πG ρ_unit t_unit²,
+//
+// and for cosmological units (t_unit = 1/sqrt(4πG ρ̄_comoving)) G_code = 1.
+// Non-cosmological test problems use CodeUnits::simple(), which sets a = 1
+// and an arbitrary G_code.
+
+#include <cmath>
+
+#include "cosmology/frw.hpp"
+#include "util/constants.hpp"
+
+namespace enzo::cosmology {
+
+struct CodeUnits {
+  double length_cm = 1.0;    ///< comoving cm per code length (the box size)
+  double density_cgs = 1.0;  ///< comoving g/cm³ per code density
+  double time_s = 1.0;       ///< seconds per code time
+  double grav_const_code = 1.0;  ///< 4πG in code units (see above)
+  bool comoving = false;     ///< true when built from a cosmology
+
+  /// Cosmological units for a comoving box of size box_cm.
+  static CodeUnits cosmological(const Frw& frw, double box_comoving_cm) {
+    CodeUnits u;
+    u.length_cm = box_comoving_cm;
+    u.density_cgs = frw.comoving_matter_density();
+    u.time_s = 1.0 / std::sqrt(4.0 * M_PI * constants::kGravity *
+                               u.density_cgs);
+    u.grav_const_code = 1.0;
+    u.comoving = true;
+    return u;
+  }
+
+  /// Plain (static-space) units; G_code = 4πG in the chosen unit system.
+  static CodeUnits simple(double grav_const_code = 1.0) {
+    CodeUnits u;
+    u.grav_const_code = grav_const_code;
+    u.comoving = false;
+    return u;
+  }
+
+  double velocity_cgs() const { return length_cm / time_s; }
+
+  /// Proper mass density in g/cm³ from code density at scale factor a.
+  double proper_density(double rho_code, double a) const {
+    return rho_code * density_cgs / (a * a * a);
+  }
+
+  /// Kelvin per unit of (specific internal energy × μ) in code units:
+  /// T = temperature_factor() * (γ-1) * μ * e_code.
+  double temperature_factor() const {
+    const double v2 = velocity_cgs() * velocity_cgs();
+    return constants::kHydrogenMass * v2 / constants::kBoltzmann;
+  }
+
+  /// Code mass unit in grams (density × volume).
+  double mass_g() const {
+    return density_cgs * length_cm * length_cm * length_cm;
+  }
+};
+
+/// Expansion state handed to the solvers each (sub)step.  For static
+/// problems a = 1, adot/a = 0 and every solver reduces to standard Euler.
+struct Expansion {
+  double a = 1.0;            ///< scale factor at the half-time of the step
+  double adot_over_a = 0.0;  ///< ȧ/a in code-time units
+  static Expansion statics() { return {}; }
+};
+
+}  // namespace enzo::cosmology

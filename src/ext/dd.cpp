@@ -1,0 +1,86 @@
+#include "ext/dd.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace enzo::ext {
+
+std::string to_string(dd a, int digits) {
+  if (a.hi == 0.0 && a.lo == 0.0) return "0";
+  if (!a.is_finite()) return "nan";
+  std::string out;
+  dd v = a;
+  if (v < dd(0.0)) {
+    out += '-';
+    v = -v;
+  }
+  // Scale into [1, 10).
+  int exp10 = 0;
+  const dd ten(10.0);
+  while (v >= ten) {
+    v /= ten;
+    ++exp10;
+  }
+  while (v < dd(1.0)) {
+    v *= ten;
+    --exp10;
+  }
+  std::string mant;
+  for (int i = 0; i < digits; ++i) {
+    int digit = static_cast<int>(std::floor(v.hi));
+    if (digit < 0) digit = 0;
+    if (digit > 9) digit = 9;
+    mant += static_cast<char>('0' + digit);
+    v = (v - dd(static_cast<double>(digit))) * ten;
+  }
+  out += mant.substr(0, 1);
+  out += '.';
+  out += mant.substr(1);
+  out += 'e';
+  out += std::to_string(exp10);
+  return out;
+}
+
+dd dd_from_string(const std::string& s) {
+  std::size_t i = 0;
+  auto peek = [&]() -> int { return i < s.size() ? s[i] : -1; };
+  bool neg = false;
+  if (peek() == '+' || peek() == '-') neg = (s[i++] == '-');
+  dd value(0.0);
+  const dd ten(10.0);
+  bool any = false;
+  while (std::isdigit(peek())) {
+    value = value * ten + dd(static_cast<double>(s[i++] - '0'));
+    any = true;
+  }
+  int frac_digits = 0;
+  if (peek() == '.') {
+    ++i;
+    while (std::isdigit(peek())) {
+      value = value * ten + dd(static_cast<double>(s[i++] - '0'));
+      ++frac_digits;
+      any = true;
+    }
+  }
+  ENZO_REQUIRE(any, "dd_from_string: no digits in '" + s + "'");
+  int exp10 = -frac_digits;
+  if (peek() == 'e' || peek() == 'E') {
+    ++i;
+    bool eneg = false;
+    if (peek() == '+' || peek() == '-') eneg = (s[i++] == '-');
+    int e = 0;
+    ENZO_REQUIRE(std::isdigit(peek()), "dd_from_string: bad exponent in '" + s + "'");
+    while (std::isdigit(peek())) e = e * 10 + (s[i++] - '0');
+    exp10 += eneg ? -e : e;
+  }
+  if (exp10 > 0) value = value * powi(ten, exp10);
+  if (exp10 < 0) value = value / powi(ten, -exp10);
+  return neg ? -value : value;
+}
+
+std::ostream& operator<<(std::ostream& os, dd a) { return os << to_string(a); }
+
+}  // namespace enzo::ext

@@ -1,0 +1,220 @@
+#pragma once
+// Double–double extended precision arithmetic (EPA).
+//
+// §3.5 of the paper: at SDR ~ 1e12 the code must distinguish positions x and
+// x + Δx with Δx/x ~ 1e-12, and in practice needs ~100× more precision than
+// that because of intermediate arithmetic — i.e. ≥ 1e-14, beyond IEEE double.
+// Native 128-bit floating point was patchy in 2001 (30× slower on the
+// Origin2000; a special compiler flag on the SP2); the paper points to
+// Bailey-style software multiprecision built from 64-bit hardware ops as the
+// portable alternative.  This is that alternative: an unevaluated sum of two
+// doubles (hi + lo with |lo| <= ulp(hi)/2) giving a ~106-bit mantissa
+// (~32 decimal digits), built on the classical error-free transforms
+// (Knuth TwoSum, FMA-based TwoProd).
+//
+// Usage discipline mirrors the paper: only *absolute* positions and times are
+// dd; everything O(Δx) (field data, fluxes, relative offsets) stays double.
+// That keeps the high-precision share of the op count at the few-percent
+// level the paper reports.
+//
+// IMPORTANT: these algorithms require strict IEEE semantics — targets linking
+// enzo_ext inherit -fno-fast-math from the build system.
+
+#include <cmath>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace enzo::ext {
+
+struct dd;
+constexpr dd operator+(dd a, dd b);
+constexpr dd operator-(dd a, dd b);
+constexpr dd operator*(dd a, dd b);
+dd operator/(dd a, dd b);
+
+namespace eft {
+/// Error-free: a + b = s + err exactly, assuming |a| >= |b|.
+constexpr void quick_two_sum(double a, double b, double& s, double& err) {
+  s = a + b;
+  err = b - (s - a);
+}
+/// Error-free: a + b = s + err exactly (Knuth; no magnitude assumption).
+constexpr void two_sum(double a, double b, double& s, double& err) {
+  s = a + b;
+  const double bb = s - a;
+  err = (a - (s - bb)) + (b - bb);
+}
+/// Error-free: a * b = p + err exactly (requires FMA or is emulated by it).
+inline void two_prod(double a, double b, double& p, double& err) {
+  p = a * b;
+  err = std::fma(a, b, -p);
+}
+}  // namespace eft
+
+/// Double–double number: value is hi + lo, non-overlapping.
+struct dd {
+  double hi = 0.0;
+  double lo = 0.0;
+
+  constexpr dd() = default;
+  constexpr dd(double h) : hi(h), lo(0.0) {}  // NOLINT: implicit by design
+  constexpr dd(double h, double l) : hi(h), lo(l) {}
+
+  /// Construct from an exact integer (all int64 are representable).
+  static constexpr dd from_int(std::int64_t n) {
+    // Split into two halves so that each is exactly representable.
+    const double hi = static_cast<double>(n);
+    const double lo = static_cast<double>(n - static_cast<std::int64_t>(hi));
+    return dd(hi, lo);
+  }
+
+  constexpr explicit operator double() const { return hi; }
+  constexpr double to_double() const { return hi + lo; }
+
+  constexpr dd operator-() const { return dd(-hi, -lo); }
+
+  constexpr dd& operator+=(dd b) { return *this = *this + b; }
+  constexpr dd& operator-=(dd b) { return *this = *this - b; }
+  constexpr dd& operator*=(dd b) { return *this = *this * b; }
+  dd& operator/=(dd b) { return *this = *this / b; }
+
+  bool is_finite() const { return std::isfinite(hi) && std::isfinite(lo); }
+
+  /// Machine epsilon of the format: 2^-104.
+  static constexpr double epsilon() { return 4.93038065763132e-32; }
+};
+
+// ---- addition / subtraction -------------------------------------------------
+
+constexpr dd operator+(dd a, dd b) {
+  double s1, s2, t1, t2;
+  eft::two_sum(a.hi, b.hi, s1, s2);
+  eft::two_sum(a.lo, b.lo, t1, t2);
+  s2 += t1;
+  eft::quick_two_sum(s1, s2, s1, s2);
+  s2 += t2;
+  eft::quick_two_sum(s1, s2, s1, s2);
+  return dd(s1, s2);
+}
+
+constexpr dd operator-(dd a, dd b) { return a + (-b); }
+
+// ---- multiplication ---------------------------------------------------------
+
+inline dd mul(dd a, dd b) {
+  double p1, p2;
+  eft::two_prod(a.hi, b.hi, p1, p2);
+  p2 += a.hi * b.lo + a.lo * b.hi;
+  double s1, s2;
+  eft::quick_two_sum(p1, p2, s1, s2);
+  return dd(s1, s2);
+}
+
+// constexpr-friendly wrapper: std::fma is not constexpr pre-C++23, so the
+// constant-evaluated branch multiplies exactly via Dekker splitting.
+namespace eft {
+constexpr void two_prod_dekker(double a, double b, double& p, double& err) {
+  constexpr double split = 134217729.0;  // 2^27 + 1
+  p = a * b;
+  const double ca = split * a;
+  const double ahi = ca - (ca - a);
+  const double alo = a - ahi;
+  const double cb = split * b;
+  const double bhi = cb - (cb - b);
+  const double blo = b - bhi;
+  err = ((ahi * bhi - p) + ahi * blo + alo * bhi) + alo * blo;
+}
+}  // namespace eft
+
+constexpr dd operator*(dd a, dd b) {
+  double p1, p2;
+  eft::two_prod_dekker(a.hi, b.hi, p1, p2);
+  p2 += a.hi * b.lo + a.lo * b.hi;
+  double s1, s2;
+  eft::quick_two_sum(p1, p2, s1, s2);
+  return dd(s1, s2);
+}
+
+// ---- division ---------------------------------------------------------------
+
+inline dd operator/(dd a, dd b) {
+  // Long division with two Newton-style correction terms.
+  const double q1 = a.hi / b.hi;
+  dd r = a - mul(dd(q1), b);
+  const double q2 = r.hi / b.hi;
+  r = r - mul(dd(q2), b);
+  const double q3 = r.hi / b.hi;
+  double s1, s2;
+  eft::quick_two_sum(q1, q2, s1, s2);
+  dd q(s1, s2);
+  return q + dd(q3);
+}
+
+// ---- comparisons ------------------------------------------------------------
+
+constexpr bool operator==(dd a, dd b) { return a.hi == b.hi && a.lo == b.lo; }
+constexpr bool operator!=(dd a, dd b) { return !(a == b); }
+constexpr bool operator<(dd a, dd b) {
+  return a.hi < b.hi || (a.hi == b.hi && a.lo < b.lo);
+}
+constexpr bool operator>(dd a, dd b) { return b < a; }
+constexpr bool operator<=(dd a, dd b) { return !(b < a); }
+constexpr bool operator>=(dd a, dd b) { return !(a < b); }
+
+// ---- functions ---------------------------------------------------------------
+
+inline dd abs(dd a) { return a.hi < 0.0 || (a.hi == 0.0 && a.lo < 0.0) ? -a : a; }
+
+inline dd sqrt(dd a) {
+  // Karp & Markstein: one Newton step on the double-precision estimate.
+  if (a.hi == 0.0 && a.lo == 0.0) return dd(0.0);
+  const double x = 1.0 / std::sqrt(a.hi);
+  const double ax = a.hi * x;
+  const dd axdd(ax);
+  const dd err = a - axdd * axdd;
+  return axdd + dd(err.hi * (x * 0.5));
+}
+
+/// Largest integer <= a, exact.
+inline dd floor(dd a) {
+  const double fh = std::floor(a.hi);
+  if (fh != a.hi) return dd(fh);
+  // hi already integral: floor acts on lo.
+  double s, e;
+  eft::quick_two_sum(fh, std::floor(a.lo), s, e);
+  return dd(s, e);
+}
+
+/// a - floor(a/b)*b, for periodic wrapping of positions into [0, b).
+inline dd fmod_pos(dd a, dd b) {
+  dd r = a - floor(a / b) * b;
+  // Guard against boundary rounding.
+  if (r < dd(0.0)) r += b;
+  if (r >= b) r -= b;
+  return r;
+}
+
+inline dd fma(dd a, dd b, dd c) { return a * b + c; }
+
+/// Power with integer exponent (exact repeated squaring).
+inline dd powi(dd a, int n) {
+  if (n < 0) return dd(1.0) / powi(a, -n);
+  dd result(1.0), base = a;
+  while (n > 0) {
+    if (n & 1) result = result * base;
+    base = base * base;
+    n >>= 1;
+  }
+  return result;
+}
+
+/// ~32 significant digit decimal rendering (sufficient for round-tripping).
+std::string to_string(dd a, int digits = 32);
+
+/// Parse a decimal string exactly into dd (digit-by-digit accumulation).
+dd dd_from_string(const std::string& s);
+
+std::ostream& operator<<(std::ostream& os, dd a);
+
+}  // namespace enzo::ext

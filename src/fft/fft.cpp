@@ -1,0 +1,138 @@
+#include "fft/fft.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/flops.hpp"
+
+namespace enzo::fft {
+
+namespace {
+
+// Twiddle/bit-reversal tables are cached per transform length; root grids
+// use a handful of sizes per run so this is a clean win.
+struct Plan {
+  int n = 0;
+  std::vector<int> bitrev;
+  std::vector<cplx> w;  // forward twiddles e^{-2 pi i k / n}, k < n/2
+};
+
+const Plan& plan_for(int n) {
+  thread_local std::vector<Plan> cache;
+  for (const Plan& p : cache)
+    if (p.n == n) return p;
+  Plan p;
+  p.n = n;
+  p.bitrev.resize(n);
+  int log2n = 0;
+  while ((1 << log2n) < n) ++log2n;
+  for (int i = 0; i < n; ++i) {
+    int r = 0;
+    for (int b = 0; b < log2n; ++b)
+      if (i & (1 << b)) r |= 1 << (log2n - 1 - b);
+    p.bitrev[i] = r;
+  }
+  p.w.resize(n / 2);
+  for (int k = 0; k < n / 2; ++k) {
+    const double ang = -2.0 * M_PI * k / n;
+    p.w[k] = cplx(std::cos(ang), std::sin(ang));
+  }
+  cache.push_back(std::move(p));
+  return cache.back();
+}
+
+}  // namespace
+
+void fft_inplace(cplx* data, int n, bool inverse) {
+  ENZO_REQUIRE(is_pow2(n), "fft length must be a power of two");
+  if (n == 1) return;
+  const Plan& p = plan_for(n);
+  for (int i = 0; i < n; ++i) {
+    const int j = p.bitrev[i];
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  for (int len = 2; len <= n; len <<= 1) {
+    const int half = len >> 1;
+    const int step = n / len;
+    for (int i = 0; i < n; i += len) {
+      for (int k = 0; k < half; ++k) {
+        cplx w = p.w[k * step];
+        if (inverse) w = std::conj(w);
+        const cplx u = data[i + k];
+        const cplx t = w * data[i + k + half];
+        data[i + k] = u + t;
+        data[i + k + half] = u - t;
+      }
+    }
+  }
+}
+
+void fft(std::vector<cplx>& v, bool inverse) {
+  fft_inplace(v.data(), static_cast<int>(v.size()), inverse);
+  if (inverse) {
+    const double norm = 1.0 / static_cast<double>(v.size());
+    for (cplx& c : v) c *= norm;
+  }
+}
+
+void fft3(util::Array3<cplx>& a, bool inverse) {
+  const int nx = a.nx(), ny = a.ny(), nz = a.nz();
+  int log2_total = 0;
+  for (int n : {nx, ny, nz}) {
+    ENZO_REQUIRE(n == 1 || is_pow2(n), "fft3 extents must be powers of two");
+    while ((1 << log2_total) < n && n > 1) ++log2_total;
+  }
+
+  std::vector<cplx> pencil;
+  // x pencils (stride 1).
+  if (nx > 1) {
+    for (int k = 0; k < nz; ++k)
+      for (int j = 0; j < ny; ++j) fft_inplace(&a(0, j, k), nx, inverse);
+  }
+  // y pencils.
+  if (ny > 1) {
+    pencil.resize(ny);
+    for (int k = 0; k < nz; ++k)
+      for (int i = 0; i < nx; ++i) {
+        for (int j = 0; j < ny; ++j) pencil[j] = a(i, j, k);
+        fft_inplace(pencil.data(), ny, inverse);
+        for (int j = 0; j < ny; ++j) a(i, j, k) = pencil[j];
+      }
+  }
+  // z pencils.
+  if (nz > 1) {
+    pencil.resize(nz);
+    for (int j = 0; j < ny; ++j)
+      for (int i = 0; i < nx; ++i) {
+        for (int k = 0; k < nz; ++k) pencil[k] = a(i, j, k);
+        fft_inplace(pencil.data(), nz, inverse);
+        for (int k = 0; k < nz; ++k) a(i, j, k) = pencil[k];
+      }
+  }
+  if (inverse) {
+    const double norm =
+        1.0 / (static_cast<double>(nx) * static_cast<double>(ny) * nz);
+    for (cplx& c : a) c *= norm;
+  }
+  int log2n = 0;
+  for (std::size_t t = a.size(); t > 1; t >>= 1) ++log2n;
+  util::FlopCounter::global().add(
+      "fft", util::flop_cost::kFftPerPointLog2 * a.size() * log2n);
+}
+
+util::Array3<cplx> fft3_real(const util::Array3<double>& a) {
+  util::Array3<cplx> out(a.nx(), a.ny(), a.nz());
+  for (std::size_t n = 0; n < a.size(); ++n) out.data()[n] = a.data()[n];
+  fft3(out, /*inverse=*/false);
+  return out;
+}
+
+util::Array3<double> ifft3_real(const util::Array3<cplx>& spec) {
+  util::Array3<cplx> tmp = spec;
+  fft3(tmp, /*inverse=*/true);
+  util::Array3<double> out(spec.nx(), spec.ny(), spec.nz());
+  for (std::size_t n = 0; n < out.size(); ++n) out.data()[n] = tmp.data()[n].real();
+  return out;
+}
+
+}  // namespace enzo::fft

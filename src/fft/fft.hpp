@@ -1,0 +1,45 @@
+#pragma once
+// Radix-2 FFT used by the root-grid Poisson solver and the Gaussian random
+// field initial-condition generator.
+//
+// The paper solves Poisson's equation on the (periodic) root grid with an
+// FFT (§3.3).  Root-grid sizes in cosmology are powers of two, so an
+// iterative radix-2 Cooley–Tukey transform is all that is required; we
+// implement it from scratch (no external FFT dependency) with a precomputed
+// bit-reversal permutation and twiddle tables per size.
+
+#include <complex>
+#include <vector>
+
+#include "util/array3.hpp"
+
+namespace enzo::fft {
+
+using cplx = std::complex<double>;
+
+/// True if n is a positive power of two.
+constexpr bool is_pow2(int n) { return n > 0 && (n & (n - 1)) == 0; }
+
+/// In-place complex FFT of length n (power of two).  inverse=true applies the
+/// conjugate transform *without* the 1/n normalization; callers normalize.
+void fft_inplace(cplx* data, int n, bool inverse);
+
+/// Convenience: forward/inverse transform of a vector (inverse normalizes).
+void fft(std::vector<cplx>& v, bool inverse);
+
+/// 3-d in-place complex FFT on an Array3 (each extent a power of two;
+/// extents of 1 are skipped, so 1-d/2-d arrays work transparently).
+/// inverse=true applies the conjugate transform and divides by nx*ny*nz.
+void fft3(util::Array3<cplx>& a, bool inverse);
+
+/// Forward transform of a real field into a full complex spectrum.
+util::Array3<cplx> fft3_real(const util::Array3<double>& a);
+
+/// Inverse transform of a spectrum back to its real part.
+util::Array3<double> ifft3_real(const util::Array3<cplx>& spec);
+
+/// Wavenumber index helper: FFT bin m of size n maps to signed frequency
+/// m <= n/2 ? m : m - n (units of fundamental 2*pi/L handled by caller).
+constexpr int freq_index(int m, int n) { return m <= n / 2 ? m : m - n; }
+
+}  // namespace enzo::fft

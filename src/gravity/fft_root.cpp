@@ -1,0 +1,83 @@
+// Root-grid Poisson solve (§3.3): assemble the level-0 gravitating mass into
+// a single periodic array, FFT, multiply by the Green function of the
+// 7-point discrete Laplacian (so root and multigrid levels share the same
+// operator), inverse FFT, and scatter the potential back to the root tiles
+// with a periodic ghost layer.
+
+#include <cmath>
+
+#include "fft/fft.hpp"
+#include "gravity/gravity.hpp"
+#include "util/error.hpp"
+
+namespace enzo::gravity {
+
+void solve_root_gravity(mesh::Hierarchy& h, const GravityParams& p,
+                        double a) {
+  auto roots = h.grids(0);
+  ENZO_REQUIRE(!roots.empty(), "no root grids");
+  ENZO_REQUIRE(h.params().periodic, "FFT root solve requires a periodic box");
+  const mesh::Index3 dims = h.level_dims(0);
+  const int nx = static_cast<int>(dims[0]);
+  const int ny = static_cast<int>(dims[1]);
+  const int nz = static_cast<int>(dims[2]);
+
+  // ---- assemble the global gravitating mass --------------------------------
+  util::Array3<double> rho(nx, ny, nz, 0.0);
+  for (mesh::Grid* g : roots) {
+    auto glo = [&](int d) { return g->spec().level_dims[d] > 1 ? 1 : 0; };
+    const auto& gm = g->gravitating_mass();
+    for (int k = 0; k < g->nx(2); ++k)
+      for (int j = 0; j < g->nx(1); ++j)
+        for (int i = 0; i < g->nx(0); ++i)
+          rho(static_cast<int>(g->box().lo[0]) + i,
+              static_cast<int>(g->box().lo[1]) + j,
+              static_cast<int>(g->box().lo[2]) + k) =
+              gm(i + glo(0), j + glo(1), k + glo(2));
+  }
+
+  // ---- FFT solve: ∇²φ = (G/a)(ρ − ρ̄) ---------------------------------------
+  const double mean = rho.sum() / static_cast<double>(rho.size());
+  const double coef = p.grav_const_code / a;
+  util::Array3<fft::cplx> spec = fft::fft3_real(rho);
+  const double dx[3] = {1.0 / nx, 1.0 / ny, 1.0 / nz};
+  for (int kz = 0; kz < nz; ++kz)
+    for (int ky = 0; ky < ny; ++ky)
+      for (int kx = 0; kx < nx; ++kx) {
+        if (kx == 0 && ky == 0 && kz == 0) {
+          spec(kx, ky, kz) = 0.0;  // zero mean (removes ρ̄ exactly)
+          continue;
+        }
+        // Eigenvalue of the 7-point Laplacian: Σ_d (2cos(2π f_d/n_d) − 2)/dx_d².
+        double lam = 0.0;
+        const int f[3] = {kx, ky, kz};
+        const int n[3] = {nx, ny, nz};
+        for (int d = 0; d < 3; ++d) {
+          if (n[d] == 1) continue;
+          const double ang = 2.0 * M_PI * f[d] / n[d];
+          lam += (2.0 * std::cos(ang) - 2.0) / (dx[d] * dx[d]);
+        }
+        spec(kx, ky, kz) *= coef / lam;
+      }
+  (void)mean;  // mean removal is the k=0 projection above
+  util::Array3<double> phi = fft::ifft3_real(spec);
+
+  // ---- scatter back with periodic ghosts ------------------------------------
+  for (mesh::Grid* g : roots) {
+    auto glo = [&](int d) { return g->spec().level_dims[d] > 1 ? 1 : 0; };
+    auto& pot = g->potential();
+    for (int k = -glo(2); k < g->nx(2) + glo(2); ++k)
+      for (int j = -glo(1); j < g->nx(1) + glo(1); ++j)
+        for (int i = -glo(0); i < g->nx(0) + glo(0); ++i) {
+          const int gi =
+              static_cast<int>(((g->box().lo[0] + i) % nx + nx) % nx);
+          const int gj =
+              static_cast<int>(((g->box().lo[1] + j) % ny + ny) % ny);
+          const int gk =
+              static_cast<int>(((g->box().lo[2] + k) % nz + nz) % nz);
+          pot(i + glo(0), j + glo(1), k + glo(2)) = phi(gi, gj, gk);
+        }
+  }
+}
+
+}  // namespace enzo::gravity

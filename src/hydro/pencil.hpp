@@ -1,0 +1,55 @@
+#pragma once
+// Internal 1-d pencil workspace shared by the PPM and ZEUS sweeps.
+//
+// Dimensional splitting: for each sweep axis the grid is decomposed into
+// stride-friendly 1-d pencils of primitive variables (ρ, normal velocity u,
+// transverse velocities, energies, pressure, passive-scalar mass fractions).
+// The sweep kernels fill face-flux arrays (face i = lower face of cell i);
+// the caller applies the conservative update and accumulates the fluxes into
+// the grid's flux registers for later flux correction.
+
+#include <vector>
+
+namespace enzo::hydro {
+
+struct Pencil {
+  int n = 0;   ///< total cells including ghosts along the sweep axis
+  int ng = 0;  ///< ghost cells on each end
+
+  std::vector<double> rho, u, vt1, vt2, etot, eint, p;
+  std::vector<std::vector<double>> scal;  ///< passive scalar fractions
+
+  // Face-centered outputs, size n+1 (only faces [ng, n-ng] are filled).
+  std::vector<double> f_rho, f_mu, f_mvt1, f_mvt2, f_etot, f_eint;
+  std::vector<std::vector<double>> f_scal;
+  std::vector<double> ustar;  ///< face normal velocity from the Riemann solve
+
+  void resize(int n_cells, int nghost, int nscal) {
+    n = n_cells;
+    ng = nghost;
+    for (auto* v : {&rho, &u, &vt1, &vt2, &etot, &eint, &p})
+      v->assign(static_cast<std::size_t>(n), 0.0);
+    scal.assign(static_cast<std::size_t>(nscal),
+                std::vector<double>(static_cast<std::size_t>(n), 0.0));
+    for (auto* v : {&f_rho, &f_mu, &f_mvt1, &f_mvt2, &f_etot, &f_eint, &ustar})
+      v->assign(static_cast<std::size_t>(n) + 1, 0.0);
+    f_scal.assign(static_cast<std::size_t>(nscal),
+                  std::vector<double>(static_cast<std::size_t>(n) + 1, 0.0));
+  }
+};
+
+struct SweepParams {
+  double gamma = 5.0 / 3.0;
+  bool flattening = true;
+  double zeus_viscosity = 2.0;
+};
+
+/// PPM: reconstruct, characteristic-window average, two-shock Riemann,
+/// fluxes.  Requires ng >= 3.
+void ppm_sweep(Pencil& pc, double dt, double dx, const SweepParams& sp);
+
+/// ZEUS-style donor-cell transport fluxes (the source step is applied by the
+/// caller grid-wide before the sweeps).  Requires ng >= 2.
+void zeus_sweep(Pencil& pc, double dt, double dx, const SweepParams& sp);
+
+}  // namespace enzo::hydro

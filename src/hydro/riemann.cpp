@@ -1,0 +1,135 @@
+#include "hydro/riemann.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace enzo::hydro {
+
+namespace {
+
+/// Lagrangian wave speed W(p*) for one side (two-shock approximation):
+/// W² = γ p ρ [1 + (γ+1)/(2γ) (p*/p − 1)], floored for strong rarefactions.
+double wave_speed(double rho, double p, double pstar, double gamma) {
+  const double w2 =
+      gamma * p * rho * (1.0 + (gamma + 1.0) / (2.0 * gamma) * (pstar / p - 1.0));
+  const double w2_min = 1e-16 * gamma * p * rho;
+  return std::sqrt(std::max(w2, w2_min));
+}
+
+}  // namespace
+
+RiemannState riemann_two_shock(const RiemannInput& in, double gamma) {
+  const double cl = std::sqrt(gamma * in.p_l / in.rho_l);
+  const double cr = std::sqrt(gamma * in.p_r / in.rho_r);
+
+  // Initial guess: linearized (acoustic) star pressure.
+  const double wl0 = in.rho_l * cl, wr0 = in.rho_r * cr;
+  double pstar = (wr0 * in.p_l + wl0 * in.p_r - wl0 * wr0 * (in.u_r - in.u_l)) /
+                 (wl0 + wr0);
+  pstar = std::max(pstar, 1e-12 * std::min(in.p_l, in.p_r));
+
+  double wl = wl0, wr = wr0, ustar = 0.0;
+  for (int iter = 0; iter < 12; ++iter) {
+    wl = wave_speed(in.rho_l, in.p_l, pstar, gamma);
+    wr = wave_speed(in.rho_r, in.p_r, pstar, gamma);
+    const double ul_star = in.u_l - (pstar - in.p_l) / wl;
+    const double ur_star = in.u_r + (pstar - in.p_r) / wr;
+    // Newton step on f(p) = ul*(p) - ur*(p); df/dp ≈ -(1/wl + 1/wr) with the
+    // CW84 secant-like correction using the current wave speeds.
+    const double dp = (ul_star - ur_star) * (wl * wr) / (wl + wr);
+    pstar += dp;
+    pstar = std::max(pstar, 1e-12 * std::min(in.p_l, in.p_r));
+    ustar = 0.5 * (ul_star + ur_star);
+    if (std::abs(dp) < 1e-10 * pstar) break;
+  }
+
+  RiemannState out{};
+  out.pstar = pstar;
+  out.ustar = ustar;
+
+  // Sample at ξ = 0 (the cell face).
+  const double gp1 = gamma + 1.0, gm1 = gamma - 1.0;
+  if (ustar >= 0.0) {
+    // Interface lies on the left-family side.
+    out.left_of_contact = true;
+    if (pstar > in.p_l) {
+      // Left shock with speed S = u_l - W_l/ρ_l.
+      const double s = in.u_l - wl / in.rho_l;
+      if (s >= 0.0) {
+        out.rho = in.rho_l;
+        out.u = in.u_l;
+        out.p = in.p_l;
+      } else {
+        const double rho_star =
+            1.0 / (1.0 / in.rho_l - (pstar - in.p_l) / (wl * wl));
+        out.rho = std::max(rho_star, 1e-12 * in.rho_l);
+        out.u = ustar;
+        out.p = pstar;
+      }
+    } else {
+      // Left rarefaction: head u_l - c_l, tail u* - c*_l.
+      const double rho_star = in.rho_l * std::pow(pstar / in.p_l, 1.0 / gamma);
+      const double c_star = std::sqrt(gamma * pstar / rho_star);
+      const double head = in.u_l - cl;
+      const double tail = ustar - c_star;
+      if (head >= 0.0) {
+        out.rho = in.rho_l;
+        out.u = in.u_l;
+        out.p = in.p_l;
+      } else if (tail <= 0.0) {
+        out.rho = rho_star;
+        out.u = ustar;
+        out.p = pstar;
+      } else {
+        // Inside the fan: at ξ=0, u = c; guard against slightly negative
+        // values from the approximate star state (near-vacuum inputs).
+        const double u = 2.0 / gp1 * (cl + 0.5 * gm1 * in.u_l);
+        const double c = std::max(u, 1e-8 * cl);
+        out.rho = in.rho_l * std::pow(c / cl, 2.0 / gm1);
+        out.u = std::max(u, 0.0);
+        out.p = in.p_l * std::pow(c / cl, 2.0 * gamma / gm1);
+      }
+    }
+  } else {
+    out.left_of_contact = false;
+    if (pstar > in.p_r) {
+      const double s = in.u_r + wr / in.rho_r;
+      if (s <= 0.0) {
+        out.rho = in.rho_r;
+        out.u = in.u_r;
+        out.p = in.p_r;
+      } else {
+        const double rho_star =
+            1.0 / (1.0 / in.rho_r - (pstar - in.p_r) / (wr * wr));
+        out.rho = std::max(rho_star, 1e-12 * in.rho_r);
+        out.u = ustar;
+        out.p = pstar;
+      }
+    } else {
+      const double rho_star = in.rho_r * std::pow(pstar / in.p_r, 1.0 / gamma);
+      const double c_star = std::sqrt(gamma * pstar / rho_star);
+      const double head = in.u_r + cr;
+      const double tail = ustar + c_star;
+      if (head <= 0.0) {
+        out.rho = in.rho_r;
+        out.u = in.u_r;
+        out.p = in.p_r;
+      } else if (tail >= 0.0) {
+        out.rho = rho_star;
+        out.u = ustar;
+        out.p = pstar;
+      } else {
+        const double u = -2.0 / gp1 * (cr - 0.5 * gm1 * in.u_r);
+        const double c = std::max(-u, 1e-8 * cr);
+        out.rho = in.rho_r * std::pow(c / cr, 2.0 / gm1);
+        out.u = std::min(u, 0.0);
+        out.p = in.p_r * std::pow(c / cr, 2.0 * gamma / gm1);
+      }
+    }
+  }
+  out.p = std::max(out.p, 1e-300);
+  out.rho = std::max(out.rho, 1e-300);
+  return out;
+}
+
+}  // namespace enzo::hydro

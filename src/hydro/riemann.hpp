@@ -1,0 +1,25 @@
+#pragma once
+// Two-shock approximate Riemann solver (Colella & Woodward 1984), the flux
+// engine under the PPM scheme.  Star-region pressure/velocity are found by
+// Newton iteration on the Lagrangian wave-speed relations; the state at the
+// interface (ξ = x/t = 0) is then sampled with correct shock/rarefaction
+// structure on each side.
+
+namespace enzo::hydro {
+
+struct RiemannInput {
+  double rho_l, u_l, p_l;
+  double rho_r, u_r, p_r;
+};
+
+struct RiemannState {
+  double rho, u, p;
+  bool left_of_contact;  ///< the sampled state came from the left family
+  double pstar, ustar;   ///< converged star-region values
+};
+
+/// Solve and sample at ξ = 0.  Inputs must have positive densities and
+/// pressures (callers floor them).
+RiemannState riemann_two_shock(const RiemannInput& in, double gamma);
+
+}  // namespace enzo::hydro

@@ -1,0 +1,51 @@
+// ZEUS-style finite-difference transport sweep (after Stone & Norman 1992).
+//
+// The paper's second solver is "a robust finite difference technique [17]"
+// used to double-check PPM.  We implement its cell-centered adaptation: the
+// grid-wide source step (pressure gradient + von Neumann–Richtmyer
+// artificial viscosity + compression heating) is applied by the caller; this
+// sweep performs first-order donor-cell (upwind) transport with face
+// velocities averaged from the adjacent cells.  The scheme is diffusive but
+// extremely robust — exactly its role in the paper.
+
+#include <algorithm>
+#include <cmath>
+
+#include "hydro/pencil.hpp"
+
+namespace enzo::hydro {
+
+void zeus_sweep(Pencil& pc, double /*dt*/, double /*dx*/,
+                const SweepParams& sp) {
+  const int n = pc.n;
+  const int nscal = static_cast<int>(pc.scal.size());
+  const double gamma = sp.gamma;
+  const int f_lo = pc.ng, f_hi = n - pc.ng;
+
+  for (int f = f_lo; f <= f_hi; ++f) {
+    const int il = f - 1, ir = f;
+    const double ubar = 0.5 * (pc.u[il] + pc.u[ir]);
+    const int up = ubar > 0.0 ? il : ir;
+    const double fm = ubar * pc.rho[up];
+    pc.f_rho[f] = fm;
+    // Momentum transport only: the pressure force lives in the source step
+    // (ZEUS is non-conservative by construction; the flux registers receive
+    // the transport fluxes, which is what its coarse-fine correction can
+    // meaningfully exchange).
+    pc.f_mu[f] = fm * pc.u[up];
+    pc.f_mvt1[f] = fm * pc.vt1[up];
+    pc.f_mvt2[f] = fm * pc.vt2[up];
+    pc.f_eint[f] = fm * pc.eint[up];
+    const double v2 = pc.u[up] * pc.u[up] + pc.vt1[up] * pc.vt1[up] +
+                      pc.vt2[up] * pc.vt2[up];
+    // Advected total energy plus the pressure-work flux so coarse cells see
+    // an energetically sensible boundary exchange.
+    pc.f_etot[f] = fm * (pc.eint[up] + 0.5 * v2) +
+                   ubar * (gamma - 1.0) * pc.rho[up] * pc.eint[up];
+    pc.ustar[f] = ubar;
+    for (int s = 0; s < nscal; ++s)
+      pc.f_scal[s][f] = fm * std::clamp(pc.scal[s][up], 0.0, 1.0);
+  }
+}
+
+}  // namespace enzo::hydro

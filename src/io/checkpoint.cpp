@@ -1,0 +1,214 @@
+#include "io/checkpoint.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace enzo::io {
+
+using mesh::Field;
+using mesh::Grid;
+
+namespace {
+
+// ---- primitive writers/readers ------------------------------------------------
+
+template <typename T>
+void put(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+template <typename T>
+T get(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  ENZO_REQUIRE(static_cast<bool>(is), "checkpoint: truncated stream");
+  return v;
+}
+
+void put_pos(std::ostream& os, ext::pos_t p) {
+#ifdef ENZO_POSITION_DOUBLE
+  put<double>(os, p);
+  put<double>(os, 0.0);
+#else
+  put<double>(os, p.hi);
+  put<double>(os, p.lo);
+#endif
+}
+ext::pos_t get_pos(std::istream& is) {
+  const double hi = get<double>(is);
+  const double lo = get<double>(is);
+#ifdef ENZO_POSITION_DOUBLE
+  (void)lo;
+  return hi;
+#else
+  return ext::pos_t(hi, lo);
+#endif
+}
+
+void put_array(std::ostream& os, const util::Array3<double>& a) {
+  put<std::int32_t>(os, a.nx());
+  put<std::int32_t>(os, a.ny());
+  put<std::int32_t>(os, a.nz());
+  os.write(reinterpret_cast<const char*>(a.data()),
+           static_cast<std::streamsize>(a.size() * sizeof(double)));
+}
+void get_array(std::istream& is, util::Array3<double>& a) {
+  const int nx = get<std::int32_t>(is);
+  const int ny = get<std::int32_t>(is);
+  const int nz = get<std::int32_t>(is);
+  ENZO_REQUIRE(nx == a.nx() && ny == a.ny() && nz == a.nz(),
+               "checkpoint: field shape mismatch");
+  is.read(reinterpret_cast<char*>(a.data()),
+          static_cast<std::streamsize>(a.size() * sizeof(double)));
+  ENZO_REQUIRE(static_cast<bool>(is), "checkpoint: truncated field data");
+}
+
+}  // namespace
+
+void write_checkpoint(const core::Simulation& sim, const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  ENZO_REQUIRE(os.good(), "cannot open checkpoint for writing: " + path);
+  const auto& h = sim.hierarchy();
+  const auto& hp = sim.config().hierarchy;
+
+  put(os, kCheckpointMagic);
+  put(os, kCheckpointVersion);
+  for (int d = 0; d < 3; ++d) put<std::int64_t>(os, hp.root_dims[d]);
+  put<std::int32_t>(os, hp.refine_factor);
+  put<std::int32_t>(os, hp.nghost);
+  put<std::int32_t>(os, hp.max_level);
+  put<std::uint8_t>(os, hp.periodic ? 1 : 0);
+  put<std::int32_t>(os, static_cast<std::int32_t>(hp.fields.size()));
+  for (Field f : hp.fields) put<std::int32_t>(os, mesh::field_index(f));
+  put_pos(os, sim.time());
+  put<double>(os, sim.scale_factor());
+
+  put<std::int32_t>(os, h.deepest_level());
+  for (int l = 0; l <= h.deepest_level(); ++l) {
+    const auto grids = h.grids(l);
+    put<std::int32_t>(os, static_cast<std::int32_t>(grids.size()));
+    for (const Grid* g : grids) {
+      for (int d = 0; d < 3; ++d) put<std::int64_t>(os, g->box().lo[d]);
+      for (int d = 0; d < 3; ++d) put<std::int64_t>(os, g->box().hi[d]);
+      // Parent ordinal within level l-1.
+      std::int32_t parent_ord = -1;
+      if (l > 0) {
+        const auto parents = h.grids(l - 1);
+        for (std::size_t p = 0; p < parents.size(); ++p)
+          if (parents[p] == g->parent())
+            parent_ord = static_cast<std::int32_t>(p);
+        ENZO_REQUIRE(parent_ord >= 0, "checkpoint: orphan grid");
+      }
+      put(os, parent_ord);
+      put_pos(os, g->time());
+      put_pos(os, g->old_time());
+      for (Field f : g->field_list()) put_array(os, g->field(f));
+      put<std::uint8_t>(os, g->has_old_fields() ? 1 : 0);
+      if (g->has_old_fields())
+        for (Field f : g->field_list()) put_array(os, g->old_field(f));
+      put<std::uint64_t>(os, g->particles().size());
+      for (const mesh::Particle& p : g->particles()) {
+        for (int d = 0; d < 3; ++d) put_pos(os, p.x[d]);
+        for (int d = 0; d < 3; ++d) put<double>(os, p.v[d]);
+        put<double>(os, p.mass);
+        put<std::uint64_t>(os, p.id);
+      }
+    }
+  }
+  ENZO_REQUIRE(os.good(), "checkpoint write failed: " + path);
+}
+
+void read_checkpoint(core::Simulation& sim, const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  ENZO_REQUIRE(is.good(), "cannot open checkpoint: " + path);
+  ENZO_REQUIRE(sim.hierarchy().grids(0).empty(),
+               "read_checkpoint needs an unbuilt root");
+  sim.sync_hierarchy_params();
+  auto& h = sim.hierarchy();
+  const auto& hp = sim.config().hierarchy;
+
+  ENZO_REQUIRE(get<std::uint64_t>(is) == kCheckpointMagic,
+               "not an enzo-mini checkpoint: " + path);
+  ENZO_REQUIRE(get<std::uint32_t>(is) == kCheckpointVersion,
+               "unsupported checkpoint version");
+  for (int d = 0; d < 3; ++d)
+    ENZO_REQUIRE(get<std::int64_t>(is) == hp.root_dims[d],
+                 "checkpoint root dims mismatch");
+  ENZO_REQUIRE(get<std::int32_t>(is) == hp.refine_factor,
+               "checkpoint refine factor mismatch");
+  ENZO_REQUIRE(get<std::int32_t>(is) == hp.nghost,
+               "checkpoint ghost count mismatch");
+  (void)get<std::int32_t>(is);  // max_level is advisory
+  ENZO_REQUIRE((get<std::uint8_t>(is) != 0) == hp.periodic,
+               "checkpoint periodicity mismatch");
+  const int nfields = get<std::int32_t>(is);
+  ENZO_REQUIRE(nfields == static_cast<int>(hp.fields.size()),
+               "checkpoint field count mismatch");
+  for (Field f : hp.fields)
+    ENZO_REQUIRE(get<std::int32_t>(is) == mesh::field_index(f),
+                 "checkpoint field list mismatch");
+  const ext::pos_t t = get_pos(is);
+  (void)get<double>(is);  // scale factor is re-derived from the time
+
+  const int deepest = get<std::int32_t>(is);
+  std::vector<Grid*> prev_level;
+  for (int l = 0; l <= deepest; ++l) {
+    const int ngrids = get<std::int32_t>(is);
+    std::vector<Grid*> this_level;
+    for (int n = 0; n < ngrids; ++n) {
+      mesh::IndexBox box;
+      for (int d = 0; d < 3; ++d) box.lo[d] = get<std::int64_t>(is);
+      for (int d = 0; d < 3; ++d) box.hi[d] = get<std::int64_t>(is);
+      const int parent_ord = get<std::int32_t>(is);
+      auto g = std::make_unique<Grid>(h.make_spec(l, box), hp.fields);
+      if (l > 0) {
+        ENZO_REQUIRE(parent_ord >= 0 &&
+                         parent_ord < static_cast<int>(prev_level.size()),
+                     "checkpoint: bad parent ordinal");
+        g->set_parent(prev_level[static_cast<std::size_t>(parent_ord)]);
+      }
+      g->set_time(get_pos(is));
+      g->set_old_time(get_pos(is));
+      const ext::pos_t old_time = g->old_time();
+      for (Field f : g->field_list()) get_array(is, g->field(f));
+      const bool has_old = get<std::uint8_t>(is) != 0;
+      if (has_old) {
+        // store_old_fields snapshots current data and old_time = time; then
+        // overwrite the old arrays with the checkpointed ones.
+        g->store_old_fields();
+        g->set_old_time(old_time);
+        for (Field f : g->field_list()) get_array(is, g->old_field(f));
+      }
+      const std::uint64_t npart = get<std::uint64_t>(is);
+      g->particles().resize(npart);
+      for (mesh::Particle& p : g->particles()) {
+        for (int d = 0; d < 3; ++d) p.x[d] = get_pos(is);
+        for (int d = 0; d < 3; ++d) p.v[d] = get<double>(is);
+        p.mass = get<double>(is);
+        p.id = get<std::uint64_t>(is);
+      }
+      this_level.push_back(h.insert_grid(std::move(g)));
+    }
+    prev_level = std::move(this_level);
+  }
+  sim.restore_clock(t);
+  h.check_invariants();
+}
+
+std::size_t checkpoint_size_bytes(const core::Simulation& sim) {
+  const auto& h = sim.hierarchy();
+  std::size_t bytes = 128;  // header
+  for (int l = 0; l <= h.deepest_level(); ++l)
+    for (const Grid* g : h.grids(l)) {
+      std::size_t cells = 1;
+      for (int d = 0; d < 3; ++d) cells *= static_cast<std::size_t>(g->nt(d));
+      const std::size_t copies = g->has_old_fields() ? 2 : 1;
+      bytes += 64 + copies * cells * g->field_list().size() * sizeof(double);
+      bytes += g->particles().size() * (6 * sizeof(double) + 2 * sizeof(double) +
+                                        2 * sizeof(std::uint64_t));
+    }
+  return bytes;
+}
+
+}  // namespace enzo::io

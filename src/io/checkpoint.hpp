@@ -1,0 +1,34 @@
+#pragma once
+// Checkpoint / restart.
+//
+// The paper's §4 workflow *requires* restart: "We first run a low-resolution
+// (64³) simulation to determine where the first star will form and then
+// restart the calculation including three additional levels of static
+// meshes"; §5 notes outputs of 2–4 GB and 50–100 GB of disk.  This module
+// serializes the complete simulation state — hierarchy structure, every
+// grid's fields (with extended-precision times), and the particles — to a
+// portable binary stream and restores it bit-for-bit.
+
+#include <string>
+
+#include "core/simulation.hpp"
+
+namespace enzo::io {
+
+inline constexpr std::uint64_t kCheckpointMagic = 0x454E5A4F4D494E49ull;
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// Serialize the full state (hierarchy + clock) to `path`.
+void write_checkpoint(const core::Simulation& sim, const std::string& path);
+
+/// Restore into a Simulation whose config matches the checkpoint's
+/// structural parameters (root dims, refinement factor, ghost count, field
+/// list); throws enzo::Error on mismatch or corruption.  The simulation's
+/// root must not have been built yet.
+void read_checkpoint(core::Simulation& sim, const std::string& path);
+
+/// Byte size the checkpoint of this simulation will occupy (diagnostics —
+/// the §5 "outputs in the 2–4 GB range" accounting at our scale).
+std::size_t checkpoint_size_bytes(const core::Simulation& sim);
+
+}  // namespace enzo::io

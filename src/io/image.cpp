@@ -1,0 +1,118 @@
+#include "io/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace enzo::io {
+
+namespace {
+
+/// Normalize data into [0,1] under the options.
+std::vector<double> normalize(const std::vector<double>& data,
+                              const ImageOptions& opt) {
+  std::vector<double> v = data;
+  if (opt.log_scale)
+    for (double& x : v) x = std::log10(std::max(x, 1e-300));
+  double lo = opt.lo, hi = opt.hi;
+  if (!(lo < hi)) {
+    lo = 1e300;
+    hi = -1e300;
+    for (double x : v)
+      if (std::isfinite(x)) {
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+      }
+    if (!(lo < hi)) {
+      lo = 0;
+      hi = 1;
+    }
+  } else if (opt.log_scale) {
+    lo = std::log10(std::max(lo, 1e-300));
+    hi = std::log10(std::max(hi, 1e-300));
+  }
+  for (double& x : v) {
+    double f = (x - lo) / (hi - lo);
+    if (!std::isfinite(f)) f = 0.0;
+    x = std::clamp(f, 0.0, 1.0);
+  }
+  return v;
+}
+
+}  // namespace
+
+void write_pgm(const std::string& path, const std::vector<double>& data,
+               int nx, int ny, const ImageOptions& opt) {
+  ENZO_REQUIRE(static_cast<std::size_t>(nx) * ny == data.size(),
+               "write_pgm: dimensions do not match data size");
+  const auto v = normalize(data, opt);
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  ENZO_REQUIRE(os.good(), "cannot open image for writing: " + path);
+  os << "P5\n" << nx << " " << ny << "\n255\n";
+  // Image rows top-to-bottom = data rows last-to-first (y up in data).
+  for (int j = ny - 1; j >= 0; --j)
+    for (int i = 0; i < nx; ++i) {
+      const unsigned char b = static_cast<unsigned char>(
+          v[static_cast<std::size_t>(j) * nx + i] * 255.0 + 0.5);
+      os.put(static_cast<char>(b));
+    }
+  ENZO_REQUIRE(os.good(), "image write failed: " + path);
+}
+
+void write_ppm(const std::string& path, const std::vector<double>& data,
+               int nx, int ny, const ImageOptions& opt) {
+  ENZO_REQUIRE(static_cast<std::size_t>(nx) * ny == data.size(),
+               "write_ppm: dimensions do not match data size");
+  const auto v = normalize(data, opt);
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  ENZO_REQUIRE(os.good(), "cannot open image for writing: " + path);
+  os << "P6\n" << nx << " " << ny << "\n255\n";
+  for (int j = ny - 1; j >= 0; --j)
+    for (int i = 0; i < nx; ++i) {
+      const double f = v[static_cast<std::size_t>(j) * nx + i];
+      // Blue → cyan → yellow → red heat map.
+      const double r = std::clamp(1.5 * f - 0.25, 0.0, 1.0);
+      const double g = std::clamp(1.5 - std::abs(2.0 * f - 1.0) * 1.5, 0.0, 1.0);
+      const double b = std::clamp(1.25 - 1.5 * f, 0.0, 1.0);
+      os.put(static_cast<char>(r * 255 + 0.5));
+      os.put(static_cast<char>(g * 255 + 0.5));
+      os.put(static_cast<char>(b * 255 + 0.5));
+    }
+  ENZO_REQUIRE(os.good(), "image write failed: " + path);
+}
+
+void write_slice_pgm(const std::string& path, const analysis::Slice& s,
+                     const ImageOptions& opt) {
+  // Slice data is already log10: disable double-logging.
+  ImageOptions o = opt;
+  o.log_scale = false;
+  write_pgm(path, s.log10_density, s.n, s.n, o);
+}
+
+void write_projection_pgm(const std::string& path,
+                          const analysis::Projection& p,
+                          const ImageOptions& opt) {
+  write_pgm(path, p.sigma, p.n, p.n, opt);
+}
+
+PgmImage read_pgm(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  ENZO_REQUIRE(is.good(), "cannot open image: " + path);
+  std::string magic;
+  is >> magic;
+  ENZO_REQUIRE(magic == "P5", "not a binary PGM: " + path);
+  PgmImage img;
+  int maxval = 0;
+  is >> img.nx >> img.ny >> maxval;
+  ENZO_REQUIRE(maxval == 255, "unsupported PGM depth");
+  is.get();  // single whitespace after header
+  img.pixels.resize(static_cast<std::size_t>(img.nx) * img.ny);
+  is.read(reinterpret_cast<char*>(img.pixels.data()),
+          static_cast<std::streamsize>(img.pixels.size()));
+  ENZO_REQUIRE(static_cast<bool>(is), "truncated PGM: " + path);
+  return img;
+}
+
+}  // namespace enzo::io

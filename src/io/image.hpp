@@ -1,0 +1,44 @@
+#pragma once
+// Image output for slices and projections (§6: the visualization pipeline
+// around Jacques produced "slices and projections", "velocity fields,
+// isosurfaces, and a preliminary volume renderer").  We write portable
+// graymap (PGM) images — dependency-free, viewable everywhere — with
+// optional logarithmic scaling, plus a small colormapped PPM variant.
+
+#include <string>
+#include <vector>
+
+#include "analysis/analysis.hpp"
+#include "analysis/derived.hpp"
+
+namespace enzo::io {
+
+struct ImageOptions {
+  bool log_scale = true;
+  /// Fixed data range; when lo >= hi the range is taken from the data.
+  double lo = 0.0, hi = 0.0;
+};
+
+/// Row-major nx×ny scalar map → 8-bit binary PGM (P5).
+void write_pgm(const std::string& path, const std::vector<double>& data,
+               int nx, int ny, const ImageOptions& opt = {});
+
+/// Same map through a blue→red heat colormap → binary PPM (P6).
+void write_ppm(const std::string& path, const std::vector<double>& data,
+               int nx, int ny, const ImageOptions& opt = {});
+
+/// Convenience wrappers for the analysis products.
+void write_slice_pgm(const std::string& path, const analysis::Slice& s,
+                     const ImageOptions& opt = {});
+void write_projection_pgm(const std::string& path,
+                          const analysis::Projection& p,
+                          const ImageOptions& opt = {});
+
+/// Minimal PGM reader (test/round-trip support): returns 8-bit values.
+struct PgmImage {
+  int nx = 0, ny = 0;
+  std::vector<unsigned char> pixels;
+};
+PgmImage read_pgm(const std::string& path);
+
+}  // namespace enzo::io

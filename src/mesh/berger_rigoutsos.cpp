@@ -1,0 +1,136 @@
+#include "mesh/berger_rigoutsos.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace enzo::mesh {
+
+namespace {
+
+IndexBox bounding_box(const std::vector<Index3>& pts) {
+  IndexBox b;
+  b.lo = {INT64_MAX, INT64_MAX, INT64_MAX};
+  b.hi = {INT64_MIN, INT64_MIN, INT64_MIN};
+  for (const Index3& p : pts)
+    for (int d = 0; d < 3; ++d) {
+      b.lo[d] = std::min(b.lo[d], p[d]);
+      b.hi[d] = std::max(b.hi[d], p[d] + 1);
+    }
+  return b;
+}
+
+/// Find the best cut plane along axis d in [lo+min, hi-min); returns the
+/// global index of the plane or -1.  quality: 2 = hole, 1 = inflection.
+struct Cut {
+  int axis = -1;
+  std::int64_t plane = 0;
+  int quality = 0;
+  std::int64_t strength = 0;  // |ΔLaplacian| for inflection cuts
+};
+
+Cut best_cut(const std::vector<Index3>& pts, const IndexBox& box,
+             std::int64_t min_extent) {
+  Cut best;
+  for (int d = 0; d < 3; ++d) {
+    const std::int64_t n = box.extent(d);
+    if (n < 2 * min_extent) continue;
+    // Signature: number of flags per plane.
+    std::vector<std::int64_t> sig(static_cast<std::size_t>(n), 0);
+    for (const Index3& p : pts) ++sig[static_cast<std::size_t>(p[d] - box.lo[d])];
+    // 1) Hole: a zero plane (prefer the one closest to the center).
+    std::int64_t hole = -1, hole_dist = INT64_MAX;
+    for (std::int64_t i = min_extent; i <= n - min_extent; ++i) {
+      // A cut at plane i separates [0,i) and [i,n); look for zero planes
+      // adjacent to i to guarantee one side loses dead weight.
+      if (i < n && sig[static_cast<std::size_t>(i)] == 0) {
+        const std::int64_t dist = std::llabs(2 * i - n);
+        if (dist < hole_dist) {
+          hole_dist = dist;
+          hole = i;
+        }
+      }
+    }
+    if (hole >= 0) {
+      if (best.quality < 2 ||
+          (best.quality == 2 && hole_dist < best.strength)) {
+        best = {d, box.lo[d] + hole, 2, hole_dist};
+      }
+      continue;
+    }
+    // 2) Inflection: strongest sign change of Δ²σ.
+    if (n >= 4) {
+      std::vector<std::int64_t> lap(static_cast<std::size_t>(n), 0);
+      for (std::int64_t i = 1; i + 1 < n; ++i)
+        lap[static_cast<std::size_t>(i)] =
+            sig[static_cast<std::size_t>(i + 1)] -
+            2 * sig[static_cast<std::size_t>(i)] +
+            sig[static_cast<std::size_t>(i - 1)];
+      for (std::int64_t i = std::max<std::int64_t>(1, min_extent);
+           i + 1 < n && i <= n - min_extent; ++i) {
+        const std::int64_t a = lap[static_cast<std::size_t>(i)];
+        const std::int64_t b = lap[static_cast<std::size_t>(i + 1)];
+        if ((a < 0 && b > 0) || (a > 0 && b < 0)) {
+          const std::int64_t strength = std::llabs(a - b);
+          if (best.quality < 1 ||
+              (best.quality == 1 && strength > best.strength)) {
+            best = {d, box.lo[d] + i + 1, 1, strength};
+          }
+        }
+      }
+    }
+  }
+  return best;
+}
+
+void cluster_recursive(std::vector<Index3>& pts, const ClusterParams& params,
+                       std::vector<IndexBox>& out, int depth) {
+  if (pts.empty()) return;
+  ENZO_REQUIRE(static_cast<int>(out.size()) < params.max_boxes,
+               "Berger-Rigoutsos produced too many boxes");
+  const IndexBox box = bounding_box(pts);
+  const double eff =
+      static_cast<double>(pts.size()) / static_cast<double>(box.volume());
+  bool splittable = false;
+  for (int d = 0; d < 3; ++d)
+    if (box.extent(d) >= 2 * params.min_extent) splittable = true;
+  if (eff >= params.min_efficiency || !splittable || depth > 64) {
+    out.push_back(box);
+    return;
+  }
+  Cut cut = best_cut(pts, box, params.min_extent);
+  if (cut.axis < 0) {
+    // No hole or inflection: bisect the longest splittable axis.
+    int axis = -1;
+    std::int64_t len = 0;
+    for (int d = 0; d < 3; ++d)
+      if (box.extent(d) >= 2 * params.min_extent && box.extent(d) > len) {
+        len = box.extent(d);
+        axis = d;
+      }
+    ENZO_REQUIRE(axis >= 0, "unsplittable box in cluster_recursive");
+    cut = {axis, box.lo[axis] + box.extent(axis) / 2, 0, 0};
+  }
+  std::vector<Index3> lo_pts, hi_pts;
+  lo_pts.reserve(pts.size());
+  hi_pts.reserve(pts.size());
+  for (const Index3& p : pts)
+    (p[cut.axis] < cut.plane ? lo_pts : hi_pts).push_back(p);
+  pts.clear();
+  pts.shrink_to_fit();
+  cluster_recursive(lo_pts, params, out, depth + 1);
+  cluster_recursive(hi_pts, params, out, depth + 1);
+}
+
+}  // namespace
+
+std::vector<IndexBox> cluster_flags(const std::vector<Index3>& flags,
+                                    const ClusterParams& params) {
+  std::vector<IndexBox> out;
+  std::vector<Index3> pts = flags;
+  cluster_recursive(pts, params, out, 0);
+  return out;
+}
+
+}  // namespace enzo::mesh

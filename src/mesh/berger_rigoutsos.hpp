@@ -1,0 +1,33 @@
+#pragma once
+// Berger–Rigoutsos point clustering (§3.2.2 step 2).
+//
+// "Rectangular regions are chosen which cover all of the refined regions,
+// while attempting to minimize the number of unnecessarily refined points.
+// This is done with an edge-detection algorithm from machine vision studies
+// [Berger & Rigoutsos 1991]."
+//
+// The algorithm: take the bounding box of the flagged cells; if its filling
+// efficiency is acceptable, emit it; otherwise split it at the best cut
+// plane — preferentially a hole (zero of the flag signature Σ along an
+// axis), otherwise the strongest inflection (sign change of the discrete
+// Laplacian of the signature) — and recurse on the two halves.
+
+#include <vector>
+
+#include "mesh/box.hpp"
+
+namespace enzo::mesh {
+
+struct ClusterParams {
+  double min_efficiency = 0.7;  ///< flagged / covered threshold to stop
+  std::int64_t min_extent = 2;  ///< do not split boxes thinner than this
+  int max_boxes = 100000;       ///< safety valve
+};
+
+/// Cluster flagged cell indices (any level's index space) into boxes.
+/// Every flagged cell is covered by exactly one returned box; boxes do not
+/// overlap.
+std::vector<IndexBox> cluster_flags(const std::vector<Index3>& flags,
+                                    const ClusterParams& params = {});
+
+}  // namespace enzo::mesh

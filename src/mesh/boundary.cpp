@@ -1,0 +1,66 @@
+#include "mesh/boundary.hpp"
+
+#include "mesh/interpolate.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace enzo::mesh {
+
+void fill_outflow_ghosts(Grid& g) {
+  for (Field f : g.field_list()) {
+    auto& a = g.field(f);
+    // Clamp each axis in turn; later axes see already-filled earlier ghosts.
+    for (int d = 0; d < 3; ++d) {
+      if (g.ng(d) == 0) continue;
+      const int lo = g.ng(d), hi = g.ng(d) + g.nx(d) - 1;
+      for (int k = 0; k < g.nt(2); ++k)
+        for (int j = 0; j < g.nt(1); ++j)
+          for (int i = 0; i < g.nt(0); ++i) {
+            int idx[3] = {i, j, k};
+            if (idx[d] >= lo && idx[d] <= hi) continue;
+            int src[3] = {i, j, k};
+            src[d] = idx[d] < lo ? lo : hi;
+            a(i, j, k) = a(src[0], src[1], src[2]);
+          }
+    }
+  }
+}
+
+void set_boundary_values(Hierarchy& h, int level) {
+  util::ScopedTimer timer(util::ComponentTimers::global(),
+                          util::ComponentTimers::kBoundary);
+  auto level_grids = h.grids(level);
+  const Index3 dims = h.level_dims(level);
+  const bool periodic = h.params().periodic;
+
+  for (Grid* g : level_grids) {
+    // Step 1: parent interpolation (root has no parent).
+    if (level > 0) {
+      ENZO_REQUIRE(g->parent() != nullptr, "subgrid without parent in BC");
+      fill_ghosts_from_parent(*g, *g->parent());
+    } else if (!periodic) {
+      fill_outflow_ghosts(*g);
+    }
+    // Step 2: sibling copies (highest-resolution data wins), including
+    // periodic images.  For a single periodic root grid the self-copy with
+    // nonzero shift implements the wrap.
+    std::array<std::vector<std::int64_t>, 3> shifts;
+    for (int d = 0; d < 3; ++d) {
+      shifts[d] = {0};
+      if (periodic && dims[d] > 1) {
+        shifts[d].push_back(dims[d]);
+        shifts[d].push_back(-dims[d]);
+      }
+    }
+    for (Grid* s : level_grids) {
+      for (std::int64_t kz : shifts[2])
+        for (std::int64_t ky : shifts[1])
+          for (std::int64_t kx : shifts[0]) {
+            if (s == g && kx == 0 && ky == 0 && kz == 0) continue;
+            g->copy_from_sibling(*s, {kx, ky, kz});
+          }
+    }
+  }
+}
+
+}  // namespace enzo::mesh

@@ -1,0 +1,24 @@
+#pragma once
+// SetBoundaryValues (§3.2.1): the two-step ghost fill.
+//
+//   1. interpolate all boundary values from the grid's parent (in space and
+//      in time, to the grid's current time);
+//   2. overwrite with same-level (sibling) data wherever a sibling overlaps
+//      the ghost region — "this ensures that all boundary values are set
+//      using the highest resolution solution available."
+//
+// The root level has no parent: its external boundary is periodic (sibling
+// copies with domain-shift images, including self-copies for a single root
+// grid) or outflow (edge replication) per HierarchyParams::periodic.
+
+#include "mesh/hierarchy.hpp"
+
+namespace enzo::mesh {
+
+/// Apply the two-step boundary fill to every grid on `level`.
+void set_boundary_values(Hierarchy& h, int level);
+
+/// Outflow (zero-gradient) fill of a root grid's external ghost zones.
+void fill_outflow_ghosts(Grid& g);
+
+}  // namespace enzo::mesh

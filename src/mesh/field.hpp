@@ -1,0 +1,90 @@
+#pragma once
+// Field registry for per-grid baryon data.
+//
+// A grid carries a configurable subset of these fields (pure-hydro tests use
+// the first six; primordial-chemistry runs add the twelve species of §2.2).
+// Velocities and energies are stored as specific quantities (per unit mass);
+// species are stored as partial densities so that advection, projection and
+// flux correction treat them as conserved passive scalars.
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace enzo::mesh {
+
+enum class Field : int {
+  kDensity = 0,
+  kVelocityX,
+  kVelocityY,
+  kVelocityZ,
+  kTotalEnergy,     ///< specific total energy e + v²/2
+  kInternalEnergy,  ///< specific internal energy (dual energy formalism)
+  // --- the 12 primordial species (partial densities) -----------------------
+  kHI,
+  kHII,
+  kHeI,
+  kHeII,
+  kHeIII,
+  kElectron,  ///< electron *mass* density (n_e · m_e-scaled; see chemistry)
+  kHM,        ///< H⁻
+  kH2I,
+  kH2II,
+  kDI,
+  kDII,
+  kHDI,
+  kCount
+};
+
+inline constexpr int kNumFields = static_cast<int>(Field::kCount);
+inline constexpr int kFirstSpecies = static_cast<int>(Field::kHI);
+inline constexpr int kNumSpecies = kNumFields - kFirstSpecies;
+
+constexpr int field_index(Field f) { return static_cast<int>(f); }
+
+constexpr std::string_view field_name(Field f) {
+  constexpr std::array<std::string_view, kNumFields> names = {
+      "density",     "velocity_x", "velocity_y", "velocity_z",
+      "total_energy", "internal_energy",
+      "HI",          "HII",        "HeI",        "HeII",
+      "HeIII",       "electron",   "HM",         "H2I",
+      "H2II",        "DI",         "DII",        "HDI"};
+  return names[static_cast<std::size_t>(f)];
+}
+
+/// True for fields advected/projected as conserved densities.
+constexpr bool is_density_like(Field f) {
+  return f == Field::kDensity || field_index(f) >= kFirstSpecies;
+}
+
+/// True for mass-specific fields (converted to conserved via ×ρ).
+constexpr bool is_specific(Field f) {
+  return f == Field::kVelocityX || f == Field::kVelocityY ||
+         f == Field::kVelocityZ || f == Field::kTotalEnergy ||
+         f == Field::kInternalEnergy;
+}
+
+constexpr bool is_species(Field f) { return field_index(f) >= kFirstSpecies; }
+
+/// The baseline six-field hydro set.
+constexpr std::array<Field, 6> hydro_fields() {
+  return {Field::kDensity,     Field::kVelocityX,   Field::kVelocityY,
+          Field::kVelocityZ,   Field::kTotalEnergy, Field::kInternalEnergy};
+}
+
+/// hydro_fields() as a vector (the common field-list initializer).
+inline std::vector<Field> hydro_field_list() {
+  const auto a = hydro_fields();
+  return {a.begin(), a.end()};
+}
+
+/// Hydro fields plus all twelve primordial species.
+inline std::vector<Field> chemistry_field_list() {
+  std::vector<Field> v = hydro_field_list();
+  for (int i = kFirstSpecies; i < kNumFields; ++i)
+    v.push_back(static_cast<Field>(i));
+  return v;
+}
+
+}  // namespace enzo::mesh

@@ -1,0 +1,263 @@
+#include "mesh/grid.hpp"
+
+#include <atomic>
+
+#include "util/alloc_stats.hpp"
+#include "util/error.hpp"
+
+namespace enzo::mesh {
+
+namespace {
+std::uint64_t next_grid_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace
+
+Grid::Grid(const GridSpec& spec, const std::vector<Field>& fields)
+    : spec_(spec), id_(next_grid_id()), field_list_(fields) {
+  ENZO_REQUIRE(!spec_.box.empty(), "grid with empty box " + spec_.box.str());
+  ENZO_REQUIRE(spec_.refine_factor >= 2, "refinement factor must be >= 2");
+  for (int d = 0; d < 3; ++d) {
+    ENZO_REQUIRE(spec_.level_dims[d] >= spec_.box.hi[d] - 0 || true,
+                 "grid exceeds level dims");
+    // Degenerate axes (whole domain one cell thick) carry no ghosts.
+    ng_[d] = (spec_.level_dims[d] > 1) ? spec_.nghost : 0;
+    dx_[d] = ext::pos_t(1.0) / ext::pos_t(static_cast<double>(
+                                  spec_.level_dims[d]));
+  }
+  for (Field f : field_list_) {
+    fields_[field_index(f)].resize(nt(0), nt(1), nt(2), 0.0);
+  }
+  util::AllocStats::global().on_alloc(field_bytes());
+}
+
+Grid::~Grid() { util::AllocStats::global().on_free(field_bytes()); }
+
+std::size_t Grid::field_bytes() const {
+  std::size_t total = 0;
+  for (const auto& a : fields_) total += a.size() * sizeof(double);
+  for (const auto& a : old_fields_) total += a.size() * sizeof(double);
+  for (const auto& per_field : fluxes_)
+    for (const auto& a : per_field) total += a.size() * sizeof(double);
+  for (const auto& per_field : bfluxes_)
+    for (const auto& per_axis : per_field)
+      for (const auto& a : per_axis) total += a.size() * sizeof(double);
+  total += gravitating_mass_.size() * sizeof(double);
+  total += potential_.size() * sizeof(double);
+  for (const auto& a : accel_) total += a.size() * sizeof(double);
+  return total;
+}
+
+ext::pos_t Grid::left_edge(int d) const {
+  return ext::pos_t(static_cast<double>(spec_.box.lo[d])) * dx_[d];
+}
+
+ext::pos_t Grid::right_edge(int d) const {
+  return ext::pos_t(static_cast<double>(spec_.box.hi[d])) * dx_[d];
+}
+
+ext::PosVec Grid::cell_center(int i, int j, int k) const {
+  const int idx[3] = {i, j, k};
+  ext::PosVec c;
+  for (int d = 0; d < 3; ++d) {
+    c[d] = (ext::pos_t(static_cast<double>(spec_.box.lo[d] + idx[d])) +
+            ext::pos_t(0.5)) *
+           dx_[d];
+  }
+  return c;
+}
+
+std::int64_t Grid::global_index_of(ext::pos_t x, int d) const {
+#ifdef ENZO_POSITION_DOUBLE
+  return static_cast<std::int64_t>(
+      std::floor(x * static_cast<double>(spec_.level_dims[d])));
+#else
+  const ext::pos_t scaled =
+      x * ext::pos_t(static_cast<double>(spec_.level_dims[d]));
+  return static_cast<std::int64_t>(ext::floor(scaled).to_double());
+#endif
+}
+
+bool Grid::contains_position(const ext::PosVec& x) const {
+  for (int d = 0; d < 3; ++d) {
+    const std::int64_t g = global_index_of(x[d], d);
+    if (g < spec_.box.lo[d] || g >= spec_.box.hi[d]) return false;
+  }
+  return true;
+}
+
+util::Array3<double>& Grid::field(Field f) {
+  auto& a = fields_[field_index(f)];
+  ENZO_REQUIRE(!a.empty(), std::string("field not allocated: ") +
+                               std::string(field_name(f)));
+  return a;
+}
+const util::Array3<double>& Grid::field(Field f) const {
+  const auto& a = fields_[field_index(f)];
+  ENZO_REQUIRE(!a.empty(), std::string("field not allocated: ") +
+                               std::string(field_name(f)));
+  return a;
+}
+
+util::Array3<double>& Grid::old_field(Field f) {
+  ENZO_REQUIRE(has_old_, "old fields not stored");
+  return old_fields_[field_index(f)];
+}
+const util::Array3<double>& Grid::old_field(Field f) const {
+  ENZO_REQUIRE(has_old_, "old fields not stored");
+  return old_fields_[field_index(f)];
+}
+
+void Grid::store_old_fields() {
+  const std::size_t before = field_bytes();
+  for (Field f : field_list_) old_fields_[field_index(f)] = fields_[field_index(f)];
+  old_time_ = time_;
+  if (!has_old_) util::AllocStats::global().on_alloc(field_bytes() - before);
+  has_old_ = true;
+}
+
+util::Array3<double>& Grid::flux(Field f, int d) {
+  ENZO_REQUIRE(has_fluxes_, "fluxes not allocated");
+  return fluxes_[field_index(f)][d];
+}
+const util::Array3<double>& Grid::flux(Field f, int d) const {
+  ENZO_REQUIRE(has_fluxes_, "fluxes not allocated");
+  return fluxes_[field_index(f)][d];
+}
+
+void Grid::reset_fluxes() {
+  const std::size_t before = field_bytes();
+  for (Field f : field_list_) {
+    for (int d = 0; d < 3; ++d) {
+      if (spec_.level_dims[d] == 1) continue;  // no sweep on degenerate axes
+      auto& a = fluxes_[field_index(f)][d];
+      const int fx = nt(0) + (d == 0 ? 1 : 0);
+      const int fy = nt(1) + (d == 1 ? 1 : 0);
+      const int fz = nt(2) + (d == 2 ? 1 : 0);
+      if (a.nx() != fx || a.ny() != fy || a.nz() != fz)
+        a.resize(fx, fy, fz, 0.0);
+      else
+        a.fill(0.0);
+    }
+  }
+  if (!has_fluxes_) util::AllocStats::global().on_alloc(field_bytes() - before);
+  has_fluxes_ = true;
+}
+
+util::Array3<double>& Grid::boundary_flux(Field f, int d, int side) {
+  ENZO_REQUIRE(has_bfluxes_, "boundary fluxes not allocated");
+  return bfluxes_[field_index(f)][d][side];
+}
+const util::Array3<double>& Grid::boundary_flux(Field f, int d,
+                                                int side) const {
+  ENZO_REQUIRE(has_bfluxes_, "boundary fluxes not allocated");
+  return bfluxes_[field_index(f)][d][side];
+}
+
+void Grid::reset_boundary_fluxes() {
+  const std::size_t before = field_bytes();
+  for (Field f : field_list_) {
+    for (int d = 0; d < 3; ++d) {
+      if (spec_.level_dims[d] == 1) continue;
+      for (int side = 0; side < 2; ++side) {
+        auto& a = bfluxes_[field_index(f)][d][side];
+        const int fx = d == 0 ? 1 : nt(0);
+        const int fy = d == 1 ? 1 : nt(1);
+        const int fz = d == 2 ? 1 : nt(2);
+        if (a.nx() != fx || a.ny() != fy || a.nz() != fz)
+          a.resize(fx, fy, fz, 0.0);
+        else
+          a.fill(0.0);
+      }
+    }
+  }
+  if (!has_bfluxes_)
+    util::AllocStats::global().on_alloc(field_bytes() - before);
+  has_bfluxes_ = true;
+}
+
+void Grid::allocate_gravity() {
+  if (has_gravity()) return;
+  const std::size_t before = field_bytes();
+  // One ghost layer on non-degenerate axes.
+  auto g = [&](int d) { return spec_.level_dims[d] > 1 ? 1 : 0; };
+  gravitating_mass_.resize(nx(0) + 2 * g(0), nx(1) + 2 * g(1),
+                           nx(2) + 2 * g(2), 0.0);
+  potential_.resize(nx(0) + 2 * g(0), nx(1) + 2 * g(1), nx(2) + 2 * g(2), 0.0);
+  for (int d = 0; d < 3; ++d) accel_[d].resize(nx(0), nx(1), nx(2), 0.0);
+  util::AllocStats::global().on_alloc(field_bytes() - before);
+}
+
+std::int64_t Grid::copy_region_from(const Grid& src, const Index3& shift,
+                                    const IndexBox& target_global) {
+  ENZO_REQUIRE(src.level() == level(), "sibling copy across levels");
+  const IndexBox overlap = target_global.intersect(src.box().shifted(shift));
+  if (overlap.empty()) return 0;
+  std::int64_t copied = 0;
+  for (Field f : field_list_) {
+    if (!src.has_field(f)) continue;
+    auto& dst_a = field(f);
+    const auto& src_a = src.field(f);
+    for (std::int64_t gk = overlap.lo[2]; gk < overlap.hi[2]; ++gk)
+      for (std::int64_t gj = overlap.lo[1]; gj < overlap.hi[1]; ++gj)
+        for (std::int64_t gi = overlap.lo[0]; gi < overlap.hi[0]; ++gi) {
+          const int di = static_cast<int>(gi - spec_.box.lo[0]) + ng_[0];
+          const int dj = static_cast<int>(gj - spec_.box.lo[1]) + ng_[1];
+          const int dk = static_cast<int>(gk - spec_.box.lo[2]) + ng_[2];
+          const int si =
+              static_cast<int>(gi - shift[0] - src.box().lo[0]) + src.ng(0);
+          const int sj =
+              static_cast<int>(gj - shift[1] - src.box().lo[1]) + src.ng(1);
+          const int sk =
+              static_cast<int>(gk - shift[2] - src.box().lo[2]) + src.ng(2);
+          dst_a(di, dj, dk) = src_a(si, sj, sk);
+        }
+  }
+  copied += overlap.volume();
+  return copied;
+}
+
+bool Grid::covers_periodic_domain() const {
+  if (!spec_.periodic) return false;
+  for (int d = 0; d < 3; ++d)
+    if (spec_.box.lo[d] != 0 || spec_.box.hi[d] != spec_.level_dims[d])
+      return false;
+  return true;
+}
+
+void Grid::wrap_own_ghosts() {
+  ENZO_REQUIRE(covers_periodic_domain(),
+               "wrap_own_ghosts on a grid that does not cover the domain");
+  // All 26 periodic images (the source region is always the active box, so
+  // edge/corner ghosts need the diagonal shifts).
+  std::array<std::vector<std::int64_t>, 3> shifts;
+  for (int d = 0; d < 3; ++d) {
+    shifts[d] = {0};
+    if (ng_[d] > 0) {
+      shifts[d].push_back(spec_.level_dims[d]);
+      shifts[d].push_back(-spec_.level_dims[d]);
+    }
+  }
+  for (std::int64_t kz : shifts[2])
+    for (std::int64_t ky : shifts[1])
+      for (std::int64_t kx : shifts[0]) {
+        if (kx == 0 && ky == 0 && kz == 0) continue;
+        copy_from_sibling(*this, {kx, ky, kz});
+      }
+}
+
+std::int64_t Grid::copy_from_sibling(const Grid& src, const Index3& shift) {
+  IndexBox total = spec_.box;
+  for (int d = 0; d < 3; ++d) {
+    total.lo[d] -= ng_[d];
+    total.hi[d] += ng_[d];
+  }
+  return copy_region_from(src, shift, total);
+}
+
+std::int64_t Grid::copy_active_from(const Grid& src, const Index3& shift) {
+  return copy_region_from(src, shift, spec_.box);
+}
+
+}  // namespace enzo::mesh

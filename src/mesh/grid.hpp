@@ -1,0 +1,206 @@
+#pragma once
+// Grid: the basic building block of SAMR (§3.4: "encapsulation: a grid
+// represents the basic building block of AMR ... atomic and binary
+// operations").
+//
+// A Grid owns a rectangular patch of cells at one refinement level:
+//   * geometry — an integer IndexBox in the level's global index space plus
+//     extended-precision edges/cell widths derived from it (§3.5);
+//   * baryon fields with ghost zones (and an "old" copy of the previous
+//     state, kept for time-centered subgrid boundary interpolation, Fig. 2);
+//   * time-integrated face fluxes of the conserved fields, used by the flux
+//     correction step (§3.2.1);
+//   * gravity data (gravitating mass, potential, accelerations);
+//   * the dark-matter particles whose positions it contains (§3.3).
+//
+// Alignment logic is pure integer arithmetic; only absolute positions/times
+// are extended precision.  Field data is plain double.
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ext/position.hpp"
+#include "mesh/box.hpp"
+#include "mesh/field.hpp"
+#include "util/array3.hpp"
+
+namespace enzo::mesh {
+
+/// Dark-matter particle (kept in mesh to avoid a module cycle; the nbody
+/// module provides the solvers that act on these).
+struct Particle {
+  ext::PosVec x{};                 ///< absolute position, code units [0,1)
+  std::array<double, 3> v{};       ///< peculiar velocity, code units
+  double mass = 0.0;               ///< code mass (density × root-cell volume)
+  std::uint64_t id = 0;
+};
+
+/// Immutable description of a grid's place in the hierarchy.
+struct GridSpec {
+  int level = 0;
+  IndexBox box;                   ///< active region, level index space
+  Index3 level_dims{1, 1, 1};     ///< whole domain size in this level's cells
+  int refine_factor = 2;
+  int nghost = 3;
+  bool periodic = true;           ///< domain-level boundary type
+};
+
+class Grid {
+ public:
+  Grid(const GridSpec& spec, const std::vector<Field>& fields);
+  ~Grid();
+  Grid(const Grid&) = delete;
+  Grid& operator=(const Grid&) = delete;
+
+  // ---- geometry -------------------------------------------------------------
+  int level() const { return spec_.level; }
+  const IndexBox& box() const { return spec_.box; }
+  Grid* parent() const { return parent_; }
+  void set_parent(Grid* p) { parent_ = p; }
+  const GridSpec& spec() const { return spec_; }
+  int refine_factor() const { return spec_.refine_factor; }
+  std::uint64_t id() const { return id_; }
+
+  /// Active cells per axis.
+  int nx(int d) const { return static_cast<int>(spec_.box.extent(d)); }
+  /// Ghost cells per axis (0 on degenerate axes).
+  int ng(int d) const { return ng_[d]; }
+  /// Total (active + ghost) cells per axis.
+  int nt(int d) const { return nx(d) + 2 * ng_[d]; }
+
+  /// Cell width along axis d (comoving code units), exact dd.
+  ext::pos_t cell_width(int d) const { return dx_[d]; }
+  double cell_width_d(int d) const { return ext::pos_to_double(dx_[d]); }
+
+  /// Absolute edges of the active region.
+  ext::pos_t left_edge(int d) const;
+  ext::pos_t right_edge(int d) const;
+  /// Center of active cell (i,j,k) — active indices, 0-based.
+  ext::PosVec cell_center(int i, int j, int k) const;
+
+  /// Global level index of the cell containing absolute position x along d
+  /// (extended precision floor; this is the operation double gets wrong at
+  /// depth — see ext tests).
+  std::int64_t global_index_of(ext::pos_t x, int d) const;
+  /// Active local index (may be outside [0,nx) if x is outside the grid).
+  std::int64_t local_index_of(ext::pos_t x, int d) const {
+    return global_index_of(x, d) - spec_.box.lo[d];
+  }
+  bool contains_position(const ext::PosVec& x) const;
+
+  // ---- time -----------------------------------------------------------------
+  ext::pos_t time() const { return time_; }
+  ext::pos_t old_time() const { return old_time_; }
+  void set_time(ext::pos_t t) { time_ = t; }
+  void set_old_time(ext::pos_t t) { old_time_ = t; }
+
+  // ---- fields ---------------------------------------------------------------
+  const std::vector<Field>& field_list() const { return field_list_; }
+  bool has_field(Field f) const { return !fields_[field_index(f)].empty(); }
+  util::Array3<double>& field(Field f);
+  const util::Array3<double>& field(Field f) const;
+  util::Array3<double>& old_field(Field f);
+  const util::Array3<double>& old_field(Field f) const;
+  bool has_old_fields() const { return has_old_; }
+
+  /// Snapshot current fields into the "old" copies and record old_time.
+  void store_old_fields();
+
+  /// Map an active index to the storage index of the field arrays.
+  int sx(int i) const { return i + ng_[0]; }
+  int sy(int j) const { return j + ng_[1]; }
+  int sz(int k) const { return k + ng_[2]; }
+
+  // ---- fluxes ----------------------------------------------------------------
+  /// Time-integrated face flux of the conserved counterpart of field f along
+  /// axis d; array dims are nt with +1 along d (face-centered, ghost-aligned
+  /// like the field arrays so face (i,j,k) is the lower face of cell (i,j,k)).
+  util::Array3<double>& flux(Field f, int d);
+  const util::Array3<double>& flux(Field f, int d) const;
+  bool has_fluxes() const { return has_fluxes_; }
+  /// Allocate (if needed) and zero the flux accumulators.
+  void reset_fluxes();
+
+  /// Boundary flux registers: the time-integrated fluxes through this grid's
+  /// *own boundary faces*, accumulated over all of the grid's subcycles
+  /// within one parent timestep (the quantity the parent's flux correction
+  /// consumes).  Stored as single face planes (thickness 1 along d, indexed
+  /// like the flux arrays in the transverse directions); side 0 = low face,
+  /// side 1 = high face.
+  util::Array3<double>& boundary_flux(Field f, int d, int side);
+  const util::Array3<double>& boundary_flux(Field f, int d, int side) const;
+  bool has_boundary_fluxes() const { return has_bfluxes_; }
+  /// Allocate (if needed) and zero; the driver calls this when a new parent
+  /// timestep window begins.
+  void reset_boundary_fluxes();
+
+  // ---- gravity ---------------------------------------------------------------
+  /// Total gravitating (gas + dark matter) comoving density; one ghost layer
+  /// so CIC deposits near edges land somewhere before being reconciled.
+  util::Array3<double>& gravitating_mass() { return gravitating_mass_; }
+  const util::Array3<double>& gravitating_mass() const {
+    return gravitating_mass_;
+  }
+  /// Gravitational potential with one ghost layer (boundary from parent).
+  util::Array3<double>& potential() { return potential_; }
+  const util::Array3<double>& potential() const { return potential_; }
+  /// Cell-centered acceleration components (active region only).
+  util::Array3<double>& acceleration(int d) { return accel_[d]; }
+  const util::Array3<double>& acceleration(int d) const { return accel_[d]; }
+  void allocate_gravity();
+  bool has_gravity() const { return !potential_.empty(); }
+
+  // ---- particles -------------------------------------------------------------
+  std::vector<Particle>& particles() { return particles_; }
+  const std::vector<Particle>& particles() const { return particles_; }
+
+  // ---- bulk data motion (binary grid operations, §3.4) -----------------------
+  /// Copy every allocated field from src (same level) where src's active
+  /// region, shifted by `shift` cells (periodic images), overlaps this
+  /// grid's total (ghost-inclusive) region.  Returns copied-cell count.
+  std::int64_t copy_from_sibling(const Grid& src, const Index3& shift);
+
+  /// As above but restricted to this grid's *active* region (rebuild copy).
+  std::int64_t copy_active_from(const Grid& src, const Index3& shift);
+
+  /// Total bytes of field storage (allocation accounting).
+  std::size_t field_bytes() const;
+
+  /// True when this grid alone covers the whole periodic domain, so its
+  /// ghost zones are exactly its own wrapped data.
+  bool covers_periodic_domain() const;
+
+  /// Refresh ghost zones by self-copy with periodic shifts (only valid when
+  /// covers_periodic_domain()); used between directional sweeps to keep the
+  /// conservative update exact across the external periodic boundary.
+  void wrap_own_ghosts();
+
+ private:
+  std::int64_t copy_region_from(const Grid& src, const Index3& shift,
+                                const IndexBox& target_global);
+
+  GridSpec spec_;
+  Grid* parent_ = nullptr;
+  std::uint64_t id_;
+  std::array<int, 3> ng_{};
+  std::array<ext::pos_t, 3> dx_{};
+  std::vector<Field> field_list_;
+  std::array<util::Array3<double>, kNumFields> fields_;
+  std::array<util::Array3<double>, kNumFields> old_fields_;
+  std::array<std::array<util::Array3<double>, 3>, kNumFields> fluxes_;
+  std::array<std::array<std::array<util::Array3<double>, 2>, 3>, kNumFields>
+      bfluxes_;
+  util::Array3<double> gravitating_mass_;
+  util::Array3<double> potential_;
+  std::array<util::Array3<double>, 3> accel_;
+  std::vector<Particle> particles_;
+  ext::pos_t time_{0.0};
+  ext::pos_t old_time_{0.0};
+  bool has_old_ = false;
+  bool has_fluxes_ = false;
+  bool has_bfluxes_ = false;
+};
+
+}  // namespace enzo::mesh

@@ -1,0 +1,106 @@
+#pragma once
+// The adaptive grid hierarchy (§3.1–3.2.2).
+//
+// A Hierarchy owns the tree of grids: a root level tiled by one or more
+// grids, and an unbounded stack of refined levels ("no limit on the depth or
+// complexity of the adaptive grid hierarchy").  RebuildHierarchy implements
+// §3.2.2: flag cells on the parent level, cluster them with
+// Berger–Rigoutsos, create the new grids (copying from overlapping old grids
+// of the same level where possible, interpolating from parents otherwise),
+// redistribute particles, and delete the old grids.
+//
+// A registry of GridDescriptors — the paper's "sterile objects" (§3.4) — is
+// maintained per level: metadata-only replicas that every rank can hold so
+// neighbour lookups never require probing other ranks.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mesh/berger_rigoutsos.hpp"
+#include "mesh/grid.hpp"
+
+namespace enzo::mesh {
+
+struct HierarchyParams {
+  Index3 root_dims{32, 32, 32};
+  int refine_factor = 2;
+  /// 4 ghost zones: PPM's reconstruction needs 3, and its shock-flattening
+  /// stencil one more for exact flux symmetry at periodic wraps.
+  int nghost = 4;
+  int max_level = 16;
+  std::vector<Field> fields = hydro_field_list();
+  bool periodic = true;  ///< root boundary: periodic, else outflow
+  ClusterParams cluster;
+  int flag_buffer = 1;   ///< cells of padding around flagged regions
+  std::int64_t min_grid_cells = 8;  ///< discard degenerate slivers
+};
+
+/// Sterile object: everything a remote rank needs to know about a grid in
+/// order to address it, without holding its data (§3.4).
+struct GridDescriptor {
+  std::uint64_t id = 0;
+  int level = 0;
+  IndexBox box;
+  int owner_rank = 0;
+};
+
+class Hierarchy {
+ public:
+  explicit Hierarchy(HierarchyParams params);
+
+  const HierarchyParams& params() const { return params_; }
+
+  /// Create the root level as tiles_per_axis³ equal tiles (1 = single grid).
+  void build_root(int tiles_per_axis = 1);
+
+  /// Domain size in cells of the given level (degenerate axes stay 1).
+  Index3 level_dims(int level) const;
+
+  /// Deepest level that currently has grids.
+  int deepest_level() const { return static_cast<int>(levels_.size()) - 1; }
+
+  std::vector<Grid*> grids(int level);
+  std::vector<const Grid*> grids(int level) const;
+  std::size_t num_grids(int level) const;
+  std::size_t total_grids() const;
+  std::int64_t total_cells() const;
+
+  /// Insert a grid at the given level (used by rebuild and by tests /
+  /// static-refinement setup).  The grid's parent must already be set for
+  /// level > 0.
+  Grid* insert_grid(std::unique_ptr<Grid> g);
+
+  /// Flag callback: append the *global* (level index space) indices of the
+  /// grid's active cells that require refinement.
+  using FlagFn = std::function<void(const Grid&, std::vector<Index3>&)>;
+
+  /// §3.2.2 RebuildHierarchy: rebuild the given level and all deeper ones.
+  /// level must be >= 1 (the root is never rebuilt).
+  void rebuild(int level, const FlagFn& flag);
+
+  /// Verify structural invariants (containment, alignment, non-overlap,
+  /// particle ownership); throws enzo::Error with a description on failure.
+  void check_invariants() const;
+
+  /// Sterile-object registry for one level.
+  const std::vector<GridDescriptor>& descriptors(int level) const;
+
+  /// Count of grids per level (Fig. 5 bottom-left panel).
+  std::vector<std::size_t> grids_per_level() const;
+
+  /// Estimate of computational work per level: cells × timestep ratio r^l
+  /// (Fig. 5 bottom-right panel).
+  std::vector<double> work_per_level() const;
+
+  /// Convenience for building aligned subgrid specs.
+  GridSpec make_spec(int level, const IndexBox& box) const;
+
+ private:
+  void refresh_descriptors(int level);
+  HierarchyParams params_;
+  std::vector<std::vector<std::unique_ptr<Grid>>> levels_;
+  std::vector<std::vector<GridDescriptor>> descriptors_;
+};
+
+}  // namespace enzo::mesh

@@ -1,0 +1,170 @@
+#include "mesh/interpolate.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/flops.hpp"
+
+namespace enzo::mesh {
+
+namespace {
+
+double minmod(double a, double b) {
+  if (a * b <= 0.0) return 0.0;
+  return std::abs(a) < std::abs(b) ? a : b;
+}
+
+struct AxisMap {
+  int rd = 1;        ///< per-axis refinement ratio child/parent
+  std::int64_t wrap = 1;  ///< child-level domain cells (for periodic wrap)
+};
+
+/// Interpolate one field array at parent storage cell (psi,psj,psk) with
+/// sub-cell offsets f[3] (each in (-0.5, 0.5)) using minmod-limited slopes.
+double sample(const util::Array3<double>& p, int psi, int psj, int psk,
+              const double f[3]) {
+  const double v = p(psi, psj, psk);
+  double out = v;
+  const int idx[3] = {psi, psj, psk};
+  const int n[3] = {p.nx(), p.ny(), p.nz()};
+  for (int d = 0; d < 3; ++d) {
+    if (f[d] == 0.0) continue;
+    double slope = 0.0;
+    const bool has_lo = idx[d] - 1 >= 0;
+    const bool has_hi = idx[d] + 1 < n[d];
+    auto at = [&](int delta) {
+      switch (d) {
+        case 0: return p(psi + delta, psj, psk);
+        case 1: return p(psi, psj + delta, psk);
+        default: return p(psi, psj, psk + delta);
+      }
+    };
+    if (has_lo && has_hi)
+      slope = minmod(at(1) - v, v - at(-1));
+    else if (has_hi)
+      slope = 0.0;  // one-sided: stay flat for monotonicity
+    out += f[d] * slope;
+  }
+  return out;
+}
+
+/// Interpolate `child`'s cells within the half-open *local storage* region
+/// [slo, shi) (storage indices into the child's arrays) from the parent.
+/// time_weight in [0,1] blends parent old (0) → new (1) states.
+void interpolate_region(Grid& child, const Grid& parent, const int slo[3],
+                        const int shi[3], double time_weight) {
+  AxisMap ax[3];
+  for (int d = 0; d < 3; ++d) {
+    ENZO_REQUIRE(child.spec().level_dims[d] % parent.spec().level_dims[d] == 0,
+                 "non-integer level refinement");
+    ax[d].rd = static_cast<int>(child.spec().level_dims[d] /
+                                parent.spec().level_dims[d]);
+    ax[d].wrap = child.spec().level_dims[d];
+  }
+  const bool use_old = time_weight < 1.0 && parent.has_old_fields();
+
+  for (Field f : child.field_list()) {
+    if (!parent.has_field(f)) continue;
+    auto& dst = child.field(f);
+    const auto& pnew = parent.field(f);
+    const util::Array3<double>* pold = use_old ? &parent.old_field(f) : nullptr;
+    const bool positive = is_density_like(f);
+
+    for (int sk = slo[2]; sk < shi[2]; ++sk)
+      for (int sj = slo[1]; sj < shi[1]; ++sj)
+        for (int si = slo[0]; si < shi[0]; ++si) {
+          const int s[3] = {si, sj, sk};
+          int ps[3];
+          double frac[3];
+          bool ok = true;
+          for (int d = 0; d < 3; ++d) {
+            // Global child-level index, deliberately *unwrapped*: a ghost
+            // index beyond the domain maps (by floor division) into the
+            // parent's own ghost zones, which the parent-level boundary
+            // pass has already filled with the periodic or outflow data.
+            // Wrapping here instead would point at far-side cells the
+            // single parent does not cover.
+            const std::int64_t g = child.box().lo[d] + (s[d] - child.ng(d));
+            const std::int64_t rd = ax[d].rd;
+            const std::int64_t pcell =
+                g >= 0 ? g / rd : -((-g + rd - 1) / rd);  // floor division
+            const std::int64_t psd =
+                pcell - parent.box().lo[d] + parent.ng(d);
+            if (psd < 0 || psd >= parent.nt(d)) {
+              ok = false;
+              break;
+            }
+            ps[d] = static_cast<int>(psd);
+            frac[d] = ax[d].rd == 1
+                          ? 0.0
+                          : (static_cast<double>(g - pcell * ax[d].rd) + 0.5) /
+                                    ax[d].rd -
+                                0.5;
+          }
+          ENZO_REQUIRE(ok, "child cell not covered by parent " +
+                               parent.box().str() + " child " +
+                               child.box().str());
+          double v = sample(pnew, ps[0], ps[1], ps[2], frac);
+          if (pold) {
+            const double vo = sample(*pold, ps[0], ps[1], ps[2], frac);
+            v = time_weight * v + (1.0 - time_weight) * vo;
+          }
+          if (positive && v <= 0.0)
+            v = std::max(pnew(ps[0], ps[1], ps[2]), 1e-300);
+          dst(si, sj, sk) = v;
+        }
+  }
+  const std::int64_t cells = std::int64_t(shi[0] - slo[0]) *
+                             (shi[1] - slo[1]) * (shi[2] - slo[2]);
+  util::FlopCounter::global().add(
+      "interpolation",
+      util::flop_cost::kInterpolationPerCell * cells *
+          child.field_list().size());
+}
+
+}  // namespace
+
+void fill_ghosts_from_parent(Grid& child, const Grid& parent) {
+  // Time weight from the parent's [old_time, time] bracket.
+  double w = 1.0;
+  if (parent.has_old_fields()) {
+    const double span =
+        ext::pos_to_double(parent.time() - parent.old_time());
+    if (span > 0.0) {
+      w = ext::pos_to_double(child.time() - parent.old_time()) / span;
+      w = std::min(1.0, std::max(0.0, w));
+    }
+  }
+  // Six ghost slabs (faces including edges/corners progressively).
+  for (int d = 0; d < 3; ++d) {
+    if (child.ng(d) == 0) continue;
+    for (int side = 0; side < 2; ++side) {
+      int slo[3], shi[3];
+      for (int e = 0; e < 3; ++e) {
+        // Along already-processed axes include ghosts; along later axes
+        // restrict to active to avoid double work (corners are covered once).
+        if (e < d) {
+          slo[e] = 0;
+          shi[e] = child.nt(e);
+        } else if (e > d) {
+          slo[e] = child.ng(e);
+          shi[e] = child.ng(e) + child.nx(e);
+        }
+      }
+      slo[d] = side == 0 ? 0 : child.ng(d) + child.nx(d);
+      shi[d] = side == 0 ? child.ng(d) : child.nt(d);
+      interpolate_region(child, parent, slo, shi, w);
+    }
+  }
+}
+
+void fill_active_from_parent(Grid& child, const Grid& parent) {
+  int slo[3], shi[3];
+  for (int d = 0; d < 3; ++d) {
+    slo[d] = child.ng(d);
+    shi[d] = child.ng(d) + child.nx(d);
+  }
+  interpolate_region(child, parent, slo, shi, /*time_weight=*/1.0);
+}
+
+}  // namespace enzo::mesh

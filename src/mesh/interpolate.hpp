@@ -1,0 +1,30 @@
+#pragma once
+// Prolongation: coarse → fine data transfer (§3.2.1 step 1 of the two-step
+// boundary procedure, and interior fill of newly created grids in §3.2.2
+// step 3).
+//
+// Interpolation is cell-centered, piecewise linear with minmod-limited
+// slopes per axis (monotone, and exactly conservative per coarse cell for
+// density-like fields since the sub-cell offsets sum to zero).  Ghost-zone
+// fills are additionally *time*-interpolated between the parent's stored old
+// and new states, which is what gives the W-cycle its time-centered subgrid
+// boundary conditions (Fig. 2).
+
+#include "mesh/grid.hpp"
+
+namespace enzo::mesh {
+
+/// Fill every ghost cell of `child` from `parent` data, interpolating
+/// linearly in time to `child.time()` when the parent carries an old state.
+/// Ghost indices are wrapped periodically by the level dimensions before
+/// being mapped into the parent, so domain-edge children work transparently.
+/// Requires the child's active box (grown by its ghosts, after wrapping) to
+/// be covered by the parent's total (ghost-inclusive) region.
+void fill_ghosts_from_parent(Grid& child, const Grid& parent);
+
+/// Fill the child's *active* region (interior) by interpolating the parent's
+/// current state — used when a rebuilt hierarchy creates grids over regions
+/// that were previously unrefined.
+void fill_active_from_parent(Grid& child, const Grid& parent);
+
+}  // namespace enzo::mesh

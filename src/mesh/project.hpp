@@ -1,0 +1,26 @@
+#pragma once
+// Projection: fine → coarse solution update, and flux correction (§3.2.1).
+//
+// "Taken together, these two steps represent one side of the two-way
+// communication between parent and child grids."  Projection overwrites the
+// coarse cells covered by a child with the conservative average of the
+// child's solution; flux correction repairs the coarse cells just *outside*
+// a child boundary so that mass, momentum and energy remain conserved as
+// material flows across the fine/coarse interface.
+
+#include "mesh/grid.hpp"
+
+namespace enzo::mesh {
+
+/// Overwrite the parent's cells covered by `child` with conservative
+/// averages: density-like fields volume-averaged, specific fields
+/// mass-weighted.  Returns the number of parent cells updated.
+std::int64_t project_to_parent(const Grid& child, Grid& parent);
+
+/// Replace the parent's time-integrated boundary fluxes at the child's
+/// faces with the child's (area-averaged, subcycle-summed) fine fluxes and
+/// correct the adjacent outside coarse cells.  Both grids must have flux
+/// registers covering the same physical time window (the parent's last step).
+void flux_correct_from_child(const Grid& child, Grid& parent);
+
+}  // namespace enzo::mesh

@@ -1,0 +1,104 @@
+#include "parallel/comm.hpp"
+
+#include "util/error.hpp"
+
+namespace enzo::parallel {
+
+Transport::Transport(int nranks) {
+  ENZO_REQUIRE(nranks >= 1, "transport needs at least one rank");
+  boxes_.reserve(nranks);
+  for (int r = 0; r < nranks; ++r) boxes_.push_back(std::make_unique<Mailbox>());
+}
+
+void Transport::send(Message m) {
+  ENZO_REQUIRE(m.dst >= 0 && m.dst < nranks(), "send to invalid rank");
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.sends;
+    stats_.bytes += m.payload.size() * sizeof(double);
+  }
+  Mailbox& box = *boxes_[m.dst];
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.queue.push_back(std::move(m));
+  }
+  box.cv.notify_all();
+}
+
+std::optional<Message> Transport::match_locked(Mailbox& box, int src, int tag,
+                                               std::uint64_t object_id) {
+  for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+    if ((src < 0 || it->src == src) && it->tag == tag &&
+        it->object_id == object_id) {
+      Message m = std::move(*it);
+      box.queue.erase(it);
+      return m;
+    }
+  }
+  return std::nullopt;
+}
+
+Message Transport::receive(int rank, int src, int tag,
+                           std::uint64_t object_id) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.receives;
+    if (src < 0) ++stats_.probes;
+  }
+  Mailbox& box = *boxes_[rank];
+  std::unique_lock<std::mutex> lock(box.mu);
+  for (;;) {
+    if (auto m = match_locked(box, src, tag, object_id)) return std::move(*m);
+    box.cv.wait(lock);
+  }
+}
+
+std::optional<Message> Transport::try_receive(int rank, int src, int tag,
+                                              std::uint64_t object_id) {
+  Mailbox& box = *boxes_[rank];
+  std::lock_guard<std::mutex> lock(box.mu);
+  auto m = match_locked(box, src, tag, object_id);
+  if (m) {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.receives;
+    if (src < 0) ++stats_.probes;
+  }
+  return m;
+}
+
+void Transport::barrier() {
+  std::unique_lock<std::mutex> lock(bar_mu_);
+  const int gen = bar_generation_;
+  if (++bar_count_ == nranks()) {
+    bar_count_ = 0;
+    ++bar_generation_;
+    bar_cv_.notify_all();
+  } else {
+    bar_cv_.wait(lock, [&] { return bar_generation_ != gen; });
+  }
+}
+
+CommStats Transport::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void run_ranks(Transport& t, const std::function<void(int)>& fn) {
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(t.nranks());
+  threads.reserve(t.nranks());
+  for (int r = 0; r < t.nranks(); ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        fn(r);
+      } catch (...) {
+        errors[r] = std::current_exception();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+}  // namespace enzo::parallel

@@ -1,0 +1,82 @@
+#pragma once
+// In-process message-passing transport (§3.4 substitution).
+//
+// The paper's MPI strategy is reproduced over an in-process transport: each
+// "rank" is a std::thread with a mailbox; sends are asynchronous
+// (fire-and-forget, like MPI_Isend with buffering), receives match on
+// (source, tag) — or any source when a *probe* would have been required.
+// The transport counts sends, receives and probes so the sterile-object
+// optimization ("very few probes are required") is measurable, exactly the
+// claim of §3.4.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+namespace enzo::parallel {
+
+struct Message {
+  int src = 0;
+  int dst = 0;
+  int tag = 0;
+  std::uint64_t object_id = 0;  ///< grid id the payload belongs to
+  std::vector<double> payload;
+};
+
+struct CommStats {
+  std::uint64_t sends = 0;
+  std::uint64_t receives = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// The shared "network": one mailbox per rank.
+class Transport {
+ public:
+  explicit Transport(int nranks);
+  int nranks() const { return static_cast<int>(boxes_.size()); }
+
+  /// Asynchronous buffered send.
+  void send(Message m);
+
+  /// Blocking receive matching (src, tag, object_id); src = -1 matches any
+  /// source *and counts as a probe* (the expensive pattern sterile objects
+  /// eliminate).
+  Message receive(int rank, int src, int tag, std::uint64_t object_id);
+
+  /// Non-blocking variant; returns nullopt if nothing matches.
+  std::optional<Message> try_receive(int rank, int src, int tag,
+                                     std::uint64_t object_id);
+
+  /// Rendezvous for all ranks.
+  void barrier();
+
+  CommStats stats() const;
+
+ private:
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Message> queue;
+  };
+  std::optional<Message> match_locked(Mailbox& box, int src, int tag,
+                                      std::uint64_t object_id);
+  std::vector<std::unique_ptr<Mailbox>> boxes_;
+  mutable std::mutex stats_mu_;
+  CommStats stats_;
+  // Barrier state.
+  std::mutex bar_mu_;
+  std::condition_variable bar_cv_;
+  int bar_count_ = 0;
+  int bar_generation_ = 0;
+};
+
+/// Run fn(rank) on nranks threads sharing a Transport; joins all.
+void run_ranks(Transport& t, const std::function<void(int)>& fn);
+
+}  // namespace enzo::parallel

@@ -1,0 +1,49 @@
+#pragma once
+// Distributed SAMR boundary exchange (§3.4, over the in-process transport).
+//
+// The paper distributes whole grids over ranks; the per-level sibling
+// boundary exchange then becomes message traffic.  This module runs that
+// exact protocol against a real mesh::Hierarchy:
+//
+//   1. grids of a level are assigned to ranks (the caller typically uses
+//      balance_lpt on cells × timestep weights);
+//   2. every rank holds the full *sterile* metadata (descriptors + owners),
+//      so each rank computes, locally and without probing, both the overlap
+//      blocks it must send and the ones it will receive;
+//   3. phase one posts all sends (need-ordering is trivial here since the
+//      receive loop consumes deterministically); phase two receives and
+//      writes ghost zones.
+//
+// The result must be bit-identical to the serial
+// mesh::set_boundary_values sibling pass — asserted by the tests — while
+// the transport's statistics expose the §3.4 claims (no probes, message
+// and byte counts).
+
+#include "mesh/hierarchy.hpp"
+#include "parallel/comm.hpp"
+#include "parallel/sterile.hpp"
+
+namespace enzo::parallel {
+
+/// One overlap transfer: source grid region → destination grid ghosts.
+struct ExchangeBlock {
+  std::uint64_t src_id = 0, dst_id = 0;
+  mesh::IndexBox region;    ///< global (unshifted) destination-side box
+  mesh::Index3 shift{};     ///< periodic image shift applied to the source
+};
+
+/// Compute the full sibling-exchange plan for a level from sterile metadata
+/// only (no grid data): every (ghost-region ∩ shifted sibling) overlap.
+std::vector<ExchangeBlock> plan_sibling_exchange(const mesh::Hierarchy& h,
+                                                 int level);
+
+/// Execute the sibling ghost exchange for `level` with grids distributed by
+/// `owner` (rank per grid, in h.grids(level) order) over `nranks` ranks.
+/// Each rank only reads grids it owns and only writes ghosts of grids it
+/// owns; all cross-rank data moves through the transport.  Returns the
+/// transport statistics.
+CommStats distributed_sibling_exchange(mesh::Hierarchy& h, int level,
+                                       const std::vector<int>& owner,
+                                       int nranks);
+
+}  // namespace enzo::parallel

@@ -1,0 +1,84 @@
+#include "parallel/dynamic_balance.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace enzo::parallel {
+
+RebalanceResult DynamicBalancer::rebalance(const std::vector<GridLoad>& grids) {
+  ENZO_REQUIRE(nranks_ >= 1, "balancer needs at least one rank");
+  RebalanceResult out;
+  std::vector<double> load(static_cast<std::size_t>(nranks_), 0.0);
+
+  // 1. Surviving grids keep their rank; collect newcomers.
+  std::vector<const GridLoad*> fresh;
+  for (const GridLoad& g : grids) {
+    auto it = previous_.find(g.id);
+    if (it != previous_.end()) {
+      out.owner[g.id] = it->second;
+      load[static_cast<std::size_t>(it->second)] += g.weight;
+    } else {
+      fresh.push_back(&g);
+    }
+  }
+  // 2. Place newcomers heaviest-first on the least-loaded rank (LPT step).
+  std::sort(fresh.begin(), fresh.end(),
+            [](const GridLoad* a, const GridLoad* b) {
+              return a->weight > b->weight;
+            });
+  for (const GridLoad* g : fresh) {
+    const int r = static_cast<int>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    out.owner[g->id] = r;
+    load[static_cast<std::size_t>(r)] += g->weight;
+  }
+
+  auto imbalance = [&] {
+    const double mx = *std::max_element(load.begin(), load.end());
+    const double avg =
+        std::accumulate(load.begin(), load.end(), 0.0) / nranks_;
+    return avg > 0 ? mx / avg - 1.0 : 0.0;
+  };
+
+  // 3. Migrate while over threshold: repeatedly move the grid from the
+  // most-loaded rank whose transfer best improves balance per byte moved.
+  int guard = static_cast<int>(grids.size()) + 8;
+  while (imbalance() > threshold_ && guard-- > 0) {
+    const int src = static_cast<int>(
+        std::max_element(load.begin(), load.end()) - load.begin());
+    const int dst = static_cast<int>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    if (src == dst) break;
+    const double gap = load[static_cast<std::size_t>(src)] -
+                       load[static_cast<std::size_t>(dst)];
+    // Candidate: grid on src with the largest weight not exceeding half the
+    // gap (so the move strictly shrinks it), cheapest bytes on ties.
+    const GridLoad* best = nullptr;
+    for (const GridLoad& g : grids) {
+      if (out.owner[g.id] != src) continue;
+      if (g.weight >= gap) continue;  // would overshoot or just swap roles
+      if (!best || g.weight > best->weight ||
+          (g.weight == best->weight && g.bytes < best->bytes))
+        best = &g;
+    }
+    if (!best) break;  // only monolithic grids remain: imbalance floor
+    out.owner[best->id] = dst;
+    load[static_cast<std::size_t>(src)] -= best->weight;
+    load[static_cast<std::size_t>(dst)] += best->weight;
+    // Migration cost counts only if the grid existed before (new grids have
+    // no data resident anywhere yet).
+    if (previous_.count(best->id)) {
+      out.migrated_bytes += best->bytes;
+      ++out.migrations;
+    }
+  }
+
+  out.imbalance = imbalance();
+  total_migrated_ += out.migrated_bytes;
+  previous_ = out.owner;
+  return out;
+}
+
+}  // namespace enzo::parallel

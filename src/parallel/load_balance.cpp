@@ -1,0 +1,51 @@
+#include "parallel/load_balance.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace enzo::parallel {
+
+namespace {
+LoadBalanceResult finish(std::vector<int> owner,
+                         const std::vector<double>& weights, int nranks) {
+  LoadBalanceResult r;
+  r.owner = std::move(owner);
+  std::vector<double> load(nranks, 0.0);
+  for (std::size_t i = 0; i < weights.size(); ++i)
+    load[static_cast<std::size_t>(r.owner[i])] += weights[i];
+  r.max_load = *std::max_element(load.begin(), load.end());
+  r.avg_load = std::accumulate(load.begin(), load.end(), 0.0) / nranks;
+  return r;
+}
+}  // namespace
+
+LoadBalanceResult balance_lpt(const std::vector<double>& weights, int nranks) {
+  ENZO_REQUIRE(nranks >= 1, "need at least one rank");
+  std::vector<std::size_t> order(weights.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return weights[a] > weights[b];
+  });
+  std::vector<double> load(nranks, 0.0);
+  std::vector<int> owner(weights.size(), 0);
+  for (std::size_t idx : order) {
+    const int r = static_cast<int>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    owner[idx] = r;
+    load[static_cast<std::size_t>(r)] += weights[idx];
+  }
+  return finish(std::move(owner), weights, nranks);
+}
+
+LoadBalanceResult balance_round_robin(const std::vector<double>& weights,
+                                      int nranks) {
+  ENZO_REQUIRE(nranks >= 1, "need at least one rank");
+  std::vector<int> owner(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i)
+    owner[i] = static_cast<int>(i % static_cast<std::size_t>(nranks));
+  return finish(std::move(owner), weights, nranks);
+}
+
+}  // namespace enzo::parallel

@@ -1,0 +1,32 @@
+#pragma once
+// Grid-granularity load balancing (§3.4).
+//
+// "We leveraged the object-oriented design by distributing the objects over
+// the processors, rather than attempting to distribute an individual grid.
+// This makes sense because the grids are generally small (~20³) and numerous
+// (sometimes in excess of 50,000)."  Load balancing assigns whole grids to
+// ranks; the classic longest-processing-time (LPT) greedy heuristic keeps
+// the maximum rank load within ~4/3 of optimal, which is ample at tens of
+// grids per rank.
+
+#include <cstdint>
+#include <vector>
+
+namespace enzo::parallel {
+
+struct LoadBalanceResult {
+  std::vector<int> owner;  ///< rank per input weight
+  double max_load = 0;
+  double avg_load = 0;
+  /// max/avg − 1; 0 = perfect balance.
+  double imbalance() const { return avg_load > 0 ? max_load / avg_load - 1.0 : 0.0; }
+};
+
+/// LPT: sort by descending weight, place each on the least-loaded rank.
+LoadBalanceResult balance_lpt(const std::vector<double>& weights, int nranks);
+
+/// Naive round-robin baseline (what distributing *in creation order* does).
+LoadBalanceResult balance_round_robin(const std::vector<double>& weights,
+                                      int nranks);
+
+}  // namespace enzo::parallel

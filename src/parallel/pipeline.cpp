@@ -1,0 +1,58 @@
+#include "parallel/pipeline.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace enzo::parallel {
+
+std::vector<int> pipeline_order(const std::vector<SendTask>& tasks) {
+  std::vector<int> order(tasks.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return tasks[static_cast<std::size_t>(a)].need_order <
+           tasks[static_cast<std::size_t>(b)].need_order;
+  });
+  return order;
+}
+
+std::vector<int> naive_order(std::size_t n) {
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  return order;
+}
+
+double simulated_wait(const std::vector<SendTask>& tasks,
+                      const std::vector<int>& order, double bandwidth,
+                      double latency, double proc_time) {
+  ENZO_REQUIRE(order.size() == tasks.size(), "order/tasks size mismatch");
+  ENZO_REQUIRE(bandwidth > 0, "bandwidth must be positive");
+  // Arrival time of each task under the given send ordering.
+  std::vector<double> arrival(tasks.size(), 0.0);
+  double emit_end = 0.0;
+  for (int idx : order) {
+    const SendTask& t = tasks[static_cast<std::size_t>(idx)];
+    emit_end += t.bytes / bandwidth;
+    arrival[static_cast<std::size_t>(idx)] = emit_end + latency;
+  }
+  // Receiver consumes in need order.
+  std::vector<int> consume(tasks.size());
+  std::iota(consume.begin(), consume.end(), 0);
+  std::stable_sort(consume.begin(), consume.end(), [&](int a, int b) {
+    return tasks[static_cast<std::size_t>(a)].need_order <
+           tasks[static_cast<std::size_t>(b)].need_order;
+  });
+  double clock = 0.0, wait = 0.0;
+  for (int idx : consume) {
+    const double a = arrival[static_cast<std::size_t>(idx)];
+    if (a > clock) {
+      wait += a - clock;
+      clock = a;
+    }
+    clock += proc_time;
+  }
+  return wait;
+}
+
+}  // namespace enzo::parallel

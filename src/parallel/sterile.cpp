@@ -1,0 +1,58 @@
+#include "parallel/sterile.hpp"
+
+namespace enzo::parallel {
+
+void SterileStore::mirror(const mesh::Hierarchy& h,
+                          const std::vector<int>& owner_by_index) {
+  all_.clear();
+  std::size_t idx = 0;
+  for (int l = 0; l <= h.deepest_level(); ++l)
+    for (const mesh::GridDescriptor& d : h.descriptors(l)) {
+      mesh::GridDescriptor copy = d;
+      if (idx < owner_by_index.size()) copy.owner_rank = owner_by_index[idx];
+      all_.push_back(copy);
+      ++idx;
+    }
+}
+
+int SterileStore::owner_of(std::uint64_t id) const {
+  ++lookups_;
+  for (const auto& d : all_)
+    if (d.id == id) return d.owner_rank;
+  return -1;
+}
+
+std::vector<mesh::GridDescriptor> SterileStore::find_overlaps(
+    int level, const mesh::IndexBox& target, const mesh::Index3& dims,
+    bool periodic) const {
+  ++lookups_;
+  std::vector<mesh::GridDescriptor> out;
+  std::array<std::vector<std::int64_t>, 3> shifts;
+  for (int d = 0; d < 3; ++d) {
+    shifts[d] = {0};
+    if (periodic && dims[d] > 1) {
+      shifts[d].push_back(dims[d]);
+      shifts[d].push_back(-dims[d]);
+    }
+  }
+  for (const auto& desc : all_) {
+    if (desc.level != level) continue;
+    bool hit = false;
+    for (std::int64_t kz : shifts[2]) {
+      for (std::int64_t ky : shifts[1]) {
+        for (std::int64_t kx : shifts[0]) {
+          if (!target.intersect(desc.box.shifted({kx, ky, kz})).empty()) {
+            hit = true;
+            break;
+          }
+        }
+        if (hit) break;
+      }
+      if (hit) break;
+    }
+    if (hit) out.push_back(desc);
+  }
+  return out;
+}
+
+}  // namespace enzo::parallel

@@ -1,0 +1,25 @@
+#include "util/alloc_stats.hpp"
+
+#include <cstdio>
+
+namespace enzo::util {
+
+std::string AllocStats::report() const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "grid-field allocations: %llu, frees: %llu\n"
+                "live bytes: %llu, peak bytes: %llu, cumulative bytes: %llu\n",
+                static_cast<unsigned long long>(allocations()),
+                static_cast<unsigned long long>(frees()),
+                static_cast<unsigned long long>(live_bytes()),
+                static_cast<unsigned long long>(peak_bytes()),
+                static_cast<unsigned long long>(total_bytes()));
+  return buf;
+}
+
+AllocStats& AllocStats::global() {
+  static AllocStats instance;
+  return instance;
+}
+
+}  // namespace enzo::util

@@ -1,0 +1,62 @@
+#pragma once
+// Grid-memory allocation statistics.
+//
+// §5 of the paper highlights that the entire grid hierarchy is rebuilt
+// thousands of times, producing "an extremely large number of memory
+// allocations and frees" — a stress signature of SAMR codes.  Grid field
+// allocation/deallocation reports here so the fig5/table benches can emit the
+// same statistics (total allocations, frees, live bytes, peak bytes).
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace enzo::util {
+
+class AllocStats {
+ public:
+  void on_alloc(std::size_t bytes) {
+    allocations_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t live =
+        live_bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    // Racy max update is fine: stats are advisory.
+    std::uint64_t peak = peak_bytes_.load(std::memory_order_relaxed);
+    while (live > peak &&
+           !peak_bytes_.compare_exchange_weak(peak, live,
+                                              std::memory_order_relaxed)) {
+    }
+  }
+  void on_free(std::size_t bytes) {
+    frees_.fetch_add(1, std::memory_order_relaxed);
+    live_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  std::uint64_t allocations() const { return allocations_.load(); }
+  std::uint64_t frees() const { return frees_.load(); }
+  std::uint64_t live_bytes() const { return live_bytes_.load(); }
+  std::uint64_t peak_bytes() const { return peak_bytes_.load(); }
+  std::uint64_t total_bytes() const { return total_bytes_.load(); }
+
+  void reset() {
+    allocations_ = 0;
+    frees_ = 0;
+    live_bytes_ = 0;
+    peak_bytes_ = 0;
+    total_bytes_ = 0;
+  }
+
+  std::string report() const;
+
+  static AllocStats& global();
+
+ private:
+  std::atomic<std::uint64_t> allocations_{0};
+  std::atomic<std::uint64_t> frees_{0};
+  std::atomic<std::uint64_t> live_bytes_{0};
+  std::atomic<std::uint64_t> peak_bytes_{0};
+  std::atomic<std::uint64_t> total_bytes_{0};
+};
+
+}  // namespace enzo::util

@@ -1,0 +1,96 @@
+#pragma once
+// Array3<T>: an owning, contiguous 3-d array used for all per-grid fields.
+//
+// Layout is Fortran-ish x-fastest (i + nx*(j + ny*k)) so that 1-d hydro
+// sweeps along x are stride-1 and the x-pencil extraction in the PPM/ZEUS
+// solvers is a memcpy.  2-d and 1-d problems simply use nz==1 (and ny==1).
+//
+// The class intentionally has no ghost-zone notion of its own: grids decide
+// how many ghost cells a field carries and index accordingly.
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace enzo::util {
+
+template <typename T>
+class Array3 {
+ public:
+  Array3() = default;
+  Array3(int nx, int ny, int nz, T fill = T{}) { resize(nx, ny, nz, fill); }
+
+  void resize(int nx, int ny, int nz, T fill = T{}) {
+    ENZO_REQUIRE(nx >= 0 && ny >= 0 && nz >= 0, "negative Array3 extent");
+    nx_ = nx;
+    ny_ = ny;
+    nz_ = nz;
+    data_.assign(static_cast<std::size_t>(nx) * ny * nz, fill);
+  }
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int nz() const { return nz_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  std::size_t index(int i, int j, int k) const {
+    return static_cast<std::size_t>(i) +
+           static_cast<std::size_t>(nx_) *
+               (static_cast<std::size_t>(j) +
+                static_cast<std::size_t>(ny_) * static_cast<std::size_t>(k));
+  }
+
+  T& operator()(int i, int j, int k) { return data_[index(i, j, k)]; }
+  const T& operator()(int i, int j, int k) const { return data_[index(i, j, k)]; }
+
+  T& at(int i, int j, int k) {
+    ENZO_REQUIRE(contains(i, j, k), "Array3::at out of range");
+    return data_[index(i, j, k)];
+  }
+  const T& at(int i, int j, int k) const {
+    ENZO_REQUIRE(contains(i, j, k), "Array3::at out of range");
+    return data_[index(i, j, k)];
+  }
+
+  bool contains(int i, int j, int k) const {
+    return i >= 0 && i < nx_ && j >= 0 && j < ny_ && k >= 0 && k < nz_;
+  }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Element-wise accumulate (same shape required).
+  void add(const Array3& other, T scale = T{1}) {
+    ENZO_REQUIRE(same_shape(other), "Array3::add shape mismatch");
+    for (std::size_t n = 0; n < data_.size(); ++n) data_[n] += scale * other.data_[n];
+  }
+
+  bool same_shape(const Array3& o) const {
+    return nx_ == o.nx_ && ny_ == o.ny_ && nz_ == o.nz_;
+  }
+
+  T min() const { return data_.empty() ? T{} : *std::min_element(data_.begin(), data_.end()); }
+  T max() const { return data_.empty() ? T{} : *std::max_element(data_.begin(), data_.end()); }
+  T sum() const {
+    T s{};
+    for (const T& v : data_) s += v;
+    return s;
+  }
+
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+
+ private:
+  int nx_ = 0, ny_ = 0, nz_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace enzo::util

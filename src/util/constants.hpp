@@ -1,0 +1,39 @@
+#pragma once
+// Physical constants in CGS, plus a few astronomical unit conversions.
+// Values follow CODATA / standard astrophysical usage; the chemistry and
+// cooling modules consume these directly.
+
+namespace enzo::constants {
+
+inline constexpr double kBoltzmann = 1.380649e-16;       ///< erg / K
+inline constexpr double kGravity = 6.67430e-8;           ///< cm^3 g^-1 s^-2
+inline constexpr double kProtonMass = 1.67262192e-24;    ///< g
+inline constexpr double kElectronMass = 9.1093837e-28;   ///< g
+inline constexpr double kHydrogenMass = 1.6735575e-24;   ///< g (H atom)
+inline constexpr double kSpeedOfLight = 2.99792458e10;   ///< cm / s
+inline constexpr double kThomsonCrossSection = 6.6524587e-25;  ///< cm^2
+inline constexpr double kRadiationConstant = 7.5657e-15;       ///< erg cm^-3 K^-4
+inline constexpr double kElectronVolt = 1.602176634e-12;       ///< erg
+
+inline constexpr double kMpc = 3.0856775814913673e24;  ///< cm
+inline constexpr double kKpc = 3.0856775814913673e21;  ///< cm
+inline constexpr double kParsec = 3.0856775814913673e18;  ///< cm
+inline constexpr double kAu = 1.495978707e13;             ///< cm
+inline constexpr double kSolarMass = 1.98892e33;          ///< g
+inline constexpr double kYear = 3.15576e7;                ///< s
+inline constexpr double kMegaYear = 3.15576e13;           ///< s
+
+/// Present-day CMB temperature (K); T_cmb(z) = kTcmb0 * (1+z).
+inline constexpr double kTcmb0 = 2.725;
+
+/// Hubble constant for h = 1, in s^-1 (100 km/s/Mpc).
+inline constexpr double kHubble100 = 3.2407792894443648e-18;
+
+/// Critical density today for h = 1 (g/cm^3): 3 H100^2 / (8 pi G).
+inline constexpr double kRhoCrit0 =
+    3.0 * kHubble100 * kHubble100 / (8.0 * 3.14159265358979323846 * kGravity);
+
+/// Primordial hydrogen mass fraction used throughout (paper: ~76 % H, 24 % He).
+inline constexpr double kHydrogenFraction = 0.76;
+
+}  // namespace enzo::constants

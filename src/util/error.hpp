@@ -1,0 +1,37 @@
+#pragma once
+// Error handling for enzo-mini.
+//
+// ENZO_REQUIRE is used for checking preconditions and invariants that are
+// cheap relative to the work they guard (hierarchy containment, alignment,
+// field presence).  Violations throw enzo::Error so tests can assert on
+// failure injection rather than aborting the process.
+
+#include <stdexcept>
+#include <string>
+
+namespace enzo {
+
+/// Exception thrown on violated invariants and unrecoverable input errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* expr, const char* file, int line,
+                              const std::string& msg) {
+  throw Error(std::string(file) + ":" + std::to_string(line) +
+              ": requirement failed: " + expr + (msg.empty() ? "" : " — ") +
+              msg);
+}
+}  // namespace detail
+
+}  // namespace enzo
+
+#define ENZO_REQUIRE(cond, msg)                                     \
+  do {                                                              \
+    if (!(cond)) ::enzo::detail::fail(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#define ENZO_UNREACHABLE(msg) \
+  ::enzo::detail::fail("unreachable", __FILE__, __LINE__, (msg))

@@ -1,0 +1,38 @@
+#include "util/flops.hpp"
+
+namespace enzo::util {
+
+void FlopCounter::add(const std::string& component, std::uint64_t flops) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counts_[component] += flops;
+}
+
+std::uint64_t FlopCounter::total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t t = 0;
+  for (auto& [k, v] : counts_) t += v;
+  return t;
+}
+
+std::uint64_t FlopCounter::component(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counts_.find(name);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> FlopCounter::rows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {counts_.begin(), counts_.end()};
+}
+
+void FlopCounter::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counts_.clear();
+}
+
+FlopCounter& FlopCounter::global() {
+  static FlopCounter instance;
+  return instance;
+}
+
+}  // namespace enzo::util

@@ -1,0 +1,51 @@
+#pragma once
+// Floating-point operation estimation.
+//
+// The paper measures a hardware op count on an R10000 for a representative
+// run segment and combines it with SP2 wall-clock to quote ~13 Gflop/s
+// sustained, then computes a "virtual flop rate" of ~1e44 flop/s versus a
+// hypothetical static 1e12^3 grid.  We instrument each solver with an
+// analytic per-cell operation estimate (the future project mentioned in §5)
+// and accumulate them here; the table_flops bench divides by measured wall
+// time to produce the same two numbers.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace enzo::util {
+
+class FlopCounter {
+ public:
+  void add(const std::string& component, std::uint64_t flops);
+  std::uint64_t total() const;
+  std::uint64_t component(const std::string& name) const;
+  std::vector<std::pair<std::string, std::uint64_t>> rows() const;
+  void reset();
+
+  static FlopCounter& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::uint64_t> counts_;
+};
+
+/// Analytic per-cell-update flop estimates for each solver, used consistently
+/// across the code.  These are deliberately conservative (counts of the
+/// arithmetic in the inner loops, treating transcendental calls as one op,
+/// exactly as the paper's hardware counter treats a 128-bit op as one).
+namespace flop_cost {
+inline constexpr std::uint64_t kPpmPerCellPerSweep = 220;
+inline constexpr std::uint64_t kZeusPerCellPerSweep = 70;
+inline constexpr std::uint64_t kFftPerPointLog2 = 5;       // per point per log2(N)
+inline constexpr std::uint64_t kMultigridPerCellPerSweep = 9;
+inline constexpr std::uint64_t kChemistryPerCellPerSubcycle = 400;
+inline constexpr std::uint64_t kCicPerParticle = 60;
+inline constexpr std::uint64_t kInterpolationPerCell = 25;
+inline constexpr std::uint64_t kProjectionPerCell = 4;
+}  // namespace flop_cost
+
+}  // namespace enzo::util

@@ -1,0 +1,158 @@
+// Analysis-module tests: densest-point search across levels, radial profiles
+// on analytic fields, zoom slices reading the finest data, and hierarchy
+// statistics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/analysis.hpp"
+#include "mesh/hierarchy.hpp"
+
+using namespace enzo;
+using mesh::Field;
+using mesh::Grid;
+
+namespace {
+mesh::Hierarchy two_level_box(double rho_root, double rho_child) {
+  mesh::HierarchyParams p;
+  p.root_dims = {16, 16, 16};
+  p.max_level = 1;
+  mesh::Hierarchy h(p);
+  h.build_root();
+  Grid* root = h.grids(0)[0];
+  for (Field f : root->field_list())
+    root->field(f).fill(f == Field::kDensity ? rho_root : 0.1);
+  root->store_old_fields();
+  auto child = std::make_unique<Grid>(
+      h.make_spec(1, {{12, 12, 12}, {20, 20, 20}}), p.fields);
+  child->set_parent(root);
+  for (Field f : child->field_list())
+    child->field(f).fill(f == Field::kDensity ? rho_child : 0.1);
+  h.insert_grid(std::move(child));
+  return h;
+}
+}  // namespace
+
+TEST(Analysis, DensestPointPrefersFinestData) {
+  mesh::Hierarchy h = two_level_box(1.0, 50.0);
+  // Put a root-level spike in an *uncovered* region — the peak must still be
+  // found on the child where its density is larger.
+  Grid* root = h.grids(0)[0];
+  root->field(Field::kDensity)(root->sx(2), root->sy(2), root->sz(2)) = 20.0;
+  auto peak = analysis::find_densest_point(h);
+  EXPECT_EQ(peak.level, 1);
+  EXPECT_DOUBLE_EQ(peak.density, 50.0);
+  // Center of the child region is at 0.5.
+  EXPECT_NEAR(ext::pos_to_double(peak.position[0]), 0.5, 0.25);
+}
+
+TEST(Analysis, DensestPointIgnoresCoveredCoarseCells) {
+  mesh::Hierarchy h = two_level_box(100.0, 1.0);
+  // The root's covered cells hold 100, but they are masked; the uncovered
+  // root cells also hold 100 so the peak is a root cell.
+  auto peak = analysis::find_densest_point(h);
+  EXPECT_EQ(peak.level, 0);
+  EXPECT_DOUBLE_EQ(peak.density, 100.0);
+}
+
+TEST(Analysis, RadialProfileOfPowerLawDensity) {
+  // ρ(r) = r^-2 around the center: the binned profile must recover the
+  // slope.
+  mesh::HierarchyParams p;
+  p.root_dims = {32, 32, 32};
+  mesh::Hierarchy h(p);
+  h.build_root();
+  Grid* g = h.grids(0)[0];
+  for (Field f : g->field_list()) g->field(f).fill(0.1);
+  auto& rho = g->field(Field::kDensity);
+  for (int k = 0; k < 32; ++k)
+    for (int j = 0; j < 32; ++j)
+      for (int i = 0; i < 32; ++i) {
+        const double x = (i + 0.5) / 32 - 0.5, y = (j + 0.5) / 32 - 0.5,
+                     z = (k + 0.5) / 32 - 0.5;
+        const double r = std::sqrt(x * x + y * y + z * z);
+        rho(g->sx(i), g->sy(j), g->sz(k)) = std::pow(std::max(r, 0.01), -2.0);
+      }
+  analysis::ProfileOptions opt;
+  opt.nbins = 16;
+  opt.r_min = 0.03;
+  opt.r_max = 0.4;
+  hydro::HydroParams hp;
+  chemistry::ChemUnits units;
+  ext::PosVec c{ext::pos_t(0.5), ext::pos_t(0.5), ext::pos_t(0.5)};
+  auto prof = analysis::radial_profile(h, c, opt, hp, units);
+  // Fit the log-slope between the innermost and outermost well-populated
+  // bins (cells are sparse at small radii on a 32³ lattice).
+  int b1 = -1, b2 = -1;
+  for (int b = 0; b < opt.nbins; ++b)
+    if (prof.cell_count[b] >= 8) {
+      if (b1 < 0) b1 = b;
+      b2 = b;
+    }
+  ASSERT_GE(b1, 0);
+  ASSERT_GT(b2, b1);
+  const double slope = std::log(prof.gas_density[b2] / prof.gas_density[b1]) /
+                       std::log(prof.r[b2] / prof.r[b1]);
+  EXPECT_NEAR(slope, -2.0, 0.25);
+  // Enclosed mass is monotonic.
+  for (int b = 1; b < opt.nbins; ++b)
+    EXPECT_GE(prof.enclosed_gas_mass[b], prof.enclosed_gas_mass[b - 1]);
+}
+
+TEST(Analysis, RadialVelocityOfHubbleLikeInflow) {
+  // v = −r̂ everywhere: mass-weighted v_r must be ≈ −1 in every bin.
+  mesh::HierarchyParams p;
+  p.root_dims = {16, 16, 16};
+  mesh::Hierarchy h(p);
+  h.build_root();
+  Grid* g = h.grids(0)[0];
+  for (Field f : g->field_list()) g->field(f).fill(0.0);
+  g->field(Field::kDensity).fill(1.0);
+  g->field(Field::kInternalEnergy).fill(1.0);
+  for (int k = 0; k < 16; ++k)
+    for (int j = 0; j < 16; ++j)
+      for (int i = 0; i < 16; ++i) {
+        const double x = (i + 0.5) / 16 - 0.5, y = (j + 0.5) / 16 - 0.5,
+                     z = (k + 0.5) / 16 - 0.5;
+        const double r = std::max(std::sqrt(x * x + y * y + z * z), 1e-9);
+        g->field(Field::kVelocityX)(g->sx(i), g->sy(j), g->sz(k)) = -x / r;
+        g->field(Field::kVelocityY)(g->sx(i), g->sy(j), g->sz(k)) = -y / r;
+        g->field(Field::kVelocityZ)(g->sx(i), g->sy(j), g->sz(k)) = -z / r;
+      }
+  analysis::ProfileOptions opt;
+  opt.nbins = 8;
+  opt.r_min = 0.05;
+  opt.r_max = 0.45;
+  hydro::HydroParams hp;
+  chemistry::ChemUnits units;
+  ext::PosVec c{ext::pos_t(0.5), ext::pos_t(0.5), ext::pos_t(0.5)};
+  auto prof = analysis::radial_profile(h, c, opt, hp, units);
+  for (int b = 0; b < opt.nbins; ++b)
+    if (prof.cell_count[b] > 0) EXPECT_NEAR(prof.v_radial[b], -1.0, 1e-6);
+}
+
+TEST(Analysis, SliceReadsFinestAvailableData) {
+  mesh::Hierarchy h = two_level_box(1.0, 1000.0);
+  // Slice through the center: points inside the child region read 1000.
+  auto s = analysis::density_slice(h, /*axis=*/2, ext::pos_t(0.5),
+                                   {0.5, 0.5}, /*half=*/0.4, /*n=*/32);
+  EXPECT_EQ(s.finest_level_touched, 1);
+  // Center pixel (inside the child) = log10(1000) = 3.
+  EXPECT_NEAR(s.log10_density[16 * 32 + 16], 3.0, 1e-9);
+  // Corner pixel (outside the child) = 0.
+  EXPECT_NEAR(s.log10_density[0], 0.0, 1e-9);
+  EXPECT_NEAR(s.max_log, 3.0, 1e-9);
+  EXPECT_NEAR(s.min_log, 0.0, 1e-9);
+}
+
+TEST(Analysis, HierarchyStatsNormalizesWork) {
+  mesh::Hierarchy h = two_level_box(1.0, 2.0);
+  auto st = analysis::hierarchy_stats(h);
+  EXPECT_EQ(st.max_level, 1);
+  EXPECT_EQ(st.total_grids, 2u);
+  ASSERT_EQ(st.work_per_level.size(), 2u);
+  const double wmax =
+      std::max(st.work_per_level[0], st.work_per_level[1]);
+  EXPECT_DOUBLE_EQ(wmax, 1.0);
+}

@@ -1,0 +1,244 @@
+// Tests for the double–double extended precision arithmetic (§3.5 substrate).
+//
+// The property sweeps exercise the error-free-transform identities at many
+// magnitudes; the "SDR" tests demonstrate the paper's requirement directly:
+// distinguishing x and x+Δx with Δx/x ~ 1e-12 and headroom to ~1e-14, which
+// plain double cannot do through a chain of operations.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "ext/dd.hpp"
+#include "ext/position.hpp"
+
+using enzo::ext::dd;
+namespace ext = enzo::ext;
+
+TEST(Dd, ConstructionAndConversion) {
+  dd a(1.5);
+  EXPECT_DOUBLE_EQ(a.hi, 1.5);
+  EXPECT_DOUBLE_EQ(a.lo, 0.0);
+  EXPECT_DOUBLE_EQ(a.to_double(), 1.5);
+  dd b = dd::from_int(1234567890123456789LL);
+  // from_int is exact: reconstruct the integer.
+  const long long reconstructed =
+      static_cast<long long>(b.hi) + static_cast<long long>(b.lo);
+  EXPECT_EQ(reconstructed, 1234567890123456789LL);
+}
+
+TEST(Dd, AdditionCapturesRoundoff) {
+  // 1 + 2^-80 is invisible to double but exact in dd.
+  const double tiny = std::ldexp(1.0, -80);
+  dd s = dd(1.0) + dd(tiny);
+  EXPECT_DOUBLE_EQ(s.hi, 1.0);
+  EXPECT_DOUBLE_EQ(s.lo, tiny);
+  dd back = s - dd(1.0);
+  EXPECT_DOUBLE_EQ(back.to_double(), tiny);
+}
+
+TEST(Dd, MultiplicationExactProducts) {
+  // (1 + 2^-30)² = 1 + 2^-29 + 2^-60 — the 2^-60 term must survive.
+  const double e = std::ldexp(1.0, -30);
+  dd x = dd(1.0) + dd(e);
+  dd sq = x * x;
+  dd expected = dd(1.0) + dd(std::ldexp(1.0, -29)) + dd(std::ldexp(1.0, -60));
+  EXPECT_EQ(sq.hi, expected.hi);
+  EXPECT_NEAR(sq.lo, expected.lo, 1e-30);
+}
+
+TEST(Dd, DivisionRoundTrip) {
+  dd a(3.0), b(7.0);
+  dd q = a / b;
+  dd r = q * b - a;
+  EXPECT_LT(std::abs(r.to_double()), 10 * dd::epsilon() * 3.0);
+}
+
+TEST(Dd, SqrtNewton) {
+  dd two(2.0);
+  dd r = ext::sqrt(two);
+  dd err = r * r - two;
+  EXPECT_LT(std::abs(err.to_double()), 10 * dd::epsilon() * 2.0);
+  EXPECT_DOUBLE_EQ(ext::sqrt(dd(0.0)).to_double(), 0.0);
+}
+
+TEST(Dd, Comparisons) {
+  dd one(1.0);
+  dd one_plus = one + dd(std::ldexp(1.0, -100));
+  EXPECT_TRUE(one < one_plus);
+  EXPECT_TRUE(one_plus > one);
+  EXPECT_TRUE(one != one_plus);
+  EXPECT_TRUE(one <= one);
+  EXPECT_TRUE(one >= one);
+  EXPECT_TRUE(-one_plus < -one);
+}
+
+TEST(Dd, FloorExactOnIntegralHi) {
+  dd x(3.0, -std::ldexp(1.0, -70));  // slightly below 3
+  EXPECT_DOUBLE_EQ(ext::floor(x).to_double(), 2.0);
+  dd y(3.0, std::ldexp(1.0, -70));  // slightly above 3
+  EXPECT_DOUBLE_EQ(ext::floor(y).to_double(), 3.0);
+  EXPECT_DOUBLE_EQ(ext::floor(dd(2.75)).to_double(), 2.0);
+  EXPECT_DOUBLE_EQ(ext::floor(dd(-2.25)).to_double(), -3.0);
+}
+
+TEST(Dd, FmodPosWrapsIntoRange) {
+  dd period(1.0);
+  dd x(3.25);
+  EXPECT_NEAR(ext::fmod_pos(x, period).to_double(), 0.25, 1e-30);
+  dd y(-0.25);
+  EXPECT_NEAR(ext::fmod_pos(y, period).to_double(), 0.75, 1e-30);
+}
+
+TEST(Dd, PowiMatchesRepeatedMultiply) {
+  dd base(1.0 + 1e-8);
+  dd p = ext::powi(base, 10);
+  dd q(1.0);
+  for (int i = 0; i < 10; ++i) q = q * base;
+  EXPECT_EQ(p.hi, q.hi);
+  EXPECT_NEAR(p.lo, q.lo, 1e-30);
+  EXPECT_NEAR((ext::powi(dd(2.0), -3)).to_double(), 0.125, 1e-30);
+}
+
+TEST(Dd, StringRoundTrip) {
+  dd x = dd(1.0) / dd(3.0);
+  dd y = ext::dd_from_string(ext::to_string(x));
+  EXPECT_LT(std::abs((x - y).to_double()), 1e-29);
+  EXPECT_EQ(ext::to_string(dd(0.0)), "0");
+  dd z = ext::dd_from_string("-2.5e-3");
+  EXPECT_NEAR(z.to_double(), -2.5e-3, 1e-30);
+}
+
+// ---- the paper's SDR requirement -------------------------------------------
+
+TEST(Dd, ResolvesLevel34CellOffsets) {
+  // SDR 1e12: Δx/x ~ 1e-12 with two orders of headroom (§3.5).  A cell width
+  // at 34 levels of factor-2 refinement on a 128 root grid:
+  const dd domain(1.0);
+  dd dx = domain;
+  for (int l = 0; l < 34; ++l) dx /= dd(2.0);
+  dx /= dd(128.0);
+  // x near the middle of the domain; x + dx must be distinguishable and the
+  // difference recoverable *exactly* — not merely to double round-off.
+  dd x(0.4999999);
+  dd xp = x + dx;
+  EXPECT_TRUE(xp > x);
+  dd recovered = xp - x;
+  EXPECT_NEAR((recovered / dx).to_double(), 1.0, 1e-20);
+}
+
+TEST(Dd, CellIndexingSurvivesDeepHierarchies) {
+  // The operation that actually breaks in double (§3.5: "various mathematical
+  // operations applied to this ratio"): recovering a fine-grid cell index
+  // idx = floor((x - left)/dx) when dx has a full mantissa (refinement by
+  // non-power-of-two factors, e.g. r=3) and the grid sits at x = O(1).
+  const dd left = dd(1.0) / dd(3.0);
+  const dd dx = ext::powi(dd(2.0), -64) / dd(3.0);
+  const long long want = 1000000;
+  const dd x = left + (dd::from_int(want) + dd(0.5)) * dx;
+  // dd recovers the index exactly.
+  const dd idx_dd = ext::floor((x - left) / dx);
+  EXPECT_DOUBLE_EQ(idx_dd.to_double(), static_cast<double>(want));
+  // double cannot: the offset (~1.8e-14 of x) retains only ~8 bits.
+  const double xd = x.to_double(), leftd = left.to_double(),
+               dxd = dx.to_double();
+  const double idx_double = std::floor((xd - leftd) / dxd);
+  EXPECT_GT(std::abs(idx_double - static_cast<double>(want)), 100.0);
+}
+
+TEST(Dd, AccumulatedStepsStayExact) {
+  // March a position by 1e6 fine-cell widths; the accumulated position must
+  // match the closed form to dd precision (a drifting double would lose the
+  // subgrid alignment the paper's flux correction depends on).
+  dd dx = ext::powi(dd(2.0), -40);
+  dd x(0.25);
+  const int steps = 1000000;
+  for (int i = 0; i < steps; ++i) x += dx;
+  dd expected = dd(0.25) + dd::from_int(steps) * dx;
+  EXPECT_LT(std::abs((x - expected).to_double()), 1e-25);
+}
+
+// ---- property sweeps --------------------------------------------------------
+
+class DdPropertyTest : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(DdPropertyTest, TwoSumIsErrorFree) {
+  auto [a, b] = GetParam();
+  double s, e;
+  enzo::ext::eft::two_sum(a, b, s, e);
+  // s + e == a + b exactly, and e is below the ulp of s.
+  EXPECT_EQ(s, a + b);
+  if (s != 0.0 && std::isfinite(s)) {
+    EXPECT_LE(std::abs(e), std::ldexp(std::abs(s), -52) + 1e-300);
+  }
+  // Verify exactness through dd: (a+b) as dd equals (s,e) as dd.
+  dd lhs = dd(a) + dd(b);
+  dd rhs = dd(s) + dd(e);
+  EXPECT_EQ(lhs.to_double(), rhs.to_double());
+}
+
+TEST_P(DdPropertyTest, TwoProdMatchesFma) {
+  auto [a, b] = GetParam();
+  double p1, e1, p2, e2;
+  enzo::ext::eft::two_prod(a, b, p1, e1);
+  enzo::ext::eft::two_prod_dekker(a, b, p2, e2);
+  EXPECT_EQ(p1, p2);
+  EXPECT_EQ(e1, e2);  // both are exact, so they must agree bit-for-bit
+}
+
+TEST_P(DdPropertyTest, AdditionCommutes) {
+  auto [a, b] = GetParam();
+  dd x(a, a * 1e-18), y(b, -b * 3e-19);
+  dd s1 = x + y, s2 = y + x;
+  EXPECT_EQ(s1.hi, s2.hi);
+  EXPECT_EQ(s1.lo, s2.lo);
+}
+
+TEST_P(DdPropertyTest, MultiplicationCommutes) {
+  auto [a, b] = GetParam();
+  dd x(a, a * 1e-18), y(b, -b * 3e-19);
+  dd p1 = x * y, p2 = y * x;
+  EXPECT_EQ(p1.hi, p2.hi);
+  EXPECT_EQ(p1.lo, p2.lo);
+}
+
+TEST_P(DdPropertyTest, SubtractionInverts) {
+  auto [a, b] = GetParam();
+  dd x(a), y(b);
+  dd z = (x + y) - y;
+  EXPECT_LT(std::abs((z - x).to_double()),
+            4 * dd::epsilon() * (std::abs(a) + std::abs(b)) + 1e-300);
+}
+
+TEST_P(DdPropertyTest, DivisionInvertsMultiplication) {
+  auto [a, b] = GetParam();
+  if (b == 0.0) GTEST_SKIP();
+  dd x(a), y(b);
+  dd z = (x * y) / y;
+  EXPECT_LT(std::abs((z - x).to_double()),
+            16 * dd::epsilon() * (std::abs(a) + 1.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MagnitudeSweep, DdPropertyTest,
+    ::testing::Values(
+        std::make_tuple(1.0, 1e-16), std::make_tuple(1e8, 1e-8),
+        std::make_tuple(3.14159265358979, 2.71828182845905),
+        // Note: products must stay below ~1e292 — the Dekker splitting
+        // constant overflows beyond that, a documented dd domain limit.
+        std::make_tuple(-1.0, 1.0 + 1e-15), std::make_tuple(1e200, 1e84),
+        std::make_tuple(5e-324, 1e-300), std::make_tuple(0.1, 0.2),
+        std::make_tuple(1048576.0, -1048575.999999999),
+        std::make_tuple(-7.25e11, 3.5e-13), std::make_tuple(0.0, 0.0),
+        std::make_tuple(1.0 / 3.0, 2.0 / 3.0),
+        std::make_tuple(123456789.123456789, -987654321.987654321)));
+
+TEST(Position, PosTypeIsExtended) {
+  // Default build: pos_t must carry more than double precision.
+  ext::pos_t x(0.5);
+  ext::pos_t dx(std::ldexp(1.0, -70));
+  ext::pos_t y = x + dx;
+  EXPECT_TRUE(y > x);
+  EXPECT_NEAR(ext::pos_to_double(y), 0.5, 1e-15);
+}

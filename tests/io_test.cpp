@@ -1,0 +1,275 @@
+// Checkpoint/restart tests: bit-for-bit round trips of hierarchy structure,
+// fields (including extended-precision times and old-state copies),
+// particles, and continued evolution equivalence — the §4 restart workflow.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "analysis/analysis.hpp"
+#include "core/setup.hpp"
+#include "io/checkpoint.hpp"
+#include "util/constants.hpp"
+
+using namespace enzo;
+using mesh::Field;
+using mesh::Grid;
+
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+core::SimulationConfig collapse_cfg() {
+  core::SimulationConfig cfg;
+  cfg.hierarchy.root_dims = {8, 8, 8};
+  cfg.hierarchy.max_level = 1;
+  cfg.refinement.overdensity_threshold = 3.0;
+  return cfg;
+}
+
+void make_blob(core::Simulation& sim) {
+  sim.build_root();
+  Grid* g = sim.hierarchy().grids(0)[0];
+  for (Field f : g->field_list()) g->field(f).fill(0.0);
+  auto& rho = g->field(Field::kDensity);
+  for (int k = 0; k < 8; ++k)
+    for (int j = 0; j < 8; ++j)
+      for (int i = 0; i < 8; ++i) {
+        const double x = (i + 0.5) / 8 - 0.5, y = (j + 0.5) / 8 - 0.5,
+                     z = (k + 0.5) / 8 - 0.5;
+        rho(g->sx(i), g->sy(j), g->sz(k)) =
+            1.0 + 8.0 * std::exp(-(x * x + y * y + z * z) / 0.02);
+      }
+  g->field(Field::kInternalEnergy).fill(1.0);
+  g->field(Field::kTotalEnergy).fill(1.0);
+  mesh::Particle p;
+  p.x = {ext::pos_t(0.51), ext::pos_t(0.49), ext::pos_t(0.5)};
+  p.v = {0.1, -0.2, 0.05};
+  p.mass = 0.01;
+  p.id = 77;
+  g->particles().push_back(p);
+  sim.finalize_setup();
+}
+
+}  // namespace
+
+TEST(Checkpoint, RoundTripPreservesEverything) {
+  const std::string path = temp_path("enzo_ckpt_roundtrip.bin");
+  core::Simulation a(collapse_cfg());
+  make_blob(a);
+  a.advance_root_step();
+  a.advance_root_step();
+  io::write_checkpoint(a, path);
+
+  core::Simulation b(collapse_cfg());
+  io::read_checkpoint(b, path);
+
+  // Structure.
+  EXPECT_EQ(b.hierarchy().deepest_level(), a.hierarchy().deepest_level());
+  EXPECT_EQ(b.hierarchy().total_grids(), a.hierarchy().total_grids());
+  EXPECT_TRUE(b.time() == a.time());  // dd-exact
+  EXPECT_DOUBLE_EQ(b.scale_factor(), a.scale_factor());
+
+  // Field data, level by level, grid by grid.
+  for (int l = 0; l <= a.hierarchy().deepest_level(); ++l) {
+    const auto ga = a.hierarchy().grids(l);
+    const auto gb = b.hierarchy().grids(l);
+    ASSERT_EQ(ga.size(), gb.size());
+    for (std::size_t n = 0; n < ga.size(); ++n) {
+      EXPECT_EQ(ga[n]->box(), gb[n]->box());
+      EXPECT_TRUE(ga[n]->time() == gb[n]->time());
+      for (Field f : ga[n]->field_list()) {
+        const auto& fa = ga[n]->field(f);
+        const auto& fb = gb[n]->field(f);
+        for (std::size_t c = 0; c < fa.size(); ++c)
+          ASSERT_EQ(fa.data()[c], fb.data()[c]) << field_name(f);
+      }
+      ASSERT_EQ(ga[n]->particles().size(), gb[n]->particles().size());
+      for (std::size_t pi = 0; pi < ga[n]->particles().size(); ++pi) {
+        const auto& pa = ga[n]->particles()[pi];
+        const auto& pb = gb[n]->particles()[pi];
+        for (int d = 0; d < 3; ++d) {
+          EXPECT_TRUE(pa.x[d] == pb.x[d]);
+          EXPECT_EQ(pa.v[d], pb.v[d]);
+        }
+        EXPECT_EQ(pa.id, pb.id);
+      }
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, RestartContinuesIdentically) {
+  const std::string path = temp_path("enzo_ckpt_continue.bin");
+  // Reference: run 4 steps straight through.
+  core::Simulation ref(collapse_cfg());
+  make_blob(ref);
+  for (int s = 0; s < 4; ++s) ref.advance_root_step();
+
+  // Checkpointed: 2 steps, save, load, 2 more.
+  core::Simulation first(collapse_cfg());
+  make_blob(first);
+  first.advance_root_step();
+  first.advance_root_step();
+  io::write_checkpoint(first, path);
+  core::Simulation second(collapse_cfg());
+  io::read_checkpoint(second, path);
+  second.advance_root_step();
+  second.advance_root_step();
+
+  EXPECT_TRUE(ref.time() == second.time());
+  Grid* gr = ref.hierarchy().grids(0)[0];
+  Grid* gs = second.hierarchy().grids(0)[0];
+  for (int k = 0; k < 8; ++k)
+    for (int j = 0; j < 8; ++j)
+      for (int i = 0; i < 8; ++i)
+        ASSERT_DOUBLE_EQ(
+            gr->field(Field::kDensity)(gr->sx(i), gr->sy(j), gr->sz(k)),
+            gs->field(Field::kDensity)(gs->sx(i), gs->sy(j), gs->sz(k)));
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, RejectsMismatchedConfig) {
+  const std::string path = temp_path("enzo_ckpt_mismatch.bin");
+  core::Simulation a(collapse_cfg());
+  make_blob(a);
+  io::write_checkpoint(a, path);
+
+  auto bad = collapse_cfg();
+  bad.hierarchy.root_dims = {16, 16, 16};
+  core::Simulation b(bad);
+  EXPECT_THROW(io::read_checkpoint(b, path), enzo::Error);
+
+  auto bad2 = collapse_cfg();
+  bad2.hierarchy.fields = mesh::chemistry_field_list();
+  core::Simulation c(bad2);
+  EXPECT_THROW(io::read_checkpoint(c, path), enzo::Error);
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, RejectsGarbageAndMissingFiles) {
+  core::Simulation b(collapse_cfg());
+  EXPECT_THROW(io::read_checkpoint(b, temp_path("enzo_no_such_file.bin")),
+               enzo::Error);
+  const std::string path = temp_path("enzo_ckpt_garbage.bin");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    std::fputs("not a checkpoint", f);
+    std::fclose(f);
+  }
+  core::Simulation c(collapse_cfg());
+  EXPECT_THROW(io::read_checkpoint(c, path), enzo::Error);
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, TruncatedFileDetected) {
+  const std::string path = temp_path("enzo_ckpt_trunc.bin");
+  core::Simulation a(collapse_cfg());
+  make_blob(a);
+  io::write_checkpoint(a, path);
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size / 2);
+  core::Simulation b(collapse_cfg());
+  EXPECT_THROW(io::read_checkpoint(b, path), enzo::Error);
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, SizeEstimateMatchesActual) {
+  const std::string path = temp_path("enzo_ckpt_size.bin");
+  core::Simulation a(collapse_cfg());
+  make_blob(a);
+  io::write_checkpoint(a, path);
+  const auto actual = std::filesystem::file_size(path);
+  const auto estimate = io::checkpoint_size_bytes(a);
+  EXPECT_NEAR(static_cast<double>(actual), static_cast<double>(estimate),
+              0.15 * estimate);
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, RestartWithMoreLevelsDeepens) {
+  // The §4 workflow: run shallow, checkpoint, restart with a deeper
+  // max_level — the next rebuild may refine further.
+  const std::string path = temp_path("enzo_ckpt_deepen.bin");
+  auto shallow = collapse_cfg();
+  shallow.hierarchy.max_level = 1;
+  core::Simulation a(shallow);
+  make_blob(a);
+  a.advance_root_step();
+  io::write_checkpoint(a, path);
+
+  auto deep = collapse_cfg();
+  deep.hierarchy.max_level = 3;
+  deep.refinement.overdensity_threshold = 1.5;
+  core::Simulation b(deep);
+  io::read_checkpoint(b, path);
+  b.advance_root_step();
+  EXPECT_GT(b.hierarchy().deepest_level(), a.hierarchy().deepest_level());
+  b.hierarchy().check_invariants();
+  std::filesystem::remove(path);
+}
+
+// ---- image output ---------------------------------------------------------
+
+#include "io/image.hpp"
+
+TEST(Image, PgmRoundTripAndScaling) {
+  const std::string path = temp_path("enzo_img.pgm");
+  // A 4×3 ramp: values 1..12 linear, no log.
+  std::vector<double> data(12);
+  for (int i = 0; i < 12; ++i) data[static_cast<std::size_t>(i)] = i + 1.0;
+  io::ImageOptions opt;
+  opt.log_scale = false;
+  io::write_pgm(path, data, 4, 3, opt);
+  const auto img = io::read_pgm(path);
+  EXPECT_EQ(img.nx, 4);
+  EXPECT_EQ(img.ny, 3);
+  // Lowest value → 0, highest → 255; rows flipped (y-up data):
+  // data[0]=1 is the minimum → byte 0; it lives in the LAST image row.
+  EXPECT_EQ(img.pixels[static_cast<std::size_t>(2) * 4 + 0], 0);
+  // data[11]=12 is the maximum → byte 255, first image row, last column.
+  EXPECT_EQ(img.pixels[3], 255);
+  std::filesystem::remove(path);
+}
+
+TEST(Image, LogScaleCompressesDynamicRange) {
+  const std::string path = temp_path("enzo_img_log.pgm");
+  std::vector<double> data = {1.0, 10.0, 100.0, 1000.0};
+  io::ImageOptions opt;
+  opt.log_scale = true;
+  io::write_pgm(path, data, 4, 1, opt);
+  const auto img = io::read_pgm(path);
+  // Log-spaced data maps to (nearly) equally spaced bytes.
+  EXPECT_EQ(img.pixels[0], 0);
+  EXPECT_NEAR(img.pixels[1], 85, 2);
+  EXPECT_NEAR(img.pixels[2], 170, 2);
+  EXPECT_EQ(img.pixels[3], 255);
+  std::filesystem::remove(path);
+}
+
+TEST(Image, DimensionMismatchRejected) {
+  std::vector<double> data(5, 1.0);
+  EXPECT_THROW(io::write_pgm(temp_path("x.pgm"), data, 2, 2, {}), enzo::Error);
+}
+
+TEST(Image, SliceAndProjectionWrappersProduceFiles) {
+  core::Simulation a(collapse_cfg());
+  make_blob(a);
+  const auto s = analysis::density_slice(a.hierarchy(), 2, ext::pos_t(0.5),
+                                         {0.5, 0.5}, 0.5, 16);
+  const auto p = analysis::surface_density(a.hierarchy(), 2, 16);
+  const std::string sp = temp_path("enzo_slice.pgm");
+  const std::string pp = temp_path("enzo_proj.pgm");
+  io::write_slice_pgm(sp, s);
+  io::write_projection_pgm(pp, p);
+  const auto si = io::read_pgm(sp);
+  const auto pi = io::read_pgm(pp);
+  EXPECT_EQ(si.nx, 16);
+  EXPECT_EQ(pi.nx, 16);
+  // The blob is centered: the central pixel outshines the corner.
+  EXPECT_GT(si.pixels[static_cast<std::size_t>(8) * 16 + 8], si.pixels[0]);
+  std::filesystem::remove(sp);
+  std::filesystem::remove(pp);
+}

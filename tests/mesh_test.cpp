@@ -1,0 +1,705 @@
+// Mesh/SAMR substrate tests: grid geometry (EPA edges), sibling copies,
+// prolongation/restriction, flux correction conservation, Berger–Rigoutsos
+// clustering, hierarchy rebuild with particle migration, and the two-step
+// boundary fill.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "mesh/berger_rigoutsos.hpp"
+#include "mesh/boundary.hpp"
+#include "mesh/box.hpp"
+#include "mesh/field.hpp"
+#include "mesh/grid.hpp"
+#include "mesh/hierarchy.hpp"
+#include "mesh/interpolate.hpp"
+#include "mesh/project.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+using namespace enzo::mesh;
+namespace ext = enzo::ext;
+
+namespace {
+std::vector<Field> hydro_list() {
+  auto h = hydro_fields();
+  return {h.begin(), h.end()};
+}
+
+GridSpec spec_at(int level, IndexBox box, Index3 level_dims, int r = 2,
+                 int ng = 3) {
+  GridSpec s;
+  s.level = level;
+  s.box = box;
+  s.level_dims = level_dims;
+  s.refine_factor = r;
+  s.nghost = ng;
+  return s;
+}
+}  // namespace
+
+// ---- IndexBox ----------------------------------------------------------------
+
+TEST(IndexBox, BasicOps) {
+  IndexBox a{{0, 0, 0}, {4, 4, 4}};
+  IndexBox b{{2, 2, 2}, {6, 6, 6}};
+  EXPECT_EQ(a.volume(), 64);
+  EXPECT_FALSE(a.empty());
+  const IndexBox c = a.intersect(b);
+  EXPECT_EQ(c, (IndexBox{{2, 2, 2}, {4, 4, 4}}));
+  EXPECT_TRUE(a.contains(Index3{3, 3, 3}));
+  EXPECT_FALSE(a.contains(Index3{4, 0, 0}));
+  EXPECT_TRUE(a.contains(c));
+  EXPECT_FALSE(a.contains(b));
+}
+
+TEST(IndexBox, DisjointIntersectionIsEmpty) {
+  IndexBox a{{0, 0, 0}, {2, 2, 2}};
+  IndexBox b{{5, 5, 5}, {7, 7, 7}};
+  EXPECT_TRUE(a.intersect(b).empty());
+  EXPECT_EQ(a.intersect(b).volume(), 0);
+}
+
+TEST(IndexBox, RefineCoarsenRoundTrip) {
+  IndexBox a{{2, 4, 6}, {6, 8, 10}};
+  EXPECT_EQ(a.refined(2).coarsened(2), a);
+  // Coarsening covers: box [3,7) coarsened by 2 must cover cells 1..3.
+  IndexBox odd{{3, 3, 3}, {7, 7, 7}};
+  const IndexBox c = odd.coarsened(2);
+  EXPECT_EQ(c, (IndexBox{{1, 1, 1}, {4, 4, 4}}));
+  // Negative coordinates (ghost regions) coarsen toward -inf.
+  IndexBox neg{{-3, 0, 0}, {1, 1, 1}};
+  EXPECT_EQ(neg.coarsened(2).lo[0], -2);
+}
+
+TEST(IndexBox, ShiftAndGrow) {
+  IndexBox a{{1, 1, 1}, {3, 3, 3}};
+  EXPECT_EQ(a.shifted({10, 0, -1}).lo[0], 11);
+  EXPECT_EQ(a.grown(2), (IndexBox{{-1, -1, -1}, {5, 5, 5}}));
+}
+
+// ---- Grid geometry -------------------------------------------------------------
+
+TEST(Grid, GeometryAndEdges) {
+  Grid g(spec_at(0, {{0, 0, 0}, {8, 8, 8}}, {8, 8, 8}), hydro_list());
+  EXPECT_EQ(g.nx(0), 8);
+  EXPECT_EQ(g.ng(0), 3);
+  EXPECT_EQ(g.nt(0), 14);
+  EXPECT_NEAR(ext::pos_to_double(g.left_edge(0)), 0.0, 1e-30);
+  EXPECT_NEAR(ext::pos_to_double(g.right_edge(0)), 1.0, 1e-30);
+  EXPECT_NEAR(ext::pos_to_double(g.cell_center(0, 0, 0)[0]), 1.0 / 16, 1e-30);
+}
+
+TEST(Grid, DeepLevelEdgesAreExact) {
+  // Level 30 grid: edges must be exact multiples of the dd cell width.
+  const std::int64_t n = std::int64_t(8) << 30;
+  Grid g(spec_at(30, {{n / 2, n / 2, n / 2}, {n / 2 + 4, n / 2 + 4, n / 2 + 4}},
+                 {n, n, n}),
+         hydro_list());
+  const ext::pos_t dx = g.cell_width(0);
+  const ext::pos_t le = g.left_edge(0);
+  // le / dx recovers the integer offset exactly.
+  const ext::pos_t ratio = le / dx;
+  EXPECT_DOUBLE_EQ(ratio.to_double(), static_cast<double>(n / 2));
+  // index_of at a cell center deep in the hierarchy is exact.
+  const ext::PosVec c = g.cell_center(2, 2, 2);
+  EXPECT_EQ(g.global_index_of(c[0], 0), n / 2 + 2);
+  EXPECT_TRUE(g.contains_position(c));
+}
+
+TEST(Grid, DegenerateAxesHaveNoGhosts) {
+  Grid g(spec_at(0, {{0, 0, 0}, {16, 1, 1}}, {16, 1, 1}), hydro_list());
+  EXPECT_EQ(g.ng(0), 3);
+  EXPECT_EQ(g.ng(1), 0);
+  EXPECT_EQ(g.nt(1), 1);
+}
+
+TEST(Grid, FieldAccessAndMissingFieldThrows) {
+  Grid g(spec_at(0, {{0, 0, 0}, {4, 4, 4}}, {4, 4, 4}), hydro_list());
+  g.field(Field::kDensity).fill(2.0);
+  EXPECT_DOUBLE_EQ(g.field(Field::kDensity)(0, 0, 0), 2.0);
+  EXPECT_THROW(g.field(Field::kHI), enzo::Error);
+  EXPECT_TRUE(g.has_field(Field::kDensity));
+  EXPECT_FALSE(g.has_field(Field::kH2I));
+}
+
+TEST(Grid, StoreOldFieldsSnapshots) {
+  Grid g(spec_at(0, {{0, 0, 0}, {4, 4, 4}}, {4, 4, 4}), hydro_list());
+  g.field(Field::kDensity).fill(1.0);
+  g.set_time(ext::pos_t(5.0));
+  g.store_old_fields();
+  g.field(Field::kDensity).fill(3.0);
+  EXPECT_DOUBLE_EQ(g.old_field(Field::kDensity)(0, 0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(ext::pos_to_double(g.old_time()), 5.0);
+}
+
+TEST(Grid, SiblingCopyRespectsOverlapAndShift) {
+  // Two grids side by side on an 8³ level; right grid's low-x ghosts must
+  // receive left grid data; periodic shift wraps the other side.
+  Grid left(spec_at(0, {{0, 0, 0}, {4, 8, 8}}, {8, 8, 8}), hydro_list());
+  Grid right(spec_at(0, {{4, 0, 0}, {8, 8, 8}}, {8, 8, 8}), hydro_list());
+  for (int k = 0; k < left.nt(2); ++k)
+    for (int j = 0; j < left.nt(1); ++j)
+      for (int i = 0; i < left.nt(0); ++i)
+        left.field(Field::kDensity)(i, j, k) = 100 + i;
+  right.field(Field::kDensity).fill(-1.0);
+  const std::int64_t copied = right.copy_from_sibling(left, {0, 0, 0});
+  EXPECT_GT(copied, 0);
+  // right ghost at active index -1 (global 3, storage 2) must hold left's
+  // active cell global 3 (left storage i = 6 → value 106).
+  EXPECT_DOUBLE_EQ(right.field(Field::kDensity)(2, 5, 5), 106.0);
+  // Periodic: right's high-x ghosts (global 8,9,10) wrap to left 0,1,2.
+  const std::int64_t wrapped = right.copy_from_sibling(left, {8, 0, 0});
+  EXPECT_GT(wrapped, 0);
+  // Global 8 → right local 4 (storage 7); wrapped source left global 0
+  // (storage 3 → value 103).
+  EXPECT_DOUBLE_EQ(right.field(Field::kDensity)(right.sx(4), 5, 5), 103.0);
+}
+
+TEST(Grid, CopyActiveFromLimitsToInterior) {
+  Grid a(spec_at(1, {{0, 0, 0}, {8, 8, 8}}, {16, 16, 16}), hydro_list());
+  Grid b(spec_at(1, {{4, 4, 4}, {12, 12, 12}}, {16, 16, 16}), hydro_list());
+  a.field(Field::kDensity).fill(7.0);
+  b.field(Field::kDensity).fill(0.0);
+  b.copy_active_from(a, {0, 0, 0});
+  // b active cells overlapping a ([4,8)³ global) got 7; ghosts stayed 0.
+  EXPECT_DOUBLE_EQ(b.field(Field::kDensity)(b.sx(0), b.sy(0), b.sz(0)), 7.0);
+  EXPECT_DOUBLE_EQ(b.field(Field::kDensity)(b.sx(4), b.sy(4), b.sz(4)), 0.0);
+  EXPECT_DOUBLE_EQ(b.field(Field::kDensity)(0, 0, 0), 0.0);
+}
+
+// ---- prolongation / restriction ------------------------------------------------
+
+class InterpolationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    parent_ = std::make_unique<Grid>(
+        spec_at(0, {{0, 0, 0}, {8, 8, 8}}, {8, 8, 8}), hydro_list());
+    child_ = std::make_unique<Grid>(
+        spec_at(1, {{4, 4, 4}, {12, 12, 12}}, {16, 16, 16}), hydro_list());
+    child_->set_parent(parent_.get());
+  }
+  std::unique_ptr<Grid> parent_, child_;
+};
+
+TEST_F(InterpolationTest, ConstantFieldIsPreserved) {
+  for (Field f : parent_->field_list()) parent_->field(f).fill(3.5);
+  fill_active_from_parent(*child_, *parent_);
+  for (int k = 0; k < 8; ++k)
+    for (int j = 0; j < 8; ++j)
+      for (int i = 0; i < 8; ++i)
+        EXPECT_DOUBLE_EQ(
+            child_->field(Field::kDensity)(child_->sx(i), child_->sy(j),
+                                           child_->sz(k)),
+            3.5);
+}
+
+TEST_F(InterpolationTest, InteriorFillConservesMass) {
+  enzo::util::Rng rng(4);
+  auto& rho = parent_->field(Field::kDensity);
+  for (auto& v : rho) v = 1.0 + rng.uniform();
+  fill_active_from_parent(*child_, *parent_);
+  // Child covers parent cells [2,6)³; compare integrals (child cell volume
+  // is 1/8 of parent's).
+  double parent_mass = 0, child_mass = 0;
+  for (int k = 2; k < 6; ++k)
+    for (int j = 2; j < 6; ++j)
+      for (int i = 2; i < 6; ++i)
+        parent_mass += rho(parent_->sx(i), parent_->sy(j), parent_->sz(k));
+  for (int k = 0; k < 8; ++k)
+    for (int j = 0; j < 8; ++j)
+      for (int i = 0; i < 8; ++i)
+        child_mass += child_->field(Field::kDensity)(
+            child_->sx(i), child_->sy(j), child_->sz(k));
+  EXPECT_NEAR(child_mass / 8.0, parent_mass, 1e-12 * parent_mass);
+}
+
+TEST_F(InterpolationTest, LinearRampReproducedExactly) {
+  // A globally linear field is inside the minmod stencil's exactness class
+  // away from array edges.
+  auto& rho = parent_->field(Field::kDensity);
+  for (int k = 0; k < parent_->nt(2); ++k)
+    for (int j = 0; j < parent_->nt(1); ++j)
+      for (int i = 0; i < parent_->nt(0); ++i) rho(i, j, k) = 10.0 + 2.0 * i;
+  fill_active_from_parent(*child_, *parent_);
+  // Child cell (0,*,*) center sits at parent i=2 cell, offset -0.25:
+  // expected 10 + 2*(2+3) - 0.25*2 = 19.5 (storage i = 2+3).
+  EXPECT_NEAR(
+      child_->field(Field::kDensity)(child_->sx(0), child_->sy(0), child_->sz(0)),
+      19.5, 1e-12);
+  EXPECT_NEAR(
+      child_->field(Field::kDensity)(child_->sx(1), child_->sy(0), child_->sz(0)),
+      20.5, 1e-12);
+}
+
+TEST_F(InterpolationTest, GhostFillTimeInterpolates) {
+  parent_->set_time(ext::pos_t(0.0));
+  for (Field f : parent_->field_list()) parent_->field(f).fill(1.0);
+  parent_->store_old_fields();  // old state = 1.0 at t=0
+  for (Field f : parent_->field_list()) parent_->field(f).fill(3.0);
+  parent_->set_time(ext::pos_t(1.0));  // new state = 3.0 at t=1
+  child_->set_time(ext::pos_t(0.5));
+  fill_ghosts_from_parent(*child_, *parent_);
+  // All child ghosts should be the half-way blend 2.0.
+  EXPECT_DOUBLE_EQ(child_->field(Field::kDensity)(0, 0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(
+      child_->field(Field::kDensity)(child_->nt(0) - 1, child_->sy(2), 5), 2.0);
+  // Interior untouched (still zero).
+  EXPECT_DOUBLE_EQ(
+      child_->field(Field::kDensity)(child_->sx(4), child_->sy(4), child_->sz(4)),
+      0.0);
+}
+
+TEST_F(InterpolationTest, MonotoneNearDiscontinuity) {
+  auto& rho = parent_->field(Field::kDensity);
+  for (int k = 0; k < parent_->nt(2); ++k)
+    for (int j = 0; j < parent_->nt(1); ++j)
+      for (int i = 0; i < parent_->nt(0); ++i)
+        rho(i, j, k) = i < 7 ? 1.0 : 1000.0;
+  fill_active_from_parent(*child_, *parent_);
+  double mn = 1e300, mx = -1e300;
+  for (int k = 0; k < 8; ++k)
+    for (int j = 0; j < 8; ++j)
+      for (int i = 0; i < 8; ++i) {
+        const double v = child_->field(Field::kDensity)(
+            child_->sx(i), child_->sy(j), child_->sz(k));
+        mn = std::min(mn, v);
+        mx = std::max(mx, v);
+      }
+  EXPECT_GE(mn, 1.0 - 1e-12);
+  EXPECT_LE(mx, 1000.0 + 1e-9);
+}
+
+TEST_F(InterpolationTest, ProjectionRestoresAverages) {
+  enzo::util::Rng rng(11);
+  // Put structured data on the child; project; parent covered cells must be
+  // exact volume averages (density) and mass-weighted averages (velocity).
+  auto& crho = child_->field(Field::kDensity);
+  auto& cvx = child_->field(Field::kVelocityX);
+  for (int k = 0; k < 8; ++k)
+    for (int j = 0; j < 8; ++j)
+      for (int i = 0; i < 8; ++i) {
+        crho(child_->sx(i), child_->sy(j), child_->sz(k)) = 1.0 + rng.uniform();
+        cvx(child_->sx(i), child_->sy(j), child_->sz(k)) = rng.uniform(-1, 1);
+      }
+  parent_->field(Field::kDensity).fill(-1);
+  parent_->field(Field::kVelocityX).fill(-1);
+  const std::int64_t updated = project_to_parent(*child_, *parent_);
+  EXPECT_EQ(updated, 4 * 4 * 4);
+  // Check one parent cell by hand: parent (2,2,2) covers child [0,2)³.
+  double m = 0, mom = 0;
+  for (int k = 0; k < 2; ++k)
+    for (int j = 0; j < 2; ++j)
+      for (int i = 0; i < 2; ++i) {
+        const double r = crho(child_->sx(i), child_->sy(j), child_->sz(k));
+        m += r;
+        mom += r * cvx(child_->sx(i), child_->sy(j), child_->sz(k));
+      }
+  EXPECT_NEAR(parent_->field(Field::kDensity)(parent_->sx(2), parent_->sy(2),
+                                              parent_->sz(2)),
+              m / 8.0, 1e-13);
+  EXPECT_NEAR(parent_->field(Field::kVelocityX)(parent_->sx(2), parent_->sy(2),
+                                                parent_->sz(2)),
+              mom / m, 1e-13);
+  // Uncovered parent cell untouched.
+  EXPECT_DOUBLE_EQ(parent_->field(Field::kDensity)(parent_->sx(0),
+                                                   parent_->sy(0),
+                                                   parent_->sz(0)),
+                   -1.0);
+}
+
+TEST_F(InterpolationTest, FluxCorrectionConservesMass) {
+  // Give parent and child flux registers with a mismatch at the child's
+  // low-x face; the correction must change the outside cell by exactly
+  // (fine - coarse)/dx with the right sign.
+  parent_->field(Field::kDensity).fill(1.0);
+  parent_->field(Field::kVelocityX).fill(0.0);
+  parent_->field(Field::kVelocityY).fill(0.0);
+  parent_->field(Field::kVelocityZ).fill(0.0);
+  parent_->field(Field::kTotalEnergy).fill(1.0);
+  parent_->field(Field::kInternalEnergy).fill(1.0);
+  child_->field(Field::kDensity).fill(1.0);
+  parent_->reset_fluxes();
+  child_->reset_fluxes();
+  child_->reset_boundary_fluxes();
+  // Coarse mass flux 2.0 on the child's low-x coarse face (parent face
+  // index 2 = lower face of parent cell 2, storage i = 2+3).
+  auto& pflux = parent_->flux(Field::kDensity, 0);
+  auto& cflux = child_->boundary_flux(Field::kDensity, 0, 0);
+  for (int k = 2; k < 6; ++k)
+    for (int j = 2; j < 6; ++j)
+      pflux(parent_->sx(2), parent_->sy(j), parent_->sz(k)) = 0.02;
+  // Fine fluxes average to 0.03 on that face (boundary register plane).
+  for (int k = 0; k < 8; ++k)
+    for (int j = 0; j < 8; ++j)
+      cflux(0, child_->sy(j), child_->sz(k)) = 0.03;
+  flux_correct_from_child(*child_, *parent_);
+  // Outside cell is parent (1, j, k) for j,k in [2,6): ΔU = -(0.03-0.02)/dx,
+  // and dx = 1/8 → Δρ = -0.08.
+  EXPECT_NEAR(parent_->field(Field::kDensity)(parent_->sx(1), parent_->sy(3),
+                                              parent_->sz(3)),
+              1.0 - 0.08, 1e-12);
+  // Cells away from the face untouched.
+  EXPECT_DOUBLE_EQ(parent_->field(Field::kDensity)(parent_->sx(0),
+                                                   parent_->sy(3),
+                                                   parent_->sz(3)),
+                   1.0);
+  // The parent's flux register now carries the fine flux (for its own
+  // parent's correction).
+  EXPECT_DOUBLE_EQ(pflux(parent_->sx(2), parent_->sy(3), parent_->sz(3)), 0.03);
+  // A correction that would drive density negative is rejected wholesale
+  // (pathological-case guard): reset, use an absurd flux, expect no change.
+  parent_->field(Field::kDensity).fill(1.0);
+  for (int k = 0; k < 8; ++k)
+    for (int j = 0; j < 8; ++j)
+      cflux(0, child_->sy(j), child_->sz(k)) = 50.0;
+  flux_correct_from_child(*child_, *parent_);
+  EXPECT_DOUBLE_EQ(parent_->field(Field::kDensity)(parent_->sx(1),
+                                                   parent_->sy(3),
+                                                   parent_->sz(3)),
+                   1.0);
+}
+
+// ---- Berger–Rigoutsos ----------------------------------------------------------
+
+namespace {
+bool covered(const std::vector<IndexBox>& boxes, const Index3& p) {
+  for (const auto& b : boxes)
+    if (b.contains(p)) return true;
+  return false;
+}
+int cover_count(const std::vector<IndexBox>& boxes, const Index3& p) {
+  int n = 0;
+  for (const auto& b : boxes)
+    if (b.contains(p)) ++n;
+  return n;
+}
+}  // namespace
+
+TEST(BergerRigoutsos, EmptyInput) {
+  EXPECT_TRUE(cluster_flags({}).empty());
+}
+
+TEST(BergerRigoutsos, SingleCell) {
+  auto boxes = cluster_flags({{{5, 6, 7}}});
+  ASSERT_EQ(boxes.size(), 1u);
+  EXPECT_EQ(boxes[0], (IndexBox{{5, 6, 7}, {6, 7, 8}}));
+}
+
+TEST(BergerRigoutsos, SolidBlockIsOneBox) {
+  std::vector<Index3> flags;
+  for (int k = 0; k < 4; ++k)
+    for (int j = 0; j < 4; ++j)
+      for (int i = 0; i < 4; ++i) flags.push_back({i + 10, j + 20, k + 30});
+  auto boxes = cluster_flags(flags);
+  ASSERT_EQ(boxes.size(), 1u);
+  EXPECT_EQ(boxes[0].volume(), 64);
+}
+
+TEST(BergerRigoutsos, TwoSeparatedClumpsSplitAtHole) {
+  std::vector<Index3> flags;
+  for (int k = 0; k < 3; ++k)
+    for (int j = 0; j < 3; ++j)
+      for (int i = 0; i < 3; ++i) {
+        flags.push_back({i, j, k});
+        flags.push_back({i + 20, j, k});
+      }
+  auto boxes = cluster_flags(flags);
+  EXPECT_EQ(boxes.size(), 2u);
+  for (const auto& b : boxes) EXPECT_EQ(b.volume(), 27);
+}
+
+TEST(BergerRigoutsos, AllFlagsCoveredOnce) {
+  enzo::util::Rng rng(21);
+  std::vector<Index3> flags;
+  std::set<std::array<std::int64_t, 3>> seen;
+  for (int n = 0; n < 300; ++n) {
+    Index3 p{static_cast<std::int64_t>(rng.uniform(0, 40)),
+             static_cast<std::int64_t>(rng.uniform(0, 40)),
+             static_cast<std::int64_t>(rng.uniform(0, 40))};
+    if (seen.insert({p[0], p[1], p[2]}).second) flags.push_back(p);
+  }
+  auto boxes = cluster_flags(flags);
+  for (const auto& p : flags) EXPECT_EQ(cover_count(boxes, p), 1) << p[0];
+  // Boxes must not overlap anywhere (sampled check on corners).
+  for (std::size_t a = 0; a < boxes.size(); ++a)
+    for (std::size_t b = a + 1; b < boxes.size(); ++b)
+      EXPECT_TRUE(boxes[a].intersect(boxes[b]).empty());
+}
+
+TEST(BergerRigoutsos, EfficiencyTargetMet) {
+  // An L-shaped region should be split rather than covered by one huge box.
+  std::vector<Index3> flags;
+  for (int i = 0; i < 20; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      flags.push_back({i, j, 0});  // horizontal bar
+      flags.push_back({j, i, 0});  // vertical bar
+    }
+  }
+  ClusterParams p;
+  p.min_efficiency = 0.7;
+  auto boxes = cluster_flags(flags, p);
+  std::int64_t covered_cells = 0;
+  for (const auto& b : boxes) covered_cells += b.volume();
+  // Count unique flags.
+  std::set<std::array<std::int64_t, 3>> uniq;
+  for (const auto& f : flags) uniq.insert({f[0], f[1], f[2]});
+  EXPECT_GE(static_cast<double>(uniq.size()) / covered_cells, 0.65);
+  for (const auto& f : flags) EXPECT_TRUE(covered(boxes, f));
+}
+
+// ---- Hierarchy -----------------------------------------------------------------
+
+TEST(Hierarchy, BuildRootSingleAndTiled) {
+  HierarchyParams p;
+  p.root_dims = {16, 16, 16};
+  Hierarchy h1(p);
+  h1.build_root(1);
+  EXPECT_EQ(h1.num_grids(0), 1u);
+  Hierarchy h2(p);
+  h2.build_root(2);
+  EXPECT_EQ(h2.num_grids(0), 8u);
+  h2.check_invariants();
+  EXPECT_EQ(h2.total_cells(), 16 * 16 * 16);
+  EXPECT_EQ(h2.descriptors(0).size(), 8u);
+}
+
+TEST(Hierarchy, LevelDims) {
+  HierarchyParams p;
+  p.root_dims = {8, 8, 1};
+  p.refine_factor = 4;
+  Hierarchy h(p);
+  EXPECT_EQ(h.level_dims(0), (Index3{8, 8, 1}));
+  EXPECT_EQ(h.level_dims(2), (Index3{128, 128, 1}));
+}
+
+namespace {
+/// Flag a fixed global sphere of parent cells around `center01` (fractions
+/// of the domain) with radius frac.
+Hierarchy::FlagFn sphere_flagger(std::array<double, 3> center01, double frac) {
+  return [center01, frac](const Grid& g, std::vector<Index3>& flags) {
+    const Index3 dims = g.spec().level_dims;
+    for (std::int64_t k = g.box().lo[2]; k < g.box().hi[2]; ++k)
+      for (std::int64_t j = g.box().lo[1]; j < g.box().hi[1]; ++j)
+        for (std::int64_t i = g.box().lo[0]; i < g.box().hi[0]; ++i) {
+          const double x = (i + 0.5) / dims[0] - center01[0];
+          const double y = (j + 0.5) / dims[1] - center01[1];
+          const double z = (k + 0.5) / dims[2] - center01[2];
+          if (x * x + y * y + z * z < frac * frac) flags.push_back({i, j, k});
+        }
+  };
+}
+}  // namespace
+
+TEST(Hierarchy, RebuildCreatesNestedLevels) {
+  HierarchyParams p;
+  p.root_dims = {16, 16, 16};
+  p.max_level = 3;
+  Hierarchy h(p);
+  h.build_root();
+  for (Grid* g : h.grids(0)) {
+    g->field(Field::kDensity).fill(1.0);
+    g->field(Field::kTotalEnergy).fill(1.0);
+    g->field(Field::kInternalEnergy).fill(1.0);
+    g->field(Field::kVelocityX).fill(0.0);
+    g->field(Field::kVelocityY).fill(0.0);
+    g->field(Field::kVelocityZ).fill(0.0);
+    g->store_old_fields();
+  }
+  h.rebuild(1, sphere_flagger({0.5, 0.5, 0.5}, 0.2));
+  EXPECT_GE(h.deepest_level(), 1);
+  EXPECT_GT(h.num_grids(1), 0u);
+  h.check_invariants();
+  // Interpolated data on children preserves the constant state.
+  for (Grid* g : h.grids(1)) {
+    EXPECT_DOUBLE_EQ(g->field(Field::kDensity)(g->sx(0), g->sy(0), g->sz(0)),
+                     1.0);
+    EXPECT_EQ(g->parent()->level(), 0);
+  }
+}
+
+TEST(Hierarchy, RebuildRemovesLevelsWhenFlagsVanish) {
+  HierarchyParams p;
+  p.root_dims = {16, 16, 16};
+  p.max_level = 2;
+  Hierarchy h(p);
+  h.build_root();
+  for (Grid* g : h.grids(0)) {
+    for (Field f : g->field_list()) g->field(f).fill(1.0);
+    g->store_old_fields();
+  }
+  h.rebuild(1, sphere_flagger({0.5, 0.5, 0.5}, 0.15));
+  const int deepest = h.deepest_level();
+  EXPECT_GE(deepest, 1);
+  // Rebuild with nothing flagged: the nesting guarantee makes derefinement
+  // cascade one level per rebuild (a level-l grid keeps its footprint
+  // refined until its own children are gone), so after `deepest` rebuilds
+  // everything has collapsed back to the root.
+  for (int i = 0; i < deepest; ++i)
+    h.rebuild(1, [](const Grid&, std::vector<Index3>&) {});
+  EXPECT_EQ(h.deepest_level(), 0);
+  h.check_invariants();
+}
+
+TEST(Hierarchy, ParticlesMigrateOnRebuild) {
+  HierarchyParams p;
+  p.root_dims = {16, 16, 16};
+  p.max_level = 1;
+  Hierarchy h(p);
+  h.build_root();
+  Grid* root = h.grids(0)[0];
+  for (Field f : root->field_list()) root->field(f).fill(1.0);
+  root->store_old_fields();
+  // One particle in the future-refined center, one near the corner.
+  Particle in_center;
+  in_center.x = {ext::pos_t(0.5), ext::pos_t(0.5), ext::pos_t(0.5)};
+  in_center.mass = 1.0;
+  in_center.id = 1;
+  Particle in_corner;
+  in_corner.x = {ext::pos_t(0.05), ext::pos_t(0.05), ext::pos_t(0.05)};
+  in_corner.mass = 1.0;
+  in_corner.id = 2;
+  root->particles() = {in_center, in_corner};
+  h.rebuild(1, sphere_flagger({0.5, 0.5, 0.5}, 0.12));
+  ASSERT_GE(h.num_grids(1), 1u);
+  std::size_t fine_particles = 0;
+  for (Grid* g : h.grids(1)) fine_particles += g->particles().size();
+  EXPECT_EQ(fine_particles, 1u);
+  EXPECT_EQ(root->particles().size(), 1u);
+  EXPECT_EQ(root->particles()[0].id, 2u);
+  h.check_invariants();
+  // Un-refine: the particle returns to the root.
+  h.rebuild(1, [](const Grid&, std::vector<Index3>&) {});
+  EXPECT_EQ(root->particles().size(), 2u);
+}
+
+TEST(Hierarchy, RebuildRootLevelRejected) {
+  HierarchyParams p;
+  Hierarchy h(p);
+  h.build_root();
+  EXPECT_THROW(h.rebuild(0, [](const Grid&, std::vector<Index3>&) {}),
+               enzo::Error);
+}
+
+TEST(Hierarchy, WorkPerLevelWeightsTimesteps) {
+  HierarchyParams p;
+  p.root_dims = {8, 8, 8};
+  p.max_level = 1;
+  Hierarchy h(p);
+  h.build_root();
+  for (Grid* g : h.grids(0)) {
+    for (Field f : g->field_list()) g->field(f).fill(1.0);
+    g->store_old_fields();
+  }
+  h.rebuild(1, sphere_flagger({0.5, 0.5, 0.5}, 0.3));
+  auto work = h.work_per_level();
+  ASSERT_EQ(work.size(), 2u);
+  std::int64_t fine_cells = 0;
+  for (const Grid* g : std::as_const(h).grids(1)) fine_cells += g->box().volume();
+  EXPECT_DOUBLE_EQ(work[0], 512.0);
+  EXPECT_DOUBLE_EQ(work[1], 2.0 * fine_cells);
+}
+
+// ---- boundary fill -------------------------------------------------------------
+
+TEST(Boundary, PeriodicRootWrapsItself) {
+  HierarchyParams p;
+  p.root_dims = {8, 8, 8};
+  Hierarchy h(p);
+  h.build_root();
+  Grid* g = h.grids(0)[0];
+  auto& rho = g->field(Field::kDensity);
+  for (int k = 0; k < 8; ++k)
+    for (int j = 0; j < 8; ++j)
+      for (int i = 0; i < 8; ++i)
+        rho(g->sx(i), g->sy(j), g->sz(k)) = 100 * i + 10 * j + k;
+  set_boundary_values(h, 0);
+  // Ghost at active i=-1 should equal active i=7.
+  EXPECT_DOUBLE_EQ(rho(g->sx(-1), g->sy(2), g->sz(3)),
+                   rho(g->sx(7), g->sy(2), g->sz(3)));
+  EXPECT_DOUBLE_EQ(rho(g->sx(8), g->sy(0), g->sz(0)),
+                   rho(g->sx(0), g->sy(0), g->sz(0)));
+  // Corner ghost wraps in all axes.
+  EXPECT_DOUBLE_EQ(rho(g->sx(-1), g->sy(-1), g->sz(-1)),
+                   rho(g->sx(7), g->sy(7), g->sz(7)));
+}
+
+TEST(Boundary, OutflowRootReplicatesEdges) {
+  HierarchyParams p;
+  p.root_dims = {8, 8, 8};
+  p.periodic = false;
+  Hierarchy h(p);
+  h.build_root();
+  Grid* g = h.grids(0)[0];
+  auto& rho = g->field(Field::kDensity);
+  for (int k = 0; k < 8; ++k)
+    for (int j = 0; j < 8; ++j)
+      for (int i = 0; i < 8; ++i) rho(g->sx(i), g->sy(j), g->sz(k)) = 1.0 + i;
+  set_boundary_values(h, 0);
+  EXPECT_DOUBLE_EQ(rho(g->sx(-1), g->sy(3), g->sz(3)), 1.0);
+  EXPECT_DOUBLE_EQ(rho(g->sx(-3), g->sy(3), g->sz(3)), 1.0);
+  EXPECT_DOUBLE_EQ(rho(g->sx(9), g->sy(3), g->sz(3)), 8.0);
+}
+
+TEST(Boundary, TiledRootExchangesSiblingData) {
+  HierarchyParams p;
+  p.root_dims = {8, 8, 8};
+  Hierarchy h(p);
+  h.build_root(2);  // 8 tiles of 4³
+  for (Grid* g : h.grids(0)) {
+    auto& rho = g->field(Field::kDensity);
+    for (int k = 0; k < 4; ++k)
+      for (int j = 0; j < 4; ++j)
+        for (int i = 0; i < 4; ++i) {
+          const auto b = g->box();
+          rho(g->sx(i), g->sy(j), g->sz(k)) =
+              100 * (b.lo[0] + i) + 10 * (b.lo[1] + j) + (b.lo[2] + k);
+        }
+  }
+  set_boundary_values(h, 0);
+  // Every tile's ghosts now hold the correct global function value.
+  for (Grid* g : h.grids(0)) {
+    const auto& rho = g->field(Field::kDensity);
+    for (int off : {-2, -1, 4, 5}) {
+      const std::int64_t gi = ((g->box().lo[0] + off) % 8 + 8) % 8;
+      EXPECT_DOUBLE_EQ(rho(g->sx(off), g->sy(1), g->sz(1)),
+                       100.0 * gi + 10 * (g->box().lo[1] + 1) +
+                           (g->box().lo[2] + 1))
+          << g->box().str();
+    }
+  }
+}
+
+TEST(Boundary, SubgridGetsParentThenSiblingData) {
+  HierarchyParams p;
+  p.root_dims = {16, 16, 16};
+  p.max_level = 1;
+  Hierarchy h(p);
+  h.build_root();
+  Grid* root = h.grids(0)[0];
+  for (Field f : root->field_list()) root->field(f).fill(2.0);
+  root->store_old_fields();
+  // Two adjacent children sharing a face at global fine x=16.
+  auto s1 = std::make_unique<Grid>(
+      h.make_spec(1, {{8, 8, 8}, {16, 24, 24}}), p.fields);
+  auto s2 = std::make_unique<Grid>(
+      h.make_spec(1, {{16, 8, 8}, {24, 24, 24}}), p.fields);
+  s1->set_parent(root);
+  s2->set_parent(root);
+  s1->field(Field::kDensity).fill(5.0);
+  s2->field(Field::kDensity).fill(9.0);
+  Grid* g1 = h.insert_grid(std::move(s1));
+  Grid* g2 = h.insert_grid(std::move(s2));
+  set_boundary_values(h, 1);
+  // g2's low-x ghosts must hold g1's (finer) 5.0, not the parent's 2.0.
+  EXPECT_DOUBLE_EQ(g2->field(Field::kDensity)(g2->sx(-1), g2->sy(2), g2->sz(2)),
+                   5.0);
+  // g2's high-x ghosts see only the parent: 2.0.
+  EXPECT_DOUBLE_EQ(g2->field(Field::kDensity)(g2->sx(8), g2->sy(2), g2->sz(2)),
+                   2.0);
+  // g1's high-x ghosts hold g2's 9.0.
+  EXPECT_DOUBLE_EQ(g1->field(Field::kDensity)(g1->sx(8), g1->sy(2), g1->sz(2)),
+                   9.0);
+}
