@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_criteria.dir/ablation_criteria.cpp.o"
+  "CMakeFiles/ablation_criteria.dir/ablation_criteria.cpp.o.d"
+  "ablation_criteria"
+  "ablation_criteria.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_criteria.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

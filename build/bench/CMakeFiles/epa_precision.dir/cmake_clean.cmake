@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epa_precision.dir/epa_precision.cpp.o"
+  "CMakeFiles/epa_precision.dir/epa_precision.cpp.o.d"
+  "epa_precision"
+  "epa_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epa_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

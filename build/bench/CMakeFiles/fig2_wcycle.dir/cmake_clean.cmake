@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_wcycle.dir/fig2_wcycle.cpp.o"
+  "CMakeFiles/fig2_wcycle.dir/fig2_wcycle.cpp.o.d"
+  "fig2_wcycle"
+  "fig2_wcycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_wcycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_zoom.dir/fig3_zoom.cpp.o"
+  "CMakeFiles/fig3_zoom.dir/fig3_zoom.cpp.o.d"
+  "fig3_zoom"
+  "fig3_zoom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_zoom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

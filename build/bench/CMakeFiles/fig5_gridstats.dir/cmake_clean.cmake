@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_gridstats.dir/fig5_gridstats.cpp.o"
+  "CMakeFiles/fig5_gridstats.dir/fig5_gridstats.cpp.o.d"
+  "fig5_gridstats"
+  "fig5_gridstats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_gridstats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

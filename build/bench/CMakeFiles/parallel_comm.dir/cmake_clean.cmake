@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_comm.dir/parallel_comm.cpp.o"
+  "CMakeFiles/parallel_comm.dir/parallel_comm.cpp.o.d"
+  "parallel_comm"
+  "parallel_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

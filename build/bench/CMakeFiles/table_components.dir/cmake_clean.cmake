@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_components.dir/table_components.cpp.o"
+  "CMakeFiles/table_components.dir/table_components.cpp.o.d"
+  "table_components"
+  "table_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_flops.dir/table_flops.cpp.o"
+  "CMakeFiles/table_flops.dir/table_flops.cpp.o.d"
+  "table_flops"
+  "table_flops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_flops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

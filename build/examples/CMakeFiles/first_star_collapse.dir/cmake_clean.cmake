@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/first_star_collapse.dir/first_star_collapse.cpp.o"
+  "CMakeFiles/first_star_collapse.dir/first_star_collapse.cpp.o.d"
+  "first_star_collapse"
+  "first_star_collapse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/first_star_collapse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

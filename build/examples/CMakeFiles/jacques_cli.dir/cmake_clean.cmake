@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jacques_cli.dir/jacques_cli.cpp.o"
+  "CMakeFiles/jacques_cli.dir/jacques_cli.cpp.o.d"
+  "jacques_cli"
+  "jacques_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jacques_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_deck.dir/run_deck.cpp.o"
+  "CMakeFiles/run_deck.dir/run_deck.cpp.o.d"
+  "run_deck"
+  "run_deck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_deck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sedov_blast.dir/sedov_blast.cpp.o"
+  "CMakeFiles/sedov_blast.dir/sedov_blast.cpp.o.d"
+  "sedov_blast"
+  "sedov_blast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sedov_blast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zeldovich_pancake.dir/zeldovich_pancake.cpp.o"
+  "CMakeFiles/zeldovich_pancake.dir/zeldovich_pancake.cpp.o.d"
+  "zeldovich_pancake"
+  "zeldovich_pancake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zeldovich_pancake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for zeldovich_pancake.
+# This may be replaced when dependencies are built.

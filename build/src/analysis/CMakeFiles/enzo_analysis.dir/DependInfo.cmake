@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/analysis.cpp" "src/analysis/CMakeFiles/enzo_analysis.dir/analysis.cpp.o" "gcc" "src/analysis/CMakeFiles/enzo_analysis.dir/analysis.cpp.o.d"
+  "/root/repo/src/analysis/derived.cpp" "src/analysis/CMakeFiles/enzo_analysis.dir/derived.cpp.o" "gcc" "src/analysis/CMakeFiles/enzo_analysis.dir/derived.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mesh/CMakeFiles/enzo_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/hydro/CMakeFiles/enzo_hydro.dir/DependInfo.cmake"
+  "/root/repo/build/src/chemistry/CMakeFiles/enzo_chemistry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/enzo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ext/CMakeFiles/enzo_ext.dir/DependInfo.cmake"
+  "/root/repo/build/src/cosmology/CMakeFiles/enzo_cosmology.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/enzo_fft.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

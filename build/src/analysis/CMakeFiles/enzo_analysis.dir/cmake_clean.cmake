@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enzo_analysis.dir/analysis.cpp.o"
+  "CMakeFiles/enzo_analysis.dir/analysis.cpp.o.d"
+  "CMakeFiles/enzo_analysis.dir/derived.cpp.o"
+  "CMakeFiles/enzo_analysis.dir/derived.cpp.o.d"
+  "libenzo_analysis.a"
+  "libenzo_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enzo_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

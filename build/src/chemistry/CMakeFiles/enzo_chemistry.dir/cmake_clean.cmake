@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enzo_chemistry.dir/network.cpp.o"
+  "CMakeFiles/enzo_chemistry.dir/network.cpp.o.d"
+  "CMakeFiles/enzo_chemistry.dir/rates.cpp.o"
+  "CMakeFiles/enzo_chemistry.dir/rates.cpp.o.d"
+  "libenzo_chemistry.a"
+  "libenzo_chemistry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enzo_chemistry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

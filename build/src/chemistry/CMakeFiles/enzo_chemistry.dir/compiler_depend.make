@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for enzo_chemistry.
+# This may be replaced when dependencies are built.

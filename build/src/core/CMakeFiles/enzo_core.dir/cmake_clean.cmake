@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enzo_core.dir/parameter_file.cpp.o"
+  "CMakeFiles/enzo_core.dir/parameter_file.cpp.o.d"
+  "CMakeFiles/enzo_core.dir/setup.cpp.o"
+  "CMakeFiles/enzo_core.dir/setup.cpp.o.d"
+  "CMakeFiles/enzo_core.dir/simulation.cpp.o"
+  "CMakeFiles/enzo_core.dir/simulation.cpp.o.d"
+  "libenzo_core.a"
+  "libenzo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enzo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

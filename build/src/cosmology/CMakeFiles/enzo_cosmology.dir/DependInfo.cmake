@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cosmology/frw.cpp" "src/cosmology/CMakeFiles/enzo_cosmology.dir/frw.cpp.o" "gcc" "src/cosmology/CMakeFiles/enzo_cosmology.dir/frw.cpp.o.d"
+  "/root/repo/src/cosmology/grf.cpp" "src/cosmology/CMakeFiles/enzo_cosmology.dir/grf.cpp.o" "gcc" "src/cosmology/CMakeFiles/enzo_cosmology.dir/grf.cpp.o.d"
+  "/root/repo/src/cosmology/power_spectrum.cpp" "src/cosmology/CMakeFiles/enzo_cosmology.dir/power_spectrum.cpp.o" "gcc" "src/cosmology/CMakeFiles/enzo_cosmology.dir/power_spectrum.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/enzo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/enzo_fft.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

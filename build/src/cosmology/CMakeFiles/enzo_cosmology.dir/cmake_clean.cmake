@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enzo_cosmology.dir/frw.cpp.o"
+  "CMakeFiles/enzo_cosmology.dir/frw.cpp.o.d"
+  "CMakeFiles/enzo_cosmology.dir/grf.cpp.o"
+  "CMakeFiles/enzo_cosmology.dir/grf.cpp.o.d"
+  "CMakeFiles/enzo_cosmology.dir/power_spectrum.cpp.o"
+  "CMakeFiles/enzo_cosmology.dir/power_spectrum.cpp.o.d"
+  "libenzo_cosmology.a"
+  "libenzo_cosmology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enzo_cosmology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

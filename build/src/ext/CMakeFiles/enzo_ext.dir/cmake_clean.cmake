@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enzo_ext.dir/dd.cpp.o"
+  "CMakeFiles/enzo_ext.dir/dd.cpp.o.d"
+  "libenzo_ext.a"
+  "libenzo_ext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enzo_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enzo_fft.dir/fft.cpp.o"
+  "CMakeFiles/enzo_fft.dir/fft.cpp.o.d"
+  "libenzo_fft.a"
+  "libenzo_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enzo_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

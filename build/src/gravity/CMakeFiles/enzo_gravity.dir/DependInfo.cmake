@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gravity/fft_root.cpp" "src/gravity/CMakeFiles/enzo_gravity.dir/fft_root.cpp.o" "gcc" "src/gravity/CMakeFiles/enzo_gravity.dir/fft_root.cpp.o.d"
+  "/root/repo/src/gravity/gravity.cpp" "src/gravity/CMakeFiles/enzo_gravity.dir/gravity.cpp.o" "gcc" "src/gravity/CMakeFiles/enzo_gravity.dir/gravity.cpp.o.d"
+  "/root/repo/src/gravity/multigrid.cpp" "src/gravity/CMakeFiles/enzo_gravity.dir/multigrid.cpp.o" "gcc" "src/gravity/CMakeFiles/enzo_gravity.dir/multigrid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mesh/CMakeFiles/enzo_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/enzo_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/enzo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ext/CMakeFiles/enzo_ext.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enzo_gravity.dir/fft_root.cpp.o"
+  "CMakeFiles/enzo_gravity.dir/fft_root.cpp.o.d"
+  "CMakeFiles/enzo_gravity.dir/gravity.cpp.o"
+  "CMakeFiles/enzo_gravity.dir/gravity.cpp.o.d"
+  "CMakeFiles/enzo_gravity.dir/multigrid.cpp.o"
+  "CMakeFiles/enzo_gravity.dir/multigrid.cpp.o.d"
+  "libenzo_gravity.a"
+  "libenzo_gravity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enzo_gravity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

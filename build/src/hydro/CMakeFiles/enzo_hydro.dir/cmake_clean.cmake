@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enzo_hydro.dir/ppm.cpp.o"
+  "CMakeFiles/enzo_hydro.dir/ppm.cpp.o.d"
+  "CMakeFiles/enzo_hydro.dir/riemann.cpp.o"
+  "CMakeFiles/enzo_hydro.dir/riemann.cpp.o.d"
+  "CMakeFiles/enzo_hydro.dir/solver.cpp.o"
+  "CMakeFiles/enzo_hydro.dir/solver.cpp.o.d"
+  "CMakeFiles/enzo_hydro.dir/zeus.cpp.o"
+  "CMakeFiles/enzo_hydro.dir/zeus.cpp.o.d"
+  "libenzo_hydro.a"
+  "libenzo_hydro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enzo_hydro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enzo_io.dir/checkpoint.cpp.o"
+  "CMakeFiles/enzo_io.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/enzo_io.dir/image.cpp.o"
+  "CMakeFiles/enzo_io.dir/image.cpp.o.d"
+  "libenzo_io.a"
+  "libenzo_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enzo_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

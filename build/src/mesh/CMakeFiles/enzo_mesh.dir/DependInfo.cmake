@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/berger_rigoutsos.cpp" "src/mesh/CMakeFiles/enzo_mesh.dir/berger_rigoutsos.cpp.o" "gcc" "src/mesh/CMakeFiles/enzo_mesh.dir/berger_rigoutsos.cpp.o.d"
+  "/root/repo/src/mesh/boundary.cpp" "src/mesh/CMakeFiles/enzo_mesh.dir/boundary.cpp.o" "gcc" "src/mesh/CMakeFiles/enzo_mesh.dir/boundary.cpp.o.d"
+  "/root/repo/src/mesh/grid.cpp" "src/mesh/CMakeFiles/enzo_mesh.dir/grid.cpp.o" "gcc" "src/mesh/CMakeFiles/enzo_mesh.dir/grid.cpp.o.d"
+  "/root/repo/src/mesh/hierarchy.cpp" "src/mesh/CMakeFiles/enzo_mesh.dir/hierarchy.cpp.o" "gcc" "src/mesh/CMakeFiles/enzo_mesh.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/mesh/interpolate.cpp" "src/mesh/CMakeFiles/enzo_mesh.dir/interpolate.cpp.o" "gcc" "src/mesh/CMakeFiles/enzo_mesh.dir/interpolate.cpp.o.d"
+  "/root/repo/src/mesh/project.cpp" "src/mesh/CMakeFiles/enzo_mesh.dir/project.cpp.o" "gcc" "src/mesh/CMakeFiles/enzo_mesh.dir/project.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ext/CMakeFiles/enzo_ext.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/enzo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enzo_mesh.dir/berger_rigoutsos.cpp.o"
+  "CMakeFiles/enzo_mesh.dir/berger_rigoutsos.cpp.o.d"
+  "CMakeFiles/enzo_mesh.dir/boundary.cpp.o"
+  "CMakeFiles/enzo_mesh.dir/boundary.cpp.o.d"
+  "CMakeFiles/enzo_mesh.dir/grid.cpp.o"
+  "CMakeFiles/enzo_mesh.dir/grid.cpp.o.d"
+  "CMakeFiles/enzo_mesh.dir/hierarchy.cpp.o"
+  "CMakeFiles/enzo_mesh.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/enzo_mesh.dir/interpolate.cpp.o"
+  "CMakeFiles/enzo_mesh.dir/interpolate.cpp.o.d"
+  "CMakeFiles/enzo_mesh.dir/project.cpp.o"
+  "CMakeFiles/enzo_mesh.dir/project.cpp.o.d"
+  "libenzo_mesh.a"
+  "libenzo_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enzo_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

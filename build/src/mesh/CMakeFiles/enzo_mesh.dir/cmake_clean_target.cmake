@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libenzo_mesh.a"
+)

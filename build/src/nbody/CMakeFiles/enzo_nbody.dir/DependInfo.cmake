@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nbody/nbody.cpp" "src/nbody/CMakeFiles/enzo_nbody.dir/nbody.cpp.o" "gcc" "src/nbody/CMakeFiles/enzo_nbody.dir/nbody.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mesh/CMakeFiles/enzo_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/cosmology/CMakeFiles/enzo_cosmology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/enzo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ext/CMakeFiles/enzo_ext.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/enzo_fft.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enzo_nbody.dir/nbody.cpp.o"
+  "CMakeFiles/enzo_nbody.dir/nbody.cpp.o.d"
+  "libenzo_nbody.a"
+  "libenzo_nbody.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enzo_nbody.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parallel/comm.cpp" "src/parallel/CMakeFiles/enzo_parallel.dir/comm.cpp.o" "gcc" "src/parallel/CMakeFiles/enzo_parallel.dir/comm.cpp.o.d"
+  "/root/repo/src/parallel/distributed.cpp" "src/parallel/CMakeFiles/enzo_parallel.dir/distributed.cpp.o" "gcc" "src/parallel/CMakeFiles/enzo_parallel.dir/distributed.cpp.o.d"
+  "/root/repo/src/parallel/distributed_hierarchy.cpp" "src/parallel/CMakeFiles/enzo_parallel.dir/distributed_hierarchy.cpp.o" "gcc" "src/parallel/CMakeFiles/enzo_parallel.dir/distributed_hierarchy.cpp.o.d"
+  "/root/repo/src/parallel/dynamic_balance.cpp" "src/parallel/CMakeFiles/enzo_parallel.dir/dynamic_balance.cpp.o" "gcc" "src/parallel/CMakeFiles/enzo_parallel.dir/dynamic_balance.cpp.o.d"
+  "/root/repo/src/parallel/load_balance.cpp" "src/parallel/CMakeFiles/enzo_parallel.dir/load_balance.cpp.o" "gcc" "src/parallel/CMakeFiles/enzo_parallel.dir/load_balance.cpp.o.d"
+  "/root/repo/src/parallel/pipeline.cpp" "src/parallel/CMakeFiles/enzo_parallel.dir/pipeline.cpp.o" "gcc" "src/parallel/CMakeFiles/enzo_parallel.dir/pipeline.cpp.o.d"
+  "/root/repo/src/parallel/sterile.cpp" "src/parallel/CMakeFiles/enzo_parallel.dir/sterile.cpp.o" "gcc" "src/parallel/CMakeFiles/enzo_parallel.dir/sterile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mesh/CMakeFiles/enzo_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/enzo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ext/CMakeFiles/enzo_ext.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

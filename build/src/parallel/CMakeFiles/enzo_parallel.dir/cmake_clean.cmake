@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enzo_parallel.dir/comm.cpp.o"
+  "CMakeFiles/enzo_parallel.dir/comm.cpp.o.d"
+  "CMakeFiles/enzo_parallel.dir/distributed.cpp.o"
+  "CMakeFiles/enzo_parallel.dir/distributed.cpp.o.d"
+  "CMakeFiles/enzo_parallel.dir/distributed_hierarchy.cpp.o"
+  "CMakeFiles/enzo_parallel.dir/distributed_hierarchy.cpp.o.d"
+  "CMakeFiles/enzo_parallel.dir/dynamic_balance.cpp.o"
+  "CMakeFiles/enzo_parallel.dir/dynamic_balance.cpp.o.d"
+  "CMakeFiles/enzo_parallel.dir/load_balance.cpp.o"
+  "CMakeFiles/enzo_parallel.dir/load_balance.cpp.o.d"
+  "CMakeFiles/enzo_parallel.dir/pipeline.cpp.o"
+  "CMakeFiles/enzo_parallel.dir/pipeline.cpp.o.d"
+  "CMakeFiles/enzo_parallel.dir/sterile.cpp.o"
+  "CMakeFiles/enzo_parallel.dir/sterile.cpp.o.d"
+  "libenzo_parallel.a"
+  "libenzo_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enzo_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

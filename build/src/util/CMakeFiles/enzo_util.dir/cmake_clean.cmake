@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enzo_util.dir/alloc_stats.cpp.o"
+  "CMakeFiles/enzo_util.dir/alloc_stats.cpp.o.d"
+  "CMakeFiles/enzo_util.dir/flops.cpp.o"
+  "CMakeFiles/enzo_util.dir/flops.cpp.o.d"
+  "CMakeFiles/enzo_util.dir/timer.cpp.o"
+  "CMakeFiles/enzo_util.dir/timer.cpp.o.d"
+  "libenzo_util.a"
+  "libenzo_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enzo_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

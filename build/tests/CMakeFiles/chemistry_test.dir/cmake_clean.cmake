@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chemistry_test.dir/chemistry_test.cpp.o"
+  "CMakeFiles/chemistry_test.dir/chemistry_test.cpp.o.d"
+  "chemistry_test"
+  "chemistry_test.pdb"
+  "chemistry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chemistry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosmology_test.dir/cosmology_test.cpp.o"
+  "CMakeFiles/cosmology_test.dir/cosmology_test.cpp.o.d"
+  "cosmology_test"
+  "cosmology_test.pdb"
+  "cosmology_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosmology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

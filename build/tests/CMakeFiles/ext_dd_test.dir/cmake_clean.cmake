@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_dd_test.dir/ext_dd_test.cpp.o"
+  "CMakeFiles/ext_dd_test.dir/ext_dd_test.cpp.o.d"
+  "ext_dd_test"
+  "ext_dd_test.pdb"
+  "ext_dd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

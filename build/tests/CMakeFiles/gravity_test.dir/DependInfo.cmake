@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gravity_test.cpp" "tests/CMakeFiles/gravity_test.dir/gravity_test.cpp.o" "gcc" "tests/CMakeFiles/gravity_test.dir/gravity_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/io/CMakeFiles/enzo_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/enzo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/enzo_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/enzo_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/chemistry/CMakeFiles/enzo_chemistry.dir/DependInfo.cmake"
+  "/root/repo/build/src/nbody/CMakeFiles/enzo_nbody.dir/DependInfo.cmake"
+  "/root/repo/build/src/gravity/CMakeFiles/enzo_gravity.dir/DependInfo.cmake"
+  "/root/repo/build/src/hydro/CMakeFiles/enzo_hydro.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/enzo_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/cosmology/CMakeFiles/enzo_cosmology.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/enzo_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/ext/CMakeFiles/enzo_ext.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/enzo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

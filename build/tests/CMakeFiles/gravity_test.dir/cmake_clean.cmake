@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gravity_test.dir/gravity_test.cpp.o"
+  "CMakeFiles/gravity_test.dir/gravity_test.cpp.o.d"
+  "gravity_test"
+  "gravity_test.pdb"
+  "gravity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gravity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

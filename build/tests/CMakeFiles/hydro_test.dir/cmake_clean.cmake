@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydro_test.dir/hydro_test.cpp.o"
+  "CMakeFiles/hydro_test.dir/hydro_test.cpp.o.d"
+  "hydro_test"
+  "hydro_test.pdb"
+  "hydro_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydro_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

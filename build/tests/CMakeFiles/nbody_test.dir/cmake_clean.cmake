@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbody_test.dir/nbody_test.cpp.o"
+  "CMakeFiles/nbody_test.dir/nbody_test.cpp.o.d"
+  "nbody_test"
+  "nbody_test.pdb"
+  "nbody_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbody_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/ext_dd_test[1]_include.cmake")
+include("/root/repo/build/tests/fft_test[1]_include.cmake")
+include("/root/repo/build/tests/cosmology_test[1]_include.cmake")
+include("/root/repo/build/tests/mesh_test[1]_include.cmake")
+include("/root/repo/build/tests/hydro_test[1]_include.cmake")
+include("/root/repo/build/tests/gravity_test[1]_include.cmake")
+include("/root/repo/build/tests/nbody_test[1]_include.cmake")
+include("/root/repo/build/tests/chemistry_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/derived_test[1]_include.cmake")
+include("/root/repo/build/tests/invariance_test[1]_include.cmake")
+include("/root/repo/build/tests/deck_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_test[1]_include.cmake")
