@@ -5,21 +5,23 @@
 //   boundary conditions 15 %, other overhead 11 %
 //
 // We run the instrumented scaled collapse (with a dark-matter component so
-// the N-body line is exercised) and print the measured table side by side
-// with the paper's.
+// the N-body line is exercised), read the measured table from the global
+// trace recorder, print it side by side with the paper's, and emit the
+// machine-readable BENCH_table_components.json for regression tracking.
 
 #include <cstdio>
 #include <map>
 #include <string>
 
 #include "collapse_common.hpp"
-#include "util/timer.hpp"
+#include "perf/json.hpp"
+#include "perf/trace.hpp"
 
 using namespace enzo;
 
 int main() {
-  auto& timers = util::ComponentTimers::global();
-  timers.reset();
+  auto& recorder = perf::TraceRecorder::global();
+  recorder.reset();
 
   auto run = bench::collapse_run_config(16, 4, /*chemistry=*/true,
                                         /*with_dark_matter=*/true);
@@ -30,26 +32,24 @@ int main() {
   for (int s = 0; s < 8; ++s) sim.advance_root_step();
 
   const std::map<std::string, double> paper = {
-      {util::ComponentTimers::kHydro, 36.0},
-      {util::ComponentTimers::kGravity, 17.0},
-      {util::ComponentTimers::kChemistry, 11.0},
-      {util::ComponentTimers::kNbody, 1.0},
-      {util::ComponentTimers::kRebuild, 9.0},
-      {util::ComponentTimers::kBoundary, 15.0},
-      {util::ComponentTimers::kOther, 11.0},
+      {perf::component::kHydro, 36.0},
+      {perf::component::kGravity, 17.0},
+      {perf::component::kChemistry, 11.0},
+      {perf::component::kNbody, 1.0},
+      {perf::component::kRebuild, 9.0},
+      {perf::component::kBoundary, 15.0},
+      {perf::component::kOther, 11.0},
   };
 
   std::printf("component usage (fractions of instrumented compute time)\n\n");
   std::printf("%-28s %10s %10s\n", "component", "paper", "measured");
-  double measured_total = 0;
-  for (auto& [name, frac] : paper) measured_total += timers.seconds(name);
   for (auto& [name, frac] : paper) {
+    const double total = recorder.total_seconds();
     const double m =
-        measured_total > 0 ? 100.0 * timers.seconds(name) / measured_total
-                           : 0.0;
+        total > 0 ? 100.0 * recorder.component_seconds(name) / total : 0.0;
     std::printf("%-28s %8.1f %% %8.1f %%\n", name.c_str(), frac, m);
   }
-  std::printf("\nraw timer report:\n%s", timers.report().c_str());
+  std::printf("\nraw trace report:\n%s", recorder.component_report().c_str());
   std::printf(
       "\nnotes: fractions depend on problem scale — our chemistry share is\n"
       "larger (12-species network on few, small grids), the N-body share is\n"
@@ -57,5 +57,34 @@ int main() {
       "paper's further 40%% (communication + load imbalance on 64 procs)\n"
       "does not exist in this single-address-space run; see the parallel\n"
       "module benches for the communication-layer measurements.\n");
+
+  // ---- machine-readable output --------------------------------------------
+  std::string json = "{\"bench\":\"table_components\",\"total_seconds\":" +
+                     perf::json_number(recorder.total_seconds()) +
+                     ",\"components\":[";
+  bool first = true;
+  double fraction_sum = 0.0;
+  for (const auto& row : recorder.component_table()) {
+    if (!first) json += ",";
+    first = false;
+    fraction_sum += row.fraction;
+    json += "{\"name\":\"" + perf::json_escape(row.name) +
+            "\",\"seconds\":" + perf::json_number(row.seconds) +
+            ",\"fraction\":" + perf::json_number(row.fraction);
+    const auto it = paper.find(row.name);
+    if (it != paper.end())
+      json += ",\"paper_percent\":" + perf::json_number(it->second);
+    json += "}";
+  }
+  json += "],\"fraction_sum\":" + perf::json_number(fraction_sum) + "}\n";
+  const char* out_path = "BENCH_table_components.json";
+  if (std::FILE* f = std::fopen(out_path, "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("\nwrote %s (fraction sum %.12f)\n", out_path, fraction_sum);
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
   return 0;
 }

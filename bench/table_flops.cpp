@@ -7,23 +7,27 @@
 // final resolution (1e12 cells per side, ~1e10 timesteps → ~1e50 operations)
 // delivered in the same 1e6 s wall clock → ~1e44 flop/s.
 //
-// We do the analogous accounting: analytic per-kernel operation counts
-// accumulated by the instrumented solvers (the "future project" of §5),
-// wall-clock for the same segment, and the identical virtual-rate
-// arithmetic for our scaled run.
+// We do the analogous accounting: analytic per-kernel operation counts read
+// back through the metrics registry's "flops" source (fed by the
+// instrumented solvers — the "future project" of §5), wall-clock for the
+// same segment, the identical virtual-rate arithmetic for our scaled run,
+// and a machine-readable BENCH_table_flops.json.
 
 #include <cmath>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "collapse_common.hpp"
+#include "perf/json.hpp"
+#include "perf/metrics.hpp"
 #include "util/flops.hpp"
 #include "util/timer.hpp"
 
 using namespace enzo;
 
 int main() {
-  auto& flops = util::FlopCounter::global();
-  flops.reset();
+  util::FlopCounter::global().reset();
 
   auto run = bench::collapse_run_config(16, 4, /*chemistry=*/true,
                                         /*with_dark_matter=*/true);
@@ -36,16 +40,28 @@ int main() {
   for (; root_steps < 8; ++root_steps) sim.advance_root_step();
   const double seconds = wall.seconds();
 
+  // Read the per-component counts back through the registry snapshot — the
+  // FlopCounter registers itself as the "flops" source, so this exercises
+  // the same path every registry consumer uses.
+  std::vector<std::pair<std::string, double>> rows;
+  double total = 0.0;
+  for (const perf::Registry::Sample& s : perf::Registry::global().snapshot()) {
+    constexpr const char* kPrefix = "flops.";
+    if (s.name.rfind(kPrefix, 0) != 0) continue;
+    const std::string component = s.name.substr(6);
+    if (component == "total") {
+      total = s.value;
+      continue;
+    }
+    rows.emplace_back(component, s.value);
+  }
+
   std::printf("sustained-rate accounting (scaled run, %d root steps):\n\n",
               root_steps);
   std::printf("%-16s %18s\n", "component", "operations");
-  std::uint64_t total = 0;
-  for (auto& [name, count] : flops.rows()) {
-    std::printf("%-16s %18llu\n", name.c_str(),
-                static_cast<unsigned long long>(count));
-    total += count;
-  }
-  std::printf("%-16s %18llu\n", "total", static_cast<unsigned long long>(total));
+  for (auto& [name, count] : rows)
+    std::printf("%-16s %18.0f\n", name.c_str(), count);
+  std::printf("%-16s %18.0f\n", "total", total);
   std::printf("\nwall clock: %.2f s  →  sustained ≈ %.3f Gflop/s\n", seconds,
               total / seconds / 1e9);
   std::printf("paper: ~13 Gflop/s sustained on 64 SP2 processors "
@@ -55,6 +71,7 @@ int main() {
   // ---- virtual flop rate -----------------------------------------------------
   // Paper arithmetic: (1e12)³ cells × 1e10 steps × O(100) flops/cell-step
   //                 ≈ 1e50 ops in ~1e6 s → ~1e44 flop/s.
+  double virtual_ops_run = 0.0;
   {
     const double cells = std::pow(1e12, 3);
     const double steps = 1e10;
@@ -75,13 +92,40 @@ int main() {
     // Same per-cell-step cost basis as the instrumented hydro (3 sweeps) +
     // the other solvers, so virtual vs actual compare like for like.
     const double per_cell = 3.0 * 220.0 + 400.0;
-    const double virtual_ops = cells * fine_steps * per_cell;
+    virtual_ops_run = cells * fine_steps * per_cell;
     std::printf("\nvirtual-rate arithmetic, this run (SDR = %.0f):\n", sdr);
     std::printf("  %.1e ops over %.2f s  →  %.2e virtual flop/s vs %.2e "
                 "actual\n",
-                virtual_ops, seconds, virtual_ops / seconds, total / seconds);
+                virtual_ops_run, seconds, virtual_ops_run / seconds,
+                total / seconds);
     std::printf("  adaptivity leverage: %.0fx (the paper's is ~1e34x)\n",
-                virtual_ops / static_cast<double>(total));
+                virtual_ops_run / total);
+  }
+
+  // ---- machine-readable output --------------------------------------------
+  std::string json = "{\"bench\":\"table_flops\",\"root_steps\":" +
+                     perf::json_number(root_steps) +
+                     ",\"wall_seconds\":" + perf::json_number(seconds) +
+                     ",\"components\":[";
+  bool first = true;
+  for (auto& [name, count] : rows) {
+    if (!first) json += ",";
+    first = false;
+    json += "{\"name\":\"" + perf::json_escape(name) +
+            "\",\"operations\":" + perf::json_number(count) + "}";
+  }
+  json += "],\"total_operations\":" + perf::json_number(total) +
+          ",\"sustained_flops\":" + perf::json_number(total / seconds) +
+          ",\"virtual_flops\":" +
+          perf::json_number(virtual_ops_run / seconds) + "}\n";
+  const char* out_path = "BENCH_table_flops.json";
+  if (std::FILE* f = std::fopen(out_path, "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", out_path);
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
   }
   return 0;
 }

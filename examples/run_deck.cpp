@@ -4,25 +4,63 @@
 //
 //   $ ./run_deck ../decks/first_star.enzo
 //   $ ./run_deck ../decks/sod.enzo
+//
+// Telemetry flags (may appear anywhere on the command line):
+//   --trace-out=FILE   write a Chrome trace_event JSON timeline of the run
+//                      (load in chrome://tracing or Perfetto)
+//   --diag-out=FILE    append one JSONL diagnostics record per root step
+//                      (z, dt + limiter, grids/cells per level, conservation
+//                      residuals, peak bytes, flops)
 
 #include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "analysis/analysis.hpp"
 #include "core/parameter_file.hpp"
 #include "io/checkpoint.hpp"
+#include "perf/diagnostics.hpp"
+#include "perf/trace.hpp"
 #include "util/timer.hpp"
 
 using namespace enzo;
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <parameter-deck> [more decks...]\n",
+  std::string trace_out, diag_out;
+  std::vector<const char*> decks;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strncmp(argv[a], "--trace-out=", 12) == 0)
+      trace_out = argv[a] + 12;
+    else if (std::strncmp(argv[a], "--diag-out=", 11) == 0)
+      diag_out = argv[a] + 11;
+    else
+      decks.push_back(argv[a]);
+  }
+  if (decks.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s [--trace-out=FILE] [--diag-out=FILE] "
+                 "<parameter-deck> [more decks...]\n",
                  argv[0]);
     return 1;
   }
-  for (int a = 1; a < argc; ++a) {
-    std::printf("==== deck: %s ====\n", argv[a]);
-    core::ParameterDeck deck = core::parse_parameter_file(argv[a]);
+
+  perf::TraceRecorder& recorder = perf::TraceRecorder::global();
+  if (!trace_out.empty()) recorder.enable_events(true);
+  std::unique_ptr<perf::DiagnosticsSink> sink;
+  if (!diag_out.empty()) {
+    sink = std::make_unique<perf::DiagnosticsSink>(diag_out);
+    if (!sink->ok()) {
+      std::fprintf(stderr, "cannot open --diag-out file: %s\n",
+                   diag_out.c_str());
+      return 1;
+    }
+  }
+
+  for (const char* deck_path : decks) {
+    std::printf("==== deck: %s ====\n", deck_path);
+    core::ParameterDeck deck = core::parse_parameter_file(deck_path);
     std::printf("effective parameters:\n%s\n",
                 core::render_deck(deck).c_str());
     core::Simulation sim(deck.config);
@@ -31,6 +69,7 @@ int main(int argc, char** argv) {
                 sim.hierarchy().deepest_level() + 1,
                 sim.hierarchy().total_grids(),
                 static_cast<long long>(sim.hierarchy().total_cells()));
+    if (sink) sim.set_diagnostics_sink(sink.get());
 
     util::Stopwatch wall;
     for (int s = 0; s < deck.stop_steps; ++s) {
@@ -52,5 +91,22 @@ int main(int argc, char** argv) {
                   io::checkpoint_size_bytes(sim) / 1048576.0);
     }
   }
+
+  if (!trace_out.empty()) {
+    if (recorder.write_chrome_trace(trace_out)) {
+      std::printf("trace written: %s (%lld events, %lld dropped)\n",
+                  trace_out.c_str(),
+                  static_cast<long long>(recorder.events_recorded()),
+                  static_cast<long long>(recorder.events_dropped()));
+    } else {
+      std::fprintf(stderr, "cannot write --trace-out file: %s\n",
+                   trace_out.c_str());
+      return 1;
+    }
+  }
+  if (sink)
+    std::printf("diagnostics written: %s (%lld records)\n", diag_out.c_str(),
+                static_cast<long long>(sink->records_written()));
+  std::printf("%s", perf::TraceRecorder::global().component_report().c_str());
   return 0;
 }

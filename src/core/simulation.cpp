@@ -1,9 +1,9 @@
 #include "core/simulation.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
-#include <cstdio>
-#include <cstdlib>
+#include <string>
 
 #include "chemistry/chemistry.hpp"
 #include "gravity/gravity.hpp"
@@ -11,14 +11,16 @@
 #include "mesh/boundary.hpp"
 #include "mesh/project.hpp"
 #include "nbody/nbody.hpp"
+#include "perf/log.hpp"
+#include "perf/trace.hpp"
+#include "util/alloc_stats.hpp"
 #include "util/error.hpp"
-#include "util/timer.hpp"
+#include "util/flops.hpp"
 
 namespace enzo::core {
 
 using mesh::Field;
 using mesh::Grid;
-namespace ct = util;
 
 namespace {
 constexpr Field kVelField[3] = {Field::kVelocityX, Field::kVelocityY,
@@ -136,11 +138,7 @@ void Simulation::finalize_setup() {
     g->set_old_time(time_);
     g->store_old_fields();
   }
-  if (cfg_.hierarchy.max_level >= 1) {
-    ct::ScopedTimer t(ct::ComponentTimers::global(),
-                      ct::ComponentTimers::kRebuild);
-    hierarchy_.rebuild(1, flagger());
-  }
+  if (cfg_.hierarchy.max_level >= 1) hierarchy_.rebuild(1, flagger());
   for (int l = 1; l <= hierarchy_.deepest_level(); ++l)
     for (Grid* g : hierarchy_.grids(l)) {
       g->set_time(time_);
@@ -174,22 +172,34 @@ void Simulation::update_scale_factor() {
 
 double Simulation::compute_level_timestep(int level) {
   double dt = std::numeric_limits<double>::max();
+  hydro::DtLimiter limiter = hydro::DtLimiter::kNone;
   const cosmology::Expansion exp = expansion_at(
       ext::pos_to_double(hierarchy_.grids(level)[0]->time()));
   for (Grid* g : hierarchy_.grids(level)) {
-    if (cfg_.enable_hydro)
-      dt = std::min(dt, hydro::compute_timestep(*g, cfg_.hydro, exp));
-    if (cfg_.enable_particles)
-      dt = std::min(dt, nbody::particle_timestep(*g, exp.a, cfg_.hydro.cfl));
+    if (cfg_.enable_hydro) {
+      const hydro::TimestepInfo info =
+          hydro::compute_timestep_info(*g, cfg_.hydro, exp);
+      if (info.dt < dt) {
+        dt = info.dt;
+        limiter = info.limiter;
+      }
+    }
+    if (cfg_.enable_particles) {
+      const double dtp = nbody::particle_timestep(*g, exp.a, cfg_.hydro.cfl);
+      if (dtp < dt) {
+        dt = dtp;
+        limiter = hydro::DtLimiter::kParticle;
+      }
+    }
   }
   ENZO_REQUIRE(dt > 0 && std::isfinite(dt),
                "non-positive timestep at level " + std::to_string(level));
+  if (level == 0) root_dt_limiter_ = limiter;
   return dt;
 }
 
 void Simulation::solve_gravity_level(int level) {
-  ct::ScopedTimer t(ct::ComponentTimers::global(),
-                    ct::ComponentTimers::kGravity);
+  perf::TraceScope scope("gravity", perf::component::kGravity, level);
   // Assemble gravitating mass everywhere at/below this level, deposit
   // particles, and push child mass down into parents.
   for (int l = hierarchy_.deepest_level(); l >= 0; --l) {
@@ -211,23 +221,20 @@ void Simulation::step_grids(int level, double dt,
   for (Grid* g : hierarchy_.grids(level)) {
     g->store_old_fields();
     if (cfg_.enable_hydro) {
-      ct::ScopedTimer t(ct::ComponentTimers::global(),
-                        ct::ComponentTimers::kHydro);
+      perf::TraceScope scope("hydro", perf::component::kHydro, level);
       hydro::solve_hydro_step(*g, dt, cfg_.hydro, exp);
     }
     if (cfg_.enable_gravity) {
-      ct::ScopedTimer t(ct::ComponentTimers::global(),
-                        ct::ComponentTimers::kGravity);
+      perf::TraceScope scope("gravity_sources", perf::component::kGravity,
+                             level);
       hydro::apply_gravity_sources(*g, dt, cfg_.hydro);
     }
     if (cfg_.enable_chemistry) {
-      ct::ScopedTimer t(ct::ComponentTimers::global(),
-                        ct::ComponentTimers::kChemistry);
+      perf::TraceScope scope("chemistry", perf::component::kChemistry, level);
       chemistry::solve_chemistry_step(*g, dt, cfg_.chemistry, chem_units());
     }
     if (cfg_.enable_particles) {
-      ct::ScopedTimer t(ct::ComponentTimers::global(),
-                        ct::ComponentTimers::kNbody);
+      perf::TraceScope scope("nbody", perf::component::kNbody, level);
       nbody::kick_particles(*g, dt, exp.adot_over_a);
       nbody::drift_particles(*g, dt, exp.a);
     }
@@ -237,6 +244,8 @@ void Simulation::step_grids(int level, double dt,
 void Simulation::evolve_level(int level, ext::pos_t parent_time) {
   auto level_grids = hierarchy_.grids(level);
   if (level_grids.empty()) return;
+  perf::TraceScope level_scope("evolve_level/L" + std::to_string(level),
+                               perf::component::kOther, level);
   // A new parent window opens: zero the boundary flux registers that the
   // parent's flux correction will read after this level catches up.
   if (cfg_.enable_hydro)
@@ -258,7 +267,8 @@ void Simulation::evolve_level(int level, ext::pos_t parent_time) {
     }
     if (cfg_.trace_wcycle)
       trace_.push_back({level, ext::pos_to_double(t_now), dt});
-    if (std::getenv("ENZO_DEBUG_LEVELS")) {
+    perf::StructuredLog& slog = perf::StructuredLog::global();
+    if (slog.enabled(perf::LogLevel::kDebug)) {
       double vmax = 0, emin = 1e300, rmax = 0;
       for (Grid* g : level_grids) {
         for (int d = 0; d < 3; ++d) {
@@ -268,11 +278,11 @@ void Simulation::evolve_level(int level, ext::pos_t parent_time) {
         emin = std::min(emin, g->field(Field::kInternalEnergy).min());
         rmax = std::max(rmax, g->field(Field::kDensity).max());
       }
-      std::fprintf(stderr,
-                   "[lvl %d] sub %d t=%.5f dt=%.3e vmax=%.3e emin=%.3e "
-                   "rmax=%.3e grids=%zu\n",
-                   level, substeps, ext::pos_to_double(t_now), dt, vmax, emin,
-                   rmax, level_grids.size());
+      slog.logf(perf::LogLevel::kDebug, "evolve",
+                "lvl %d sub %d t=%.5f dt=%.3e vmax=%.3e emin=%.3e "
+                "rmax=%.3e grids=%zu",
+                level, substeps, ext::pos_to_double(t_now), dt, vmax, emin,
+                rmax, level_grids.size());
     }
 
     const cosmology::Expansion exp =
@@ -295,16 +305,16 @@ void Simulation::evolve_level(int level, ext::pos_t parent_time) {
 
     // Flux correction + projection (§3.2.1 two-way coupling).
     {
-      ct::ScopedTimer t(ct::ComponentTimers::global(),
-                        ct::ComponentTimers::kOther);
+      perf::TraceScope scope("flux_projection", perf::component::kOther,
+                             level);
       for (Grid* child : hierarchy_.grids(level + 1)) {
         mesh::flux_correct_from_child(*child, *child->parent());
         mesh::project_to_parent(*child, *child->parent());
       }
     }
     if (cfg_.enable_particles) {
-      ct::ScopedTimer t(ct::ComponentTimers::global(),
-                        ct::ComponentTimers::kNbody);
+      perf::TraceScope scope("particle_redistribute",
+                             perf::component::kNbody, level);
       nbody::redistribute_particles(hierarchy_);
     }
 
@@ -314,8 +324,6 @@ void Simulation::evolve_level(int level, ext::pos_t parent_time) {
         level_steps_[static_cast<std::size_t>(level)] %
                 cfg_.rebuild_interval ==
             0) {
-      ct::ScopedTimer t(ct::ComponentTimers::global(),
-                        ct::ComponentTimers::kRebuild);
       hierarchy_.rebuild(level + 1, flagger());
       for (int l = level + 1; l <= hierarchy_.deepest_level(); ++l)
         for (Grid* g : hierarchy_.grids(l))
@@ -325,21 +333,104 @@ void Simulation::evolve_level(int level, ext::pos_t parent_time) {
   }
 }
 
+void Simulation::step_root(double dt) {
+  // The limiter was recorded by the compute_level_timestep(0) call (or
+  // overridden by a stop-time clamp) just before this; capture it now because
+  // evolve_level recomputes level-0 timesteps internally.
+  const hydro::DtLimiter limiter = root_dt_limiter_;
+  const auto wall0 = std::chrono::steady_clock::now();
+  evolve_level(0, time_ + ext::pos_t(dt));
+  ++root_steps_;
+  root_dt_limiter_ = limiter;
+  if (diag_sink_ != nullptr) {
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+            .count();
+    diag_sink_->write(make_step_record(dt, limiter, wall));
+  }
+}
+
 double Simulation::advance_root_step() {
   ENZO_REQUIRE(!hierarchy_.grids(0).empty(), "run finalize_setup() first");
   const double dt0 = compute_level_timestep(0);
-  evolve_level(0, time_ + ext::pos_t(dt0));
-  ++root_steps_;
+  step_root(dt0);
   return dt0;
 }
 
 void Simulation::evolve_until(double t_stop, int max_steps) {
   for (int s = 0; s < max_steps && time_d() < t_stop; ++s) {
     const double dt0 = compute_level_timestep(0);
-    const double dt = std::min(dt0, t_stop - time_d());
-    evolve_level(0, time_ + ext::pos_t(dt));
-    ++root_steps_;
+    double dt = dt0;
+    if (t_stop - time_d() < dt0) {
+      dt = t_stop - time_d();
+      root_dt_limiter_ = hydro::DtLimiter::kStopTime;
+    }
+    step_root(dt);
   }
+}
+
+void Simulation::set_diagnostics_sink(perf::DiagnosticsSink* sink) {
+  diag_sink_ = sink;
+  diag_baseline_set_ = false;
+}
+
+perf::StepRecord Simulation::make_step_record(double dt,
+                                              hydro::DtLimiter limiter,
+                                              double wall_seconds) {
+  perf::StepRecord rec;
+  rec.step = root_steps_;
+  rec.t = time_d();
+  rec.dt = dt;
+  rec.dt_limiter = hydro::dt_limiter_name(limiter);
+  rec.a = a_;
+  rec.z = cfg_.comoving ? 1.0 / a_ - 1.0 : 0.0;
+  for (int l = 0; l <= hierarchy_.deepest_level(); ++l) {
+    perf::LevelStat ls;
+    ls.level = l;
+    for (const Grid* g : hierarchy_.grids(l)) {
+      ++ls.grids;
+      ls.cells += static_cast<std::uint64_t>(g->nx(0)) *
+                  static_cast<std::uint64_t>(g->nx(1)) *
+                  static_cast<std::uint64_t>(g->nx(2));
+    }
+    rec.levels.push_back(ls);
+  }
+  // Conservation diagnostics from the root level (children are projected
+  // into their parents after every W-cycle, so the root view is complete).
+  double mass = 0.0, energy = 0.0;
+  for (const Grid* g : hierarchy_.grids(0)) {
+    if (!g->has_field(Field::kDensity)) continue;
+    double vol = 1.0;
+    for (int d = 0; d < 3; ++d) vol *= g->cell_width_d(d);
+    const auto& rho = g->field(Field::kDensity);
+    const bool has_e = g->has_field(Field::kTotalEnergy);
+    const auto& etot = g->field(has_e ? Field::kTotalEnergy : Field::kDensity);
+    for (int k = 0; k < g->nx(2); ++k)
+      for (int j = 0; j < g->nx(1); ++j)
+        for (int i = 0; i < g->nx(0); ++i) {
+          const int si = g->sx(i), sj = g->sy(j), sk = g->sz(k);
+          const double m = rho(si, sj, sk) * vol;
+          mass += m;
+          if (has_e) energy += m * etot(si, sj, sk);
+        }
+  }
+  if (!diag_baseline_set_) {
+    diag_mass0_ = mass;
+    diag_energy0_ = energy;
+    diag_baseline_set_ = true;
+  }
+  rec.mass_total = mass;
+  rec.mass_residual =
+      diag_mass0_ != 0.0 ? (mass - diag_mass0_) / diag_mass0_ : 0.0;
+  rec.energy_total = energy;
+  rec.energy_residual = diag_energy0_ != 0.0
+                            ? (energy - diag_energy0_) / std::abs(diag_energy0_)
+                            : 0.0;
+  rec.peak_bytes = static_cast<std::uint64_t>(
+      util::AllocStats::global().peak_bytes());
+  rec.flops = static_cast<std::uint64_t>(util::FlopCounter::global().total());
+  rec.wall_seconds = wall_seconds;
+  return rec;
 }
 
 }  // namespace enzo::core

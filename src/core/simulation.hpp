@@ -21,6 +21,7 @@
 
 #include "core/config.hpp"
 #include "ext/position.hpp"
+#include "perf/diagnostics.hpp"
 
 namespace enzo::core {
 
@@ -85,8 +86,21 @@ class Simulation {
   /// The refinement-criteria flagger (exposed for tests/benches).
   mesh::Hierarchy::FlagFn flagger();
 
+  // ---- telemetry -----------------------------------------------------------
+  /// Attach a per-step JSONL diagnostics sink (non-owning; pass nullptr to
+  /// detach).  One StepRecord is written after every root-level step; the
+  /// mass/energy conservation baselines reset when a sink is attached.
+  void set_diagnostics_sink(perf::DiagnosticsSink* sink);
+  /// The limiter that set the most recent root-level timestep.
+  hydro::DtLimiter root_dt_limiter() const { return root_dt_limiter_; }
+  /// Assemble the diagnostics record for the current state (exposed for
+  /// tests; advance_root_step calls this when a sink is attached).
+  perf::StepRecord make_step_record(double dt, hydro::DtLimiter limiter,
+                                    double wall_seconds);
+
  private:
   void evolve_level(int level, ext::pos_t parent_time);
+  void step_root(double dt);
   double compute_level_timestep(int level);
   void solve_gravity_level(int level);
   void step_grids(int level, double dt, const cosmology::Expansion& exp);
@@ -101,6 +115,11 @@ class Simulation {
   std::vector<std::pair<int, mesh::IndexBox>> static_regions_;
   std::vector<long> level_steps_;  ///< per-level step counters (rebuild cadence)
   std::vector<WcycleEvent> trace_;
+  perf::DiagnosticsSink* diag_sink_ = nullptr;
+  hydro::DtLimiter root_dt_limiter_ = hydro::DtLimiter::kNone;
+  bool diag_baseline_set_ = false;
+  double diag_mass0_ = 0.0;
+  double diag_energy0_ = 0.0;
 };
 
 }  // namespace enzo::core

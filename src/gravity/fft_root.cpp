@@ -8,6 +8,7 @@
 
 #include "fft/fft.hpp"
 #include "gravity/gravity.hpp"
+#include "perf/trace.hpp"
 #include "util/error.hpp"
 
 namespace enzo::gravity {
@@ -17,6 +18,7 @@ void solve_root_gravity(mesh::Hierarchy& h, const GravityParams& p,
   auto roots = h.grids(0);
   ENZO_REQUIRE(!roots.empty(), "no root grids");
   ENZO_REQUIRE(h.params().periodic, "FFT root solve requires a periodic box");
+  perf::TraceScope scope("root_fft", perf::component::kGravity, 0);
   const mesh::Index3 dims = h.level_dims(0);
   const int nx = static_cast<int>(dims[0]);
   const int ny = static_cast<int>(dims[1]);

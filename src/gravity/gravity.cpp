@@ -4,8 +4,8 @@
 #include <cmath>
 
 #include "gravity/gravity.hpp"
+#include "perf/trace.hpp"
 #include "util/error.hpp"
-#include "util/timer.hpp"
 
 namespace enzo::gravity {
 
@@ -199,6 +199,8 @@ void solve_subgrid_gravity(mesh::Hierarchy& h, int level,
   ENZO_REQUIRE(level >= 1, "solve_subgrid_gravity on the root level");
   auto level_grids = h.grids(level);
   if (level_grids.empty()) return;
+  perf::TraceScope scope("subgrid_multigrid", perf::component::kGravity,
+                         level);
   const double coef = p.grav_const_code / a;
 
   // Per-grid RHS and initial guess (interpolated parent potential

@@ -41,10 +41,36 @@ struct HydroParams {
   double max_expansion = 0.02;
 };
 
+/// Which constraint set a timestep — recorded in the per-step diagnostics
+/// (the driver adds the non-hydro limiters: particles, stop time, and the
+/// catch-up clamp onto the parent's window).
+enum class DtLimiter {
+  kNone,
+  kCfl,           ///< sound-crossing / bulk-velocity CFL condition
+  kExpansion,     ///< max fractional expansion per step
+  kAcceleration,  ///< gravitational free-fall across a cell
+  kParticle,      ///< N-body particle CFL
+  kStopTime,      ///< clamped to land on the requested stop time
+  kParentWindow,  ///< clamped to land on the parent level's time
+};
+const char* dt_limiter_name(DtLimiter lim);
+
+struct TimestepInfo {
+  double dt = 0.0;
+  DtLimiter limiter = DtLimiter::kNone;
+};
+
 /// CFL-limited timestep for this grid (code time units), including the
-/// expansion and acceleration constraints.  Uses ghost-free active cells.
-double compute_timestep(const mesh::Grid& g, const HydroParams& params,
-                        const cosmology::Expansion& exp);
+/// expansion and acceleration constraints, with the binding limiter
+/// identified.  Uses ghost-free active cells.
+TimestepInfo compute_timestep_info(const mesh::Grid& g,
+                                   const HydroParams& params,
+                                   const cosmology::Expansion& exp);
+
+inline double compute_timestep(const mesh::Grid& g, const HydroParams& params,
+                               const cosmology::Expansion& exp) {
+  return compute_timestep_info(g, params, exp).dt;
+}
 
 /// Advance the grid's baryon fields by dt: directional sweeps (recording
 /// time-integrated conserved face fluxes into the grid's flux registers),

@@ -7,6 +7,8 @@
 
 #include "hydro/hydro.hpp"
 #include "hydro/pencil.hpp"
+#include "perf/metrics.hpp"
+#include "perf/trace.hpp"
 #include "util/error.hpp"
 #include "util/flops.hpp"
 
@@ -94,9 +96,16 @@ void sweep_all_axes(Grid& g, double dt, const HydroParams& hp,
   const int nscal = static_cast<int>(species.size());
   const SweepParams sp{hp.gamma, hp.flattening, hp.zeus_viscosity};
 
+  const char* sweep_names[2][3] = {{"ppm_sweep_x", "ppm_sweep_y",
+                                    "ppm_sweep_z"},
+                                   {"zeus_sweep_x", "zeus_sweep_y",
+                                    "zeus_sweep_z"}};
   bool first_sweep = true;
   for (int d = 0; d < 3; ++d) {
     if (g.spec().level_dims[d] == 1) continue;
+    perf::TraceScope sweep_scope(
+        sweep_names[hp.solver == Solver::kPpm ? 0 : 1][d],
+        perf::component::kHydro, g.level());
     // Split sweeps consume ghost data; for a grid covering the whole
     // periodic domain the wrap can be refreshed exactly between sweeps,
     // keeping the conservative update exact at the external boundary.
@@ -301,8 +310,22 @@ double cell_pressure(const Grid& g, int si, int sj, int sk,
   return std::max((params.gamma - 1.0) * rho * ei, params.pressure_floor);
 }
 
-double compute_timestep(const Grid& g, const HydroParams& params,
-                        const cosmology::Expansion& exp) {
+const char* dt_limiter_name(DtLimiter lim) {
+  switch (lim) {
+    case DtLimiter::kNone: return "none";
+    case DtLimiter::kCfl: return "cfl";
+    case DtLimiter::kExpansion: return "expansion";
+    case DtLimiter::kAcceleration: return "acceleration";
+    case DtLimiter::kParticle: return "particle";
+    case DtLimiter::kStopTime: return "stop_time";
+    case DtLimiter::kParentWindow: return "parent_window";
+  }
+  return "none";
+}
+
+TimestepInfo compute_timestep_info(const Grid& g, const HydroParams& params,
+                                   const cosmology::Expansion& exp) {
+  TimestepInfo info;
   double dt = std::numeric_limits<double>::max();
   const auto& rho = g.field(Field::kDensity);
   const auto& eint = g.field(Field::kInternalEnergy);
@@ -323,9 +346,15 @@ double compute_timestep(const Grid& g, const HydroParams& params,
           dt = std::min(dt, params.cfl * dx_eff / (v + c + 1e-300));
         }
       }
+  if (dt < std::numeric_limits<double>::max()) info.limiter = DtLimiter::kCfl;
   // Expansion limiter.
-  if (exp.adot_over_a > 0.0)
-    dt = std::min(dt, params.max_expansion / exp.adot_over_a);
+  if (exp.adot_over_a > 0.0) {
+    const double dt_exp = params.max_expansion / exp.adot_over_a;
+    if (dt_exp < dt) {
+      dt = dt_exp;
+      info.limiter = DtLimiter::kExpansion;
+    }
+  }
   // Acceleration limiter.
   if (g.has_gravity()) {
     for (int d = 0; d < 3; ++d) {
@@ -334,11 +363,16 @@ double compute_timestep(const Grid& g, const HydroParams& params,
                                    std::abs(g.acceleration(d).max()));
       if (gmax > 0.0) {
         const double dx_eff = exp.a * g.cell_width_d(d);
-        dt = std::min(dt, params.cfl * std::sqrt(2.0 * dx_eff / gmax));
+        const double dt_acc = params.cfl * std::sqrt(2.0 * dx_eff / gmax);
+        if (dt_acc < dt) {
+          dt = dt_acc;
+          info.limiter = DtLimiter::kAcceleration;
+        }
       }
     }
   }
-  return dt;
+  info.dt = dt;
+  return info;
 }
 
 void solve_hydro_step(Grid& g, double dt, const HydroParams& params,
@@ -354,6 +388,9 @@ void solve_hydro_step(Grid& g, double dt, const HydroParams& params,
   sweep_all_axes(g, dt, params, exp);
   apply_expansion_sources(g, dt, params, exp);
   dual_energy_sync(g, params);
+  static perf::Counter& cells_updated =
+      perf::Registry::global().counter("hydro.cells_updated");
+  cells_updated.add(static_cast<std::uint64_t>(g.nx(0)) * g.nx(1) * g.nx(2));
 }
 
 void apply_gravity_sources(Grid& g, double dt, const HydroParams& params) {

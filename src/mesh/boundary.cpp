@@ -1,8 +1,9 @@
 #include "mesh/boundary.hpp"
 
 #include "mesh/interpolate.hpp"
+#include "perf/metrics.hpp"
+#include "perf/trace.hpp"
 #include "util/error.hpp"
-#include "util/timer.hpp"
 
 namespace enzo::mesh {
 
@@ -27,9 +28,18 @@ void fill_outflow_ghosts(Grid& g) {
 }
 
 void set_boundary_values(Hierarchy& h, int level) {
-  util::ScopedTimer timer(util::ComponentTimers::global(),
-                          util::ComponentTimers::kBoundary);
+  perf::TraceScope scope("set_boundary_values", perf::component::kBoundary,
+                         level);
+  static perf::Counter& ghost_cells =
+      perf::Registry::global().counter("boundary.ghost_cells_filled");
   auto level_grids = h.grids(level);
+  for (const Grid* g : level_grids) {
+    const std::uint64_t total =
+        static_cast<std::uint64_t>(g->nt(0)) * g->nt(1) * g->nt(2);
+    const std::uint64_t active =
+        static_cast<std::uint64_t>(g->nx(0)) * g->nx(1) * g->nx(2);
+    ghost_cells.add(total - active);
+  }
   const Index3 dims = h.level_dims(level);
   const bool periodic = h.params().periodic;
 

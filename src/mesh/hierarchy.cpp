@@ -4,6 +4,8 @@
 #include <unordered_set>
 
 #include "mesh/interpolate.hpp"
+#include "perf/metrics.hpp"
+#include "perf/trace.hpp"
 #include "util/error.hpp"
 
 namespace enzo::mesh {
@@ -145,6 +147,11 @@ void Hierarchy::rebuild(int level, const FlagFn& flag) {
   ENZO_REQUIRE(level >= 1, "cannot rebuild the root level");
   ENZO_REQUIRE(level < static_cast<int>(levels_.size()) + 1,
                "rebuild level beyond deepest+1");
+  perf::TraceScope scope("rebuild", perf::component::kRebuild, level);
+  static perf::Counter& rebuilds =
+      perf::Registry::global().counter("mesh.rebuilds");
+  rebuilds.add(1);
+  const std::size_t grids_before = total_grids();
   const int r = params_.refine_factor;
 
   for (int l = level; l <= params_.max_level; ++l) {
@@ -342,6 +349,15 @@ void Hierarchy::rebuild(int level, const FlagFn& flag) {
     }
   }
   check_invariants();
+  // Grid-churn statistics (§5: the hierarchy is rebuilt thousands of times).
+  static perf::Gauge& grids_current =
+      perf::Registry::global().gauge("mesh.grids_after_rebuild");
+  static perf::Histogram& churn =
+      perf::Registry::global().histogram("mesh.grids_per_rebuild");
+  const std::size_t grids_after = total_grids();
+  grids_current.set(static_cast<double>(grids_after));
+  churn.observe(grids_after >= grids_before ? grids_after - grids_before
+                                            : grids_before - grids_after);
 }
 
 void Hierarchy::check_invariants() const {

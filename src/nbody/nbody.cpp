@@ -3,6 +3,8 @@
 #include <cmath>
 #include <string>
 
+#include "perf/metrics.hpp"
+#include "perf/trace.hpp"
 #include "util/error.hpp"
 #include "util/flops.hpp"
 
@@ -57,6 +59,9 @@ Cic cic_of(const Grid& g, const Particle& p) {
 void deposit_particles_cic(Grid& g) {
   if (g.particles().empty()) return;
   ENZO_REQUIRE(g.has_gravity(), "deposit requires allocated gravity arrays");
+  static perf::Counter& deposits =
+      perf::Registry::global().counter("nbody.cic_deposits");
+  deposits.add(g.particles().size());
   auto& gm = g.gravitating_mass();
   double cellvol = 1.0;
   for (int d = 0; d < 3; ++d)
@@ -164,6 +169,7 @@ double particle_timestep(const Grid& g, double a, double cfl) {
 }
 
 void redistribute_particles(mesh::Hierarchy& h) {
+  perf::TraceScope scope("redistribute_particles", perf::component::kNbody);
   // Re-home any particle that escaped its grid or for which a finer grid
   // now contains its position (the ownership invariant is finest-owner).
   std::vector<Particle> homeless;

@@ -1,5 +1,6 @@
 #include "parallel/comm.hpp"
 
+#include "perf/metrics.hpp"
 #include "util/error.hpp"
 
 namespace enzo::parallel {
@@ -12,11 +13,17 @@ Transport::Transport(int nranks) {
 
 void Transport::send(Message m) {
   ENZO_REQUIRE(m.dst >= 0 && m.dst < nranks(), "send to invalid rank");
+  const std::uint64_t nbytes = m.payload.size() * sizeof(double);
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.sends;
-    stats_.bytes += m.payload.size() * sizeof(double);
+    stats_.bytes += nbytes;
   }
+  // Process-wide transport totals, aggregated across Transport instances.
+  static perf::Counter& sends = perf::Registry::global().counter("comm.sends");
+  static perf::Counter& bytes = perf::Registry::global().counter("comm.bytes");
+  sends.add(1);
+  bytes.add(nbytes);
   Mailbox& box = *boxes_[m.dst];
   {
     std::lock_guard<std::mutex> lock(box.mu);

@@ -1,0 +1,92 @@
+#include "perf/diagnostics.hpp"
+
+#include "perf/json.hpp"
+
+namespace enzo::perf {
+
+std::string step_record_json(const StepRecord& rec) {
+  std::string s = "{";
+  s += "\"step\":" + std::to_string(rec.step);
+  s += ",\"t\":" + json_number(rec.t);
+  s += ",\"dt\":" + json_number(rec.dt);
+  s += ",\"dt_limiter\":\"" + json_escape(rec.dt_limiter) + "\"";
+  s += ",\"a\":" + json_number(rec.a);
+  s += ",\"z\":" + json_number(rec.z);
+  s += ",\"levels\":[";
+  for (std::size_t i = 0; i < rec.levels.size(); ++i) {
+    if (i) s += ",";
+    const LevelStat& l = rec.levels[i];
+    s += "{\"level\":" + std::to_string(l.level) +
+         ",\"grids\":" + std::to_string(l.grids) +
+         ",\"cells\":" + std::to_string(l.cells) + "}";
+  }
+  s += "]";
+  s += ",\"mass_total\":" + json_number(rec.mass_total);
+  s += ",\"mass_residual\":" + json_number(rec.mass_residual);
+  s += ",\"energy_total\":" + json_number(rec.energy_total);
+  s += ",\"energy_residual\":" + json_number(rec.energy_residual);
+  s += ",\"peak_bytes\":" + std::to_string(rec.peak_bytes);
+  s += ",\"flops\":" + std::to_string(rec.flops);
+  s += ",\"wall_seconds\":" + json_number(rec.wall_seconds);
+  s += "}";
+  return s;
+}
+
+bool parse_step_record(const std::string& line, StepRecord* out) {
+  JsonValue doc;
+  if (!json_parse(line, &doc) || !doc.is_object()) return false;
+  auto num = [&](const char* key, double* dst) {
+    const JsonValue* v = doc.find(key);
+    if (v == nullptr || !v->is_number()) return false;
+    *dst = v->number();
+    return true;
+  };
+  double step = 0, peak = 0, flops = 0;
+  if (!num("step", &step) || !num("t", &out->t) || !num("dt", &out->dt) ||
+      !num("a", &out->a) || !num("z", &out->z) ||
+      !num("mass_total", &out->mass_total) ||
+      !num("mass_residual", &out->mass_residual) ||
+      !num("energy_total", &out->energy_total) ||
+      !num("energy_residual", &out->energy_residual) ||
+      !num("peak_bytes", &peak) || !num("flops", &flops) ||
+      !num("wall_seconds", &out->wall_seconds))
+    return false;
+  out->step = static_cast<std::int64_t>(step);
+  out->peak_bytes = static_cast<std::uint64_t>(peak);
+  out->flops = static_cast<std::uint64_t>(flops);
+  const JsonValue* lim = doc.find("dt_limiter");
+  if (lim == nullptr || !lim->is_string()) return false;
+  out->dt_limiter = lim->str();
+  const JsonValue* levels = doc.find("levels");
+  if (levels == nullptr || !levels->is_array()) return false;
+  out->levels.clear();
+  for (const JsonValue& lv : levels->array()) {
+    const JsonValue* level = lv.find("level");
+    const JsonValue* grids = lv.find("grids");
+    const JsonValue* cells = lv.find("cells");
+    if (level == nullptr || grids == nullptr || cells == nullptr) return false;
+    out->levels.push_back({static_cast<int>(level->number()),
+                           static_cast<std::uint64_t>(grids->number()),
+                           static_cast<std::uint64_t>(cells->number())});
+  }
+  return true;
+}
+
+DiagnosticsSink::DiagnosticsSink(const std::string& path) : path_(path) {
+  f_ = std::fopen(path.c_str(), "w");
+}
+
+DiagnosticsSink::~DiagnosticsSink() {
+  if (f_ != nullptr) std::fclose(f_);
+}
+
+void DiagnosticsSink::write(const StepRecord& rec) {
+  if (f_ == nullptr) return;
+  const std::string line = step_record_json(rec);
+  std::fwrite(line.data(), 1, line.size(), f_);
+  std::fputc('\n', f_);
+  std::fflush(f_);
+  ++records_;
+}
+
+}  // namespace enzo::perf

@@ -1,0 +1,237 @@
+#include "perf/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace enzo::perf {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Trim to the shortest representation that round-trips.
+  for (int prec = 1; prec < 17; ++prec) {
+    char probe[40];
+    std::snprintf(probe, sizeof(probe), "%.*g", prec, v);
+    if (std::strtod(probe, nullptr) == v) return probe;
+  }
+  return buf;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  auto it = obj_.find(key);
+  return it == obj_.end() ? nullptr : &it->second;
+}
+
+class JsonParser {
+ public:
+  JsonParser(const std::string& text, std::string* error)
+      : s_(text), error_(error) {}
+
+  bool parse(JsonValue* out) {
+    skip_ws();
+    if (!value(out)) return false;
+    skip_ws();
+    if (pos_ != s_.size()) return fail("trailing characters");
+    return true;
+  }
+
+ private:
+  bool fail(const char* msg) {
+    if (error_) {
+      char buf[128];
+      std::snprintf(buf, sizeof(buf), "json error at byte %zu: %s", pos_, msg);
+      *error_ = buf;
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool literal(const char* word, JsonValue* out, JsonValue::Kind k,
+               double num) {
+    for (const char* p = word; *p; ++p, ++pos_)
+      if (pos_ >= s_.size() || s_[pos_] != *p) return fail("bad literal");
+    out->kind_ = k;
+    out->num_ = num;
+    return true;
+  }
+
+  bool string_body(std::string* out) {
+    ++pos_;  // opening quote
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_];
+      if (c == '\\') {
+        if (++pos_ >= s_.size()) return fail("bad escape");
+        switch (s_[pos_]) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'u': {
+            if (pos_ + 4 >= s_.size()) return fail("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = s_[++pos_];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              else
+                return fail("bad hex digit");
+            }
+            // UTF-8 encode (surrogate pairs unsupported; telemetry is ASCII).
+            if (code < 0x80) {
+              out->push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default: return fail("unknown escape");
+        }
+        ++pos_;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("control character in string");
+      } else {
+        out->push_back(c);
+        ++pos_;
+      }
+    }
+    if (pos_ >= s_.size()) return fail("unterminated string");
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool value(JsonValue* out) {
+    if (pos_ >= s_.size()) return fail("unexpected end of input");
+    const char c = s_[pos_];
+    if (c == 'n') return literal("null", out, JsonValue::Kind::kNull, 0);
+    if (c == 't') return literal("true", out, JsonValue::Kind::kBool, 1);
+    if (c == 'f') return literal("false", out, JsonValue::Kind::kBool, 0);
+    if (c == '"') {
+      out->kind_ = JsonValue::Kind::kString;
+      return string_body(&out->str_);
+    }
+    if (c == '[') {
+      out->kind_ = JsonValue::Kind::kArray;
+      ++pos_;
+      skip_ws();
+      if (pos_ < s_.size() && s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        out->arr_.emplace_back();
+        if (!value(&out->arr_.back())) return false;
+        skip_ws();
+        if (pos_ >= s_.size()) return fail("unterminated array");
+        if (s_[pos_] == ',') {
+          ++pos_;
+          skip_ws();
+          continue;
+        }
+        if (s_[pos_] == ']') {
+          ++pos_;
+          return true;
+        }
+        return fail("expected ',' or ']'");
+      }
+    }
+    if (c == '{') {
+      out->kind_ = JsonValue::Kind::kObject;
+      ++pos_;
+      skip_ws();
+      if (pos_ < s_.size() && s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        skip_ws();
+        if (pos_ >= s_.size() || s_[pos_] != '"')
+          return fail("expected member name");
+        std::string key;
+        if (!string_body(&key)) return false;
+        skip_ws();
+        if (pos_ >= s_.size() || s_[pos_] != ':') return fail("expected ':'");
+        ++pos_;
+        skip_ws();
+        if (!value(&out->obj_[key])) return false;
+        skip_ws();
+        if (pos_ >= s_.size()) return fail("unterminated object");
+        if (s_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (s_[pos_] == '}') {
+          ++pos_;
+          return true;
+        }
+        return fail("expected ',' or '}'");
+      }
+    }
+    // Number.
+    {
+      const char* start = s_.c_str() + pos_;
+      char* end = nullptr;
+      const double v = std::strtod(start, &end);
+      if (end == start) return fail("unexpected character");
+      pos_ += static_cast<std::size_t>(end - start);
+      out->kind_ = JsonValue::Kind::kNumber;
+      out->num_ = v;
+      return true;
+    }
+  }
+
+  const std::string& s_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+};
+
+bool json_parse(const std::string& text, JsonValue* out, std::string* error) {
+  JsonParser p(text, error);
+  return p.parse(out);
+}
+
+}  // namespace enzo::perf

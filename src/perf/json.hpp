@@ -1,0 +1,61 @@
+#pragma once
+// Minimal JSON support for the telemetry subsystem: an escaping writer used
+// by the trace/diagnostics exporters, and a small recursive-descent parser
+// used by the round-trip tests and the dependency-free trace self-check
+// (tools/check_trace.cpp).  Deliberately tiny: objects, arrays, strings,
+// doubles, bools, null — everything the trace_event and JSONL schemas need,
+// and nothing more.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace enzo::perf {
+
+/// Escape a string for embedding in a JSON document (adds no quotes).
+std::string json_escape(const std::string& s);
+
+/// Format a double the way JSON expects (no inf/nan; shortest round-trip).
+std::string json_number(double v);
+
+class JsonParser;
+
+/// Parsed JSON value.  Numbers are stored as double (adequate for telemetry
+/// payloads; 2^53 exceeds any counter this code emits per run segment).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  double number() const { return num_; }
+  bool boolean() const { return num_ != 0.0; }
+  const std::string& str() const { return str_; }
+  const std::vector<JsonValue>& array() const { return arr_; }
+  const std::map<std::string, JsonValue>& object() const { return obj_; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(const std::string& key) const;
+
+  friend class JsonParser;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<JsonValue> arr_;
+  std::map<std::string, JsonValue> obj_;
+};
+
+/// Parse a complete JSON document.  Returns false (with a position/message
+/// in *error when non-null) on malformed input or trailing garbage.
+bool json_parse(const std::string& text, JsonValue* out,
+                std::string* error = nullptr);
+
+}  // namespace enzo::perf

@@ -1,0 +1,233 @@
+#include "perf/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+
+#include "perf/json.hpp"
+
+namespace enzo::perf {
+
+namespace {
+
+thread_local TraceScope* t_scope_top = nullptr;
+
+int this_thread_tid() {
+  static std::atomic<int> next{0};
+  thread_local int tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+double TraceRecorder::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void TraceRecorder::accumulate(const std::string& path, const std::string& comp,
+                               int level, double total_seconds,
+                               double self_seconds, std::uint64_t calls) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Node& n = nodes_[path];
+  if (n.path.empty()) {
+    n.path = path;
+    n.component = comp;
+    n.level = level;
+  }
+  n.calls += calls;
+  n.total_seconds += total_seconds;
+  n.self_seconds += self_seconds;
+}
+
+std::vector<TraceRecorder::Node> TraceRecorder::nodes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Node> out;
+  out.reserve(nodes_.size());
+  for (auto& [k, v] : nodes_) out.push_back(v);
+  return out;
+}
+
+double TraceRecorder::path_seconds(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = nodes_.find(path);
+  return it == nodes_.end() ? 0.0 : it->second.total_seconds;
+}
+
+std::uint64_t TraceRecorder::path_calls(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = nodes_.find(path);
+  return it == nodes_.end() ? 0 : it->second.calls;
+}
+
+std::vector<TraceRecorder::ComponentRow> TraceRecorder::component_table()
+    const {
+  std::map<std::string, double> by_comp;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [k, n] : nodes_) by_comp[n.component] += n.self_seconds;
+  }
+  double total = 0.0;
+  for (auto& [k, v] : by_comp) total += v;
+  std::vector<ComponentRow> rows;
+  rows.reserve(by_comp.size());
+  for (auto& [k, v] : by_comp)
+    rows.push_back({k, v, total > 0 ? v / total : 0.0});
+  std::sort(rows.begin(), rows.end(),
+            [](const ComponentRow& a, const ComponentRow& b) {
+              return a.seconds > b.seconds;
+            });
+  return rows;
+}
+
+double TraceRecorder::component_seconds(const std::string& comp) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double t = 0.0;
+  for (auto& [k, n] : nodes_)
+    if (n.component == comp) t += n.self_seconds;
+  return t;
+}
+
+double TraceRecorder::total_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double t = 0.0;
+  for (auto& [k, n] : nodes_) t += n.self_seconds;
+  return t;
+}
+
+std::string TraceRecorder::component_report() const {
+  std::string s;
+  s += "component                     usage      seconds\n";
+  s += "-------------------------------------------------\n";
+  char buf[160];
+  double total = 0.0;
+  for (const ComponentRow& r : component_table()) {
+    std::snprintf(buf, sizeof(buf), "%-28s %5.1f %%   %9.3f\n", r.name.c_str(),
+                  100.0 * r.fraction, r.seconds);
+    s += buf;
+    total += r.seconds;
+  }
+  std::snprintf(buf, sizeof(buf), "%-28s           %9.3f\n", "total", total);
+  s += buf;
+  return s;
+}
+
+void TraceRecorder::enable_events(bool on) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_on_ = on;
+  if (on) events_.reserve(std::min<std::size_t>(max_events_, 1u << 16));
+}
+
+bool TraceRecorder::events_enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_on_;
+}
+
+void TraceRecorder::record_event(const std::string& name,
+                                 const std::string& path,
+                                 const std::string& comp, int level,
+                                 double ts_us, double dur_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!events_on_) return;
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back({name, path, comp, level, ts_us, dur_us,
+                     this_thread_tid()});
+}
+
+std::uint64_t TraceRecorder::events_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::uint64_t TraceRecorder::events_dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::string TraceRecorder::chrome_trace_json() const {
+  std::vector<Event> evs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    evs = events_;
+  }
+  std::sort(evs.begin(), evs.end(),
+            [](const Event& a, const Event& b) { return a.ts_us < b.ts_us; });
+  std::string s = "{\"traceEvents\":[";
+  bool first = true;
+  for (const Event& e : evs) {
+    if (!first) s += ",";
+    first = false;
+    s += "{\"name\":\"" + json_escape(e.name) + "\",\"cat\":\"" +
+         json_escape(e.component) + "\",\"ph\":\"X\",\"ts\":" +
+         json_number(e.ts_us) + ",\"dur\":" + json_number(e.dur_us) +
+         ",\"pid\":0,\"tid\":" + std::to_string(e.tid) +
+         ",\"args\":{\"path\":\"" + json_escape(e.path) +
+         "\",\"level\":" + std::to_string(e.level) + "}}";
+  }
+  s += "],\"displayTimeUnit\":\"ms\"}";
+  return s;
+}
+
+bool TraceRecorder::write_chrome_trace(const std::string& file_path) const {
+  std::FILE* f = std::fopen(file_path.c_str(), "w");
+  if (!f) return false;
+  const std::string doc = chrome_trace_json();
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+void TraceRecorder::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  nodes_.clear();
+  events_.clear();
+  dropped_ = 0;
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder instance;
+  return instance;
+}
+
+// ---- TraceScope -------------------------------------------------------------
+
+TraceScope::TraceScope(std::string name, const char* comp, int level,
+                       TraceRecorder* rec)
+    : rec_(rec), name_(std::move(name)), parent_(t_scope_top) {
+  if (parent_ != nullptr && parent_->rec_ == rec_) {
+    path_ = parent_->path_ + "/" + name_;
+    component_ = comp != nullptr ? comp : parent_->component_;
+    level_ = level >= 0 ? level : parent_->level_;
+  } else {
+    path_ = name_;
+    component_ = comp != nullptr ? comp : component::kOther;
+    level_ = level;
+  }
+  t_scope_top = this;
+  start_ = std::chrono::steady_clock::now();
+}
+
+TraceScope::~TraceScope() {
+  const auto end = std::chrono::steady_clock::now();
+  const double elapsed =
+      std::chrono::duration<double>(end - start_).count();
+  t_scope_top = parent_;
+  if (parent_ != nullptr && parent_->rec_ == rec_)
+    parent_->child_seconds_ += elapsed;
+  const double self = std::max(elapsed - child_seconds_, 0.0);
+  rec_->accumulate(path_, component_, level_, elapsed, self, 1);
+  if (rec_->events_enabled()) {
+    const double end_us = rec_->now_us();
+    const double dur_us = elapsed * 1e6;
+    rec_->record_event(name_, path_, component_, level_,
+                       std::max(end_us - dur_us, 0.0), dur_us);
+  }
+}
+
+}  // namespace enzo::perf

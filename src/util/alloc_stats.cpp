@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "perf/metrics.hpp"
+
 namespace enzo::util {
 
 std::string AllocStats::report() const {
@@ -19,6 +21,23 @@ std::string AllocStats::report() const {
 
 AllocStats& AllocStats::global() {
   static AllocStats instance;
+  // Publish the process-wide stats into the metrics registry snapshot on
+  // first use ("alloc.*" rows).
+  static const bool registered = [] {
+    perf::Registry::global().register_source("alloc", [] {
+      const AllocStats& s = instance;
+      using Sample = perf::Registry::Sample;
+      return std::vector<Sample>{
+          {"alloc.allocations", "source", static_cast<double>(s.allocations())},
+          {"alloc.frees", "source", static_cast<double>(s.frees())},
+          {"alloc.live_bytes", "source", static_cast<double>(s.live_bytes())},
+          {"alloc.peak_bytes", "source", static_cast<double>(s.peak_bytes())},
+          {"alloc.total_bytes", "source",
+           static_cast<double>(s.total_bytes())}};
+    });
+    return true;
+  }();
+  (void)registered;
   return instance;
 }
 

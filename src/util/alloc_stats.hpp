@@ -21,9 +21,12 @@ class AllocStats {
     const std::uint64_t live =
         live_bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
     total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
-    // Racy max update is fine: stats are advisory.
+    // Monotonic fetch-max on the post-add live value: the CAS loop retries
+    // until `live` is published or another thread has already published a
+    // larger peak, so concurrent allocations can never shrink the peak or
+    // record a pre-add snapshot.
     std::uint64_t peak = peak_bytes_.load(std::memory_order_relaxed);
-    while (live > peak &&
+    while (peak < live &&
            !peak_bytes_.compare_exchange_weak(peak, live,
                                               std::memory_order_relaxed)) {
     }

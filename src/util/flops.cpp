@@ -1,5 +1,7 @@
 #include "util/flops.hpp"
 
+#include "perf/metrics.hpp"
+
 namespace enzo::util {
 
 void FlopCounter::add(const std::string& component, std::uint64_t flops) {
@@ -32,6 +34,24 @@ void FlopCounter::reset() {
 
 FlopCounter& FlopCounter::global() {
   static FlopCounter instance;
+  // Publish per-component flop totals into the metrics registry snapshot on
+  // first use ("flops.<component>" rows plus the grand total).
+  static const bool registered = [] {
+    perf::Registry::global().register_source("flops", [] {
+      using Sample = perf::Registry::Sample;
+      std::vector<Sample> out;
+      std::uint64_t total = 0;
+      for (const auto& [name, count] : instance.rows()) {
+        out.push_back(
+            {"flops." + name, "source", static_cast<double>(count)});
+        total += count;
+      }
+      out.push_back({"flops.total", "source", static_cast<double>(total)});
+      return out;
+    });
+    return true;
+  }();
+  (void)registered;
   return instance;
 }
 

@@ -1,38 +1,17 @@
 #include "util/timer.hpp"
 
-#include <algorithm>
-#include <cstdio>
-
 namespace enzo::util {
 
 std::vector<ComponentTimers::Row> ComponentTimers::rows() const {
   std::vector<Row> out;
-  const double tot = total();
-  out.reserve(acc_.size());
-  for (auto& [name, sec] : acc_)
-    out.push_back({name, sec, tot > 0 ? sec / tot : 0.0});
-  std::sort(out.begin(), out.end(),
-            [](const Row& a, const Row& b) { return a.seconds > b.seconds; });
+  const auto table = rec_->component_table();
+  out.reserve(table.size());
+  for (const auto& r : table) out.push_back({r.name, r.seconds, r.fraction});
   return out;
 }
 
-std::string ComponentTimers::report() const {
-  std::string s;
-  s += "component                     usage      seconds\n";
-  s += "-------------------------------------------------\n";
-  char buf[128];
-  for (const Row& r : rows()) {
-    std::snprintf(buf, sizeof(buf), "%-28s %5.1f %%   %9.3f\n", r.name.c_str(),
-                  100.0 * r.fraction, r.seconds);
-    s += buf;
-  }
-  std::snprintf(buf, sizeof(buf), "%-28s           %9.3f\n", "total", total());
-  s += buf;
-  return s;
-}
-
 ComponentTimers& ComponentTimers::global() {
-  static ComponentTimers instance;
+  static ComponentTimers instance(&perf::TraceRecorder::global());
   return instance;
 }
 

@@ -1,47 +1,56 @@
 #pragma once
-// Per-component wall-clock accounting.
+// Per-component wall-clock accounting (compatibility shim).
 //
 // The SC2001 paper reports the fraction of compute time spent in each science
 // component (hydro 36 %, Poisson 17 %, chemistry 11 %, N-body 1 %, hierarchy
-// rebuild 9 %, boundary conditions 15 %, other 11 %).  ComponentTimers is the
-// instrumentation that regenerates that table: every solver phase wraps its
-// work in a ScopedTimer keyed by component name, and report() emits the
-// fraction-of-total table.
+// rebuild 9 %, boundary conditions 15 %, other 11 %).  The measurement layer
+// behind that table now lives in perf::TraceRecorder (hierarchical scopes,
+// per-level accounting, Chrome trace export); ComponentTimers remains as a
+// thin shim over it so existing call sites and tests keep working.
+// Thread-safe: adds route into the recorder's mutex-protected aggregation,
+// so timers may be driven from inside OpenMP regions.
 
 #include <chrono>
 #include <cstdint>
-#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "perf/trace.hpp"
+
 namespace enzo::util {
 
-/// Named accumulating wall-clock timers.  Not thread-safe by design: the
-/// per-rank driver owns one instance; OpenMP-parallel kernels are timed from
-/// the serial caller.
+/// Named accumulating wall-clock timers over a perf::TraceRecorder.  The
+/// global() instance shares perf::TraceRecorder::global(), so seconds added
+/// here and self time measured by TraceScopes land in one component table.
 class ComponentTimers {
  public:
-  /// Canonical component names used by the driver, matching the paper table.
-  static constexpr const char* kHydro = "hydrodynamics";
-  static constexpr const char* kGravity = "Poisson solver";
-  static constexpr const char* kChemistry = "chemistry & cooling";
-  static constexpr const char* kNbody = "N-body";
-  static constexpr const char* kRebuild = "hierarchy rebuild";
-  static constexpr const char* kBoundary = "boundary conditions";
-  static constexpr const char* kOther = "other overhead";
+  /// Canonical component names used by the driver, matching the paper table
+  /// (aliases of the perf::component constants).
+  static constexpr const char* kHydro = perf::component::kHydro;
+  static constexpr const char* kGravity = perf::component::kGravity;
+  static constexpr const char* kChemistry = perf::component::kChemistry;
+  static constexpr const char* kNbody = perf::component::kNbody;
+  static constexpr const char* kRebuild = perf::component::kRebuild;
+  static constexpr const char* kBoundary = perf::component::kBoundary;
+  static constexpr const char* kOther = perf::component::kOther;
 
-  void add(const std::string& name, double seconds) { acc_[name] += seconds; }
+  /// A standalone timer set backed by its own private recorder.
+  ComponentTimers() : owned_(std::make_unique<perf::TraceRecorder>()),
+                      rec_(owned_.get()) {}
+
+  void add(const std::string& name, double seconds) {
+    rec_->accumulate(name, name, -1, seconds, seconds, 1);
+  }
   double seconds(const std::string& name) const {
-    auto it = acc_.find(name);
-    return it == acc_.end() ? 0.0 : it->second;
+    return rec_->component_seconds(name);
   }
-  double total() const {
-    double t = 0;
-    for (auto& [k, v] : acc_) t += v;
-    return t;
-  }
+  double total() const { return rec_->total_seconds(); }
 
-  void reset() { acc_.clear(); }
+  void reset() { rec_->reset(); }
+
+  /// The recorder this shim accumulates into.
+  perf::TraceRecorder& recorder() { return *rec_; }
 
   /// Rows of (component, seconds, fraction-of-total), descending by time.
   struct Row {
@@ -52,13 +61,16 @@ class ComponentTimers {
   std::vector<Row> rows() const;
 
   /// Render the paper-style "component | usage" table.
-  std::string report() const;
+  std::string report() const { return rec_->component_report(); }
 
-  /// Process-wide instance used by the Simulation driver.
+  /// Process-wide instance used by the Simulation driver (a view over
+  /// perf::TraceRecorder::global()).
   static ComponentTimers& global();
 
  private:
-  std::map<std::string, double> acc_;
+  explicit ComponentTimers(perf::TraceRecorder* shared) : rec_(shared) {}
+  std::unique_ptr<perf::TraceRecorder> owned_;
+  perf::TraceRecorder* rec_;
 };
 
 /// RAII scope that accumulates elapsed wall time into a ComponentTimers slot.
