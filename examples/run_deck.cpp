@@ -11,7 +11,11 @@
 //   --diag-out=FILE    append one JSONL diagnostics record per root step
 //                      (z, dt + limiter, grids/cells per level, conservation
 //                      residuals, peak bytes, flops)
+//   --audit            run the AMR invariant auditor after every root step
+//                      (same as deck key AuditInvariants = 1); any violation
+//                      makes the run exit non-zero
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -29,18 +33,21 @@ using namespace enzo;
 
 int main(int argc, char** argv) {
   std::string trace_out, diag_out;
+  bool audit = false;
   std::vector<const char*> decks;
   for (int a = 1; a < argc; ++a) {
     if (std::strncmp(argv[a], "--trace-out=", 12) == 0)
       trace_out = argv[a] + 12;
     else if (std::strncmp(argv[a], "--diag-out=", 11) == 0)
       diag_out = argv[a] + 11;
+    else if (std::strcmp(argv[a], "--audit") == 0)
+      audit = true;
     else
       decks.push_back(argv[a]);
   }
   if (decks.empty()) {
     std::fprintf(stderr,
-                 "usage: %s [--trace-out=FILE] [--diag-out=FILE] "
+                 "usage: %s [--trace-out=FILE] [--diag-out=FILE] [--audit] "
                  "<parameter-deck> [more decks...]\n",
                  argv[0]);
     return 1;
@@ -58,9 +65,11 @@ int main(int argc, char** argv) {
     }
   }
 
+  std::uint64_t audit_violations = 0;
   for (const char* deck_path : decks) {
     std::printf("==== deck: %s ====\n", deck_path);
     core::ParameterDeck deck = core::parse_parameter_file(deck_path);
+    if (audit) deck.config.audit_invariants = true;
     std::printf("effective parameters:\n%s\n",
                 core::render_deck(deck).c_str());
     core::Simulation sim(deck.config);
@@ -84,6 +93,14 @@ int main(int argc, char** argv) {
                   static_cast<long long>(st.total_cells));
     }
     std::printf("done in %.1f s wall\n", wall.seconds());
+    if (deck.config.audit_invariants) {
+      std::printf("audit: %ld run(s), %llu violation(s); last: %s\n",
+                  sim.audits_run(),
+                  static_cast<unsigned long long>(
+                      sim.audit_violations_total()),
+                  sim.last_audit().summary().c_str());
+      audit_violations += sim.audit_violations_total();
+    }
     if (!deck.checkpoint_path.empty()) {
       io::write_checkpoint(sim, deck.checkpoint_path);
       std::printf("checkpoint written: %s (%.1f MB)\n",
@@ -108,5 +125,10 @@ int main(int argc, char** argv) {
     std::printf("diagnostics written: %s (%lld records)\n", diag_out.c_str(),
                 static_cast<long long>(sink->records_written()));
   std::printf("%s", perf::TraceRecorder::global().component_report().c_str());
+  if (audit_violations > 0) {
+    std::fprintf(stderr, "FAILED: %llu AMR invariant violation(s)\n",
+                 static_cast<unsigned long long>(audit_violations));
+    return 2;
+  }
   return 0;
 }

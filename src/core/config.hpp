@@ -46,6 +46,11 @@ struct SimulationConfig {
   /// Rebuild the hierarchy every N steps of each level (1 = every step,
   /// §3.2.2: rebuilt "thousands of times").
   int rebuild_interval = 1;
+  /// Run the AMR invariant auditor (analysis/auditor.hpp) after every
+  /// audit_interval-th root step, reporting through StructuredLog and the
+  /// `audit.*` metrics.  Deck key: AuditInvariants / AuditInterval.
+  bool audit_invariants = false;
+  int audit_interval = 1;
   /// Record the (level, t, dt) order of timesteps (Fig. 2).
   bool trace_wcycle = false;
   /// Safety valve on subcycles per level step.

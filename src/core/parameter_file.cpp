@@ -154,6 +154,8 @@ struct Parser {
     if (key == "StopTime") { deck.stop_time = num(value); return; }
     if (key == "StopSteps") { deck.stop_steps = integer(value); return; }
     if (key == "RebuildInterval") { cfg.rebuild_interval = integer(value); return; }
+    if (key == "AuditInvariants") { cfg.audit_invariants = boolean(value); return; }
+    if (key == "AuditInterval") { cfg.audit_interval = integer(value); return; }
     if (key == "CheckpointPath") { deck.checkpoint_path = value; return; }
     fail("unknown parameter '" + key + "'");
   }
@@ -251,6 +253,11 @@ std::string render_deck(const ParameterDeck& deck) {
     os << "OmegaBaryonNow = " << cfg.frw.omega_baryon << "\n";
     os << "OmegaLambdaNow = " << cfg.frw.omega_lambda << "\n";
     os << "InitialRedshift = " << cfg.initial_redshift << "\n";
+  }
+  if (cfg.audit_invariants) {
+    os << "AuditInvariants = 1\n";
+    if (cfg.audit_interval != 1)
+      os << "AuditInterval = " << cfg.audit_interval << "\n";
   }
   os << "StopSteps = " << deck.stop_steps << "\n";
   if (deck.stop_time > 0) os << "StopTime = " << deck.stop_time << "\n";

@@ -307,10 +307,15 @@ void Simulation::evolve_level(int level, ext::pos_t parent_time) {
     {
       perf::TraceScope scope("flux_projection", perf::component::kOther,
                              level);
-      for (Grid* child : hierarchy_.grids(level + 1)) {
+      // All corrections before any projection: a correction may land on a
+      // coarse cell covered by a *sibling* of the correcting child, and the
+      // sibling's projected average must win there (interleaving the two
+      // passes let a later child's correction clobber an earlier sibling's
+      // projection, leaving parent ≠ child average on those cells).
+      for (Grid* child : hierarchy_.grids(level + 1))
         mesh::flux_correct_from_child(*child, *child->parent());
+      for (Grid* child : hierarchy_.grids(level + 1))
         mesh::project_to_parent(*child, *child->parent());
-      }
     }
     if (cfg_.enable_particles) {
       perf::TraceScope scope("particle_redistribute",
@@ -348,6 +353,9 @@ void Simulation::step_root(double dt) {
             .count();
     diag_sink_->write(make_step_record(dt, limiter, wall));
   }
+  if (cfg_.audit_invariants &&
+      root_steps_ % std::max(1, cfg_.audit_interval) == 0)
+    run_audit();
 }
 
 double Simulation::advance_root_step() {
@@ -355,6 +363,36 @@ double Simulation::advance_root_step() {
   const double dt0 = compute_level_timestep(0);
   step_root(dt0);
   return dt0;
+}
+
+const analysis::AuditReport& Simulation::run_audit() {
+  // The ghost-agreement check compares against the sibling copies that
+  // SetBoundaryValues installs; the last fill of a step predates the final
+  // projection pass, so refresh boundaries from the current (consistent)
+  // state first — exactly what the next step would do anyway.
+  for (int l = 0; l <= hierarchy_.deepest_level(); ++l)
+    mesh::set_boundary_values(hierarchy_, l);
+
+  analysis::AuditOptions opts;
+  // Mass/energy leave through the boundary on outflow domains, and energy is
+  // not conserved under gravity sources, expansion, or chemistry heating:
+  // only arm the conservation baselines where closure is expected.
+  const bool mass_closed = cfg_.hierarchy.periodic && cfg_.enable_hydro;
+  const bool energy_closed = mass_closed && !cfg_.enable_gravity &&
+                             !cfg_.enable_chemistry && !cfg_.comoving;
+  if (audit_baseline_set_) {
+    if (mass_closed) opts.mass_baseline = audit_mass0_;
+    if (energy_closed) opts.energy_baseline = audit_energy0_;
+  }
+  last_audit_ = analysis::audit_and_report(hierarchy_, opts);
+  if (!audit_baseline_set_) {
+    audit_mass0_ = last_audit_.mass_total;
+    audit_energy0_ = last_audit_.energy_total;
+    audit_baseline_set_ = true;
+  }
+  ++audits_run_;
+  audit_violations_total_ += last_audit_.total_violations;
+  return last_audit_;
 }
 
 void Simulation::evolve_until(double t_stop, int max_steps) {

@@ -19,6 +19,7 @@
 
 #include <vector>
 
+#include "analysis/auditor.hpp"
 #include "core/config.hpp"
 #include "ext/position.hpp"
 #include "perf/diagnostics.hpp"
@@ -98,6 +99,19 @@ class Simulation {
   perf::StepRecord make_step_record(double dt, hydro::DtLimiter limiter,
                                     double wall_seconds);
 
+  // ---- invariant auditing ---------------------------------------------------
+  /// When SimulationConfig::audit_invariants is set, advance_root_step
+  /// refreshes boundary values and runs the AMR invariant auditor after
+  /// every audit_interval-th root step.  Conservation baselines are taken
+  /// from the first audited step.
+  const analysis::AuditReport& last_audit() const { return last_audit_; }
+  long audits_run() const { return audits_run_; }
+  std::uint64_t audit_violations_total() const {
+    return audit_violations_total_;
+  }
+  /// Run one audit now (also used internally); returns the report.
+  const analysis::AuditReport& run_audit();
+
  private:
   void evolve_level(int level, ext::pos_t parent_time);
   void step_root(double dt);
@@ -120,6 +134,12 @@ class Simulation {
   bool diag_baseline_set_ = false;
   double diag_mass0_ = 0.0;
   double diag_energy0_ = 0.0;
+  analysis::AuditReport last_audit_;
+  long audits_run_ = 0;
+  std::uint64_t audit_violations_total_ = 0;
+  bool audit_baseline_set_ = false;
+  double audit_mass0_ = 0.0;
+  double audit_energy0_ = 0.0;
 };
 
 }  // namespace enzo::core

@@ -200,11 +200,17 @@ void sweep_all_axes(Grid& g, double dt, const HydroParams& hp,
           s[t2] = j2;
           return std::array<int, 3>{s[0], s[1], s[2]};
         };
+        // Registers store ∫ F dt/a, with a at each subcycle's half-time: the
+        // cell update divides by the *proper* width a·Δx, so the correction
+        // (which divides by the comoving parent width only) closes exactly
+        // even when a changes between a child's subcycles.  a = 1 in
+        // non-comoving runs.
+        const double dt_w = dt / exp.a;
         auto accumulate = [&](Field fld, const std::vector<double>& ff) {
           auto& reg = g.flux(fld, d);
           for (int f = lo; f <= hi; ++f) {
             const auto s = fidx(f);
-            reg(s[0], s[1], s[2]) += dt * ff[f];
+            reg(s[0], s[1], s[2]) += dt_w * ff[f];
           }
           // Window-accumulated boundary registers (for the parent's flux
           // correction); plane arrays have extent 1 along d.
@@ -217,8 +223,8 @@ void sweep_all_axes(Grid& g, double dt, const HydroParams& hp,
             return std::array<int, 3>{s[0], s[1], s[2]};
           };
           const auto sl = sideidx(0);
-          g.boundary_flux(fld, d, 0)(sl[0], sl[1], sl[2]) += dt * ff[lo];
-          g.boundary_flux(fld, d, 1)(sl[0], sl[1], sl[2]) += dt * ff[hi];
+          g.boundary_flux(fld, d, 0)(sl[0], sl[1], sl[2]) += dt_w * ff[lo];
+          g.boundary_flux(fld, d, 1)(sl[0], sl[1], sl[2]) += dt_w * ff[hi];
         };
         accumulate(Field::kDensity, pc.f_rho);
         accumulate(kVel[d], pc.f_mu);

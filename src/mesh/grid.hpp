@@ -114,9 +114,11 @@ class Grid {
   int sz(int k) const { return k + ng_[2]; }
 
   // ---- fluxes ----------------------------------------------------------------
-  /// Time-integrated face flux of the conserved counterpart of field f along
-  /// axis d; array dims are nt with +1 along d (face-centered, ghost-aligned
-  /// like the field arrays so face (i,j,k) is the lower face of cell (i,j,k)).
+  /// Expansion-weighted time-integrated face flux ∫F dt/a of the conserved
+  /// counterpart of field f along axis d (a = 1 in non-comoving runs, so the
+  /// flux-correction divide by the *comoving* cell width closes exactly);
+  /// array dims are nt with +1 along d (face-centered, ghost-aligned like
+  /// the field arrays so face (i,j,k) is the lower face of cell (i,j,k)).
   util::Array3<double>& flux(Field f, int d);
   const util::Array3<double>& flux(Field f, int d) const;
   bool has_fluxes() const { return has_fluxes_; }

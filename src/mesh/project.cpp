@@ -206,6 +206,11 @@ void flux_correct_from_child(const Grid& child, Grid& parent) {
           for (Field f : plist) {
             double v = cons[field_index(f)];
             if (is_specific(f)) v /= rho_new;
+            // Same positivity policy as the sweep's species update: a
+            // correction on a near-zero abundance must not drive it negative
+            // (interpolation would clamp any child back to ≥ 0, leaving a
+            // permanent parent/child projection mismatch).
+            if (is_species(f)) v = std::max(v, 0.0);
             parent.field(f)(ps[0], ps[1], ps[2]) = v;
           }
         }

@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <array>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "util/error.hpp"
@@ -37,15 +38,28 @@ class Array3 {
   std::size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
 
+  /// Computed in signed 64-bit so a negative index yields a negative offset
+  /// (caught by at()/ENZO_BOUNDS_CHECK) instead of silently wrapping through
+  /// size_t into a huge in-range-looking value.
   std::size_t index(int i, int j, int k) const {
-    return static_cast<std::size_t>(i) +
-           static_cast<std::size_t>(nx_) *
-               (static_cast<std::size_t>(j) +
-                static_cast<std::size_t>(ny_) * static_cast<std::size_t>(k));
+    const std::int64_t off =
+        static_cast<std::int64_t>(i) +
+        static_cast<std::int64_t>(nx_) *
+            (static_cast<std::int64_t>(j) +
+             static_cast<std::int64_t>(ny_) * static_cast<std::int64_t>(k));
+    return static_cast<std::size_t>(off);
   }
 
+#ifdef ENZO_BOUNDS_CHECK
+  // Debug mode: every field access goes through the checked accessor, so an
+  // out-of-range (i,j,k) — including one whose flattened offset happens to
+  // land inside the allocation — fails loudly at the call site.
+  T& operator()(int i, int j, int k) { return at(i, j, k); }
+  const T& operator()(int i, int j, int k) const { return at(i, j, k); }
+#else
   T& operator()(int i, int j, int k) { return data_[index(i, j, k)]; }
   const T& operator()(int i, int j, int k) const { return data_[index(i, j, k)]; }
+#endif
 
   T& at(int i, int j, int k) {
     ENZO_REQUIRE(contains(i, j, k), "Array3::at out of range");

@@ -129,7 +129,9 @@ TEST(Analysis, RadialVelocityOfHubbleLikeInflow) {
   ext::PosVec c{ext::pos_t(0.5), ext::pos_t(0.5), ext::pos_t(0.5)};
   auto prof = analysis::radial_profile(h, c, opt, hp, units);
   for (int b = 0; b < opt.nbins; ++b)
-    if (prof.cell_count[b] > 0) EXPECT_NEAR(prof.v_radial[b], -1.0, 1e-6);
+    if (prof.cell_count[b] > 0) {
+      EXPECT_NEAR(prof.v_radial[b], -1.0, 1e-6);
+    }
 }
 
 TEST(Analysis, SliceReadsFinestAvailableData) {

@@ -322,8 +322,9 @@ TEST(Chemistry, StiffConditionsStayFiniteAndPositive) {
         for (int i = 0; i < g->nx(0); ++i) {
           const double v = a(g->sx(i), g->sy(j), g->sz(k));
           EXPECT_TRUE(std::isfinite(v)) << field_name(f);
-          if (mesh::is_species(f) || f == Field::kDensity)
+          if (mesh::is_species(f) || f == Field::kDensity) {
             EXPECT_GE(v, 0.0) << field_name(f);
+          }
         }
   }
   // With cooling off and T held at 10⁶ K, helium must ionize through to

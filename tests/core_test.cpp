@@ -102,7 +102,9 @@ TEST(Simulation, ThreeLevelWcycleIsNested) {
   const auto& tr = sim.trace();
   int last_level = -1;
   for (const auto& e : tr) {
-    if (e.level == 2) EXPECT_EQ(last_level >= 1, true);
+    if (e.level == 2) {
+      EXPECT_EQ(last_level >= 1, true);
+    }
     last_level = e.level;
   }
   // Times land exactly across all levels.

@@ -450,6 +450,80 @@ TEST(BergerRigoutsos, EfficiencyTargetMet) {
   for (const auto& f : flags) EXPECT_TRUE(covered(boxes, f));
 }
 
+TEST(BergerRigoutsos, DuplicateFlagsStillCoveredOnce) {
+  // Repeated flags (a flagger may emit the same cell from overlapping
+  // criteria) must not produce overlapping boxes or inflated clusters.
+  std::vector<Index3> flags;
+  for (int rep = 0; rep < 3; ++rep)
+    for (int i = 0; i < 4; ++i) flags.push_back({i, 2, 2});
+  auto boxes = cluster_flags(flags);
+  for (const auto& f : flags) EXPECT_EQ(cover_count(boxes, f), 1);
+  std::int64_t covered_cells = 0;
+  for (const auto& b : boxes) covered_cells += b.volume();
+  EXPECT_EQ(covered_cells, 4);
+}
+
+TEST(BergerRigoutsos, DegenerateLineAndPlaneClusters) {
+  // A collinear run of flags: one box of thickness 1 in the other axes.
+  std::vector<Index3> line;
+  for (int i = 0; i < 12; ++i) line.push_back({i, 5, 5});
+  auto lboxes = cluster_flags(line);
+  ASSERT_EQ(lboxes.size(), 1u);
+  EXPECT_EQ(lboxes[0], (IndexBox{{0, 5, 5}, {12, 6, 6}}));
+  // A planar sheet: thickness 1 along z, every flag covered exactly once.
+  std::vector<Index3> plane;
+  for (int j = 0; j < 6; ++j)
+    for (int i = 0; i < 6; ++i) plane.push_back({i, j, 3});
+  auto pboxes = cluster_flags(plane);
+  std::int64_t covered_cells = 0;
+  for (const auto& b : pboxes) {
+    EXPECT_EQ(b.extent(2), 1);
+    covered_cells += b.volume();
+  }
+  EXPECT_EQ(covered_cells, 36);
+  for (const auto& f : plane) EXPECT_EQ(cover_count(pboxes, f), 1);
+}
+
+TEST(BergerRigoutsos, ClustersTouchingDomainEdgeStayInDomain) {
+  // Flag whole faces of the root domain (including the corner columns) and
+  // rebuild: the clustered subgrids must stay inside the level-1 domain and
+  // remain parent-aligned even where the cluster hugs the boundary.
+  HierarchyParams p;
+  p.root_dims = {16, 16, 16};
+  p.max_level = 1;  // the flagger marks domain faces at every level
+  Hierarchy h(p);
+  h.build_root();
+  for (Grid* g : h.grids(0)) {
+    for (Field f : g->field_list()) g->field(f).fill(1.0);
+    g->store_old_fields();
+  }
+  h.rebuild(1, [](const Grid& g, std::vector<Index3>& flags) {
+    const Index3 dims = g.spec().level_dims;
+    for (std::int64_t k = g.box().lo[2]; k < g.box().hi[2]; ++k)
+      for (std::int64_t j = g.box().lo[1]; j < g.box().hi[1]; ++j)
+        for (std::int64_t i = g.box().lo[0]; i < g.box().hi[0]; ++i)
+          if (i == 0 || i == dims[0] - 1 || j == 0 || j == dims[1] - 1)
+            flags.push_back({i, j, k});
+  });
+  ASSERT_GE(h.deepest_level(), 1);
+  EXPECT_FALSE(h.grids(1).empty());
+  const Index3 l1_dims{32, 32, 32};
+  bool touches_low = false, touches_high = false;
+  for (const Grid* g : h.grids(1)) {
+    for (int d = 0; d < 3; ++d) {
+      EXPECT_GE(g->box().lo[d], 0);
+      EXPECT_LE(g->box().hi[d], l1_dims[d]);
+      EXPECT_EQ(g->box().lo[d] % 2, 0);
+      EXPECT_EQ(g->box().hi[d] % 2, 0);
+    }
+    touches_low = touches_low || g->box().lo[0] == 0;
+    touches_high = touches_high || g->box().hi[0] == l1_dims[0];
+  }
+  EXPECT_TRUE(touches_low);
+  EXPECT_TRUE(touches_high);
+  h.check_invariants();
+}
+
 // ---- Hierarchy -----------------------------------------------------------------
 
 TEST(Hierarchy, BuildRootSingleAndTiled) {

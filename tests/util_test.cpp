@@ -50,6 +50,18 @@ TEST(Array3, AtBoundsCheck) {
   EXPECT_THROW(a.at(0, -1, 0), enzo::Error);
 }
 
+TEST(Array3, NegativeIndexCannotAliasValidCell) {
+  // (2,-1,1) flattens to offset 2 + 4*(-1 + 4*1) = 14, which is inside the
+  // allocation: a purely offset-based check would silently alias cell 14.
+  // The checked accessor must reject each coordinate on its own sign.
+  eu::Array3<double> a(4, 4, 4);
+  EXPECT_EQ(a.index(2, -1, 1), 14u);
+  EXPECT_FALSE(a.contains(2, -1, 1));
+  EXPECT_THROW(a.at(2, -1, 1), enzo::Error);
+  EXPECT_THROW(a.at(-2, 1, 1), enzo::Error);
+  EXPECT_THROW(a.at(1, 1, -1), enzo::Error);
+}
+
 TEST(Array3, DegenerateDimensionsWork) {
   eu::Array3<double> line(8, 1, 1, 1.0);
   EXPECT_EQ(line.size(), 8u);

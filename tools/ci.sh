@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# ci.sh: the full correctness matrix, in the order a PR gate should run it.
+#
+#   1. werror      — -Wall -Wextra -Werror, full test suite
+#   2. clang-tidy  — tools/run_tidy diff gate (skips if clang-tidy missing)
+#   3. asan-ubsan  — AddressSanitizer + UBSan + ENZO_BOUNDS_CHECK,
+#                    `ctest -L sanitize` subset
+#   4. tsan        — ThreadSanitizer (OpenMP off), `ctest -L sanitize` subset
+#
+# Each stage uses the corresponding CMakePresets.json preset, so a local
+# repro of any failure is one command, e.g.:
+#   cmake --preset tsan && cmake --build --preset tsan -j && \
+#   ctest --preset tsan
+#
+# Environment:
+#   CI_JOBS     parallel build/test jobs (default: nproc)
+#   CI_STAGES   space-separated subset to run (default: "werror tidy
+#               asan-ubsan tsan")
+
+set -u -o pipefail
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+cd "$repo_root" || exit 2
+
+jobs="${CI_JOBS:-$(nproc)}"
+stages="${CI_STAGES:-werror tidy asan-ubsan tsan}"
+failed=()
+
+banner() { printf '\n==== %s ====\n' "$*"; }
+
+run_preset() {
+  local preset="$1"
+  banner "stage: $preset"
+  cmake --preset "$preset" || return 1
+  cmake --build --preset "$preset" -j "$jobs" || return 1
+  ctest --preset "$preset" -j "$jobs" --output-on-failure || return 1
+}
+
+for stage in $stages; do
+  case "$stage" in
+    tidy)
+      banner "stage: clang-tidy gate"
+      # Gate against the merge base when on a branch, else all of HEAD's
+      # parent; run_tidy itself skips cleanly when clang-tidy is missing.
+      tools/run_tidy -b build-werror || failed+=(tidy)
+      ;;
+    werror|asan-ubsan|tsan)
+      run_preset "$stage" || failed+=("$stage")
+      ;;
+    *)
+      echo "ci.sh: unknown stage '$stage'" >&2
+      failed+=("$stage")
+      ;;
+  esac
+done
+
+banner "summary"
+if [ ${#failed[@]} -gt 0 ]; then
+  echo "FAILED stages: ${failed[*]}"
+  exit 1
+fi
+echo "all stages passed: $stages"
