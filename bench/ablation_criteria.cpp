@@ -30,7 +30,7 @@ Result run_once(double jeans) {
   auto run = bench::collapse_run_config(16, 2, /*chemistry=*/true);
   run.cfg.refinement.jeans_number = jeans;
   core::Simulation sim(run.cfg);
-  core::setup_collapse_cloud(sim, run.opt);
+  sim.initialize(bench::collapse_setup(run));
   const double n_stop = 3e6;
   for (int s = 0; s < 40; ++s) {
     sim.advance_root_step();

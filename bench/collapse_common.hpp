@@ -38,6 +38,13 @@ inline CollapseRun collapse_run_config(int root_n, int max_level,
   return r;
 }
 
+/// The CollapseRun's options as a composable ProblemSetup: benches run
+/// `sim.initialize(collapse_setup(run))`, appending extra hooks first when
+/// a variant needs them.
+inline core::ProblemSetup collapse_setup(const CollapseRun& r) {
+  return core::collapse_cloud_setup(r.opt);
+}
+
 /// Add a coarse dark-matter halo (static uniform-lattice particles carrying
 /// an extra potential like the §4 minihalo) for the component-timing table.
 inline void add_dark_matter(core::Simulation& sim, int n_per_axis,

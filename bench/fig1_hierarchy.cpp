@@ -26,22 +26,25 @@ int main() {
   cfg.hierarchy.max_level = 2;
   cfg.refinement.overdensity_threshold = 2.0;
   core::Simulation sim(cfg);
-  sim.build_root();
-
   // Two features: a mild blob (one refinement) and a sharp blob (two).
-  Grid* root = sim.hierarchy().grids(0)[0];
-  for (Field f : root->field_list()) root->field(f).fill(0.0);
-  root->field(Field::kInternalEnergy).fill(1.0);
-  root->field(Field::kTotalEnergy).fill(1.0);
-  auto& rho = root->field(Field::kDensity);
-  for (int j = 0; j < 32; ++j)
-    for (int i = 0; i < 32; ++i) {
-      const double x = (i + 0.5) / 32, y = (j + 0.5) / 32;
-      const double d1 = std::exp(-(std::pow(x - 0.25, 2) + std::pow(y - 0.7, 2)) / 0.004);
-      const double d2 = std::exp(-(std::pow(x - 0.7, 2) + std::pow(y - 0.3, 2)) / 0.002);
-      rho(root->sx(i), root->sy(j), 0) = 1.0 + 3.0 * d1 + 40.0 * d2;
-    }
-  sim.finalize_setup();
+  core::ProblemSetup setup;
+  setup.fill([](core::Simulation& s) {
+    Grid* root = s.hierarchy().grids(0)[0];
+    for (Field f : root->field_list()) root->field(f).fill(0.0);
+    root->field(Field::kInternalEnergy).fill(1.0);
+    root->field(Field::kTotalEnergy).fill(1.0);
+    auto& rho = root->field(Field::kDensity);
+    for (int j = 0; j < 32; ++j)
+      for (int i = 0; i < 32; ++i) {
+        const double x = (i + 0.5) / 32, y = (j + 0.5) / 32;
+        const double d1 =
+            std::exp(-(std::pow(x - 0.25, 2) + std::pow(y - 0.7, 2)) / 0.004);
+        const double d2 =
+            std::exp(-(std::pow(x - 0.7, 2) + std::pow(y - 0.3, 2)) / 0.002);
+        rho(root->sx(i), root->sy(j), 0) = 1.0 + 3.0 * d1 + 40.0 * d2;
+      }
+  });
+  sim.initialize(setup);
 
   // ---- the storage tree (Fig. 1 left) ---------------------------------------
   std::printf("grid hierarchy tree (Fig. 1 left):\n");

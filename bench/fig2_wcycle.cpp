@@ -24,7 +24,7 @@ int main() {
   core::Simulation sim(cfg);
   sim.add_static_region(1, {{8, 8, 8}, {24, 24, 24}});
   sim.add_static_region(2, {{24, 24, 24}, {40, 40, 40}});
-  core::setup_uniform(sim, 1.0, 1.0);
+  sim.initialize(core::uniform_setup(1.0, 1.0));
 
   sim.advance_root_step();
   const auto& tr = sim.trace();

@@ -38,7 +38,7 @@ void print_frame(const analysis::Slice& s, double half_pc, int frame) {
 int main() {
   auto run = bench::collapse_run_config(16, 4, /*chemistry=*/true);
   core::Simulation sim(run.cfg);
-  core::setup_collapse_cloud(sim, run.opt);
+  sim.initialize(bench::collapse_setup(run));
 
   // Evolve until the core is deep into the runaway (central n ≥ 10⁸ cm⁻³).
   const double n_stop = 1e8;

@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
   auto run = bench::collapse_run_config(16, max_level, /*chemistry=*/true);
   run.cfg.refinement.jeans_number = jeans;
   core::Simulation sim(run.cfg);
-  core::setup_collapse_cloud(sim, run.opt);
+  sim.initialize(bench::collapse_setup(run));
 
   const double box_pc = sim.config().units.length_cm / constants::kParsec;
   const double mass_msun =

@@ -22,7 +22,7 @@ int main() {
   util::AllocStats::global().reset();
   auto run = bench::collapse_run_config(16, 5, /*chemistry=*/true);
   core::Simulation sim(run.cfg);
-  core::setup_collapse_cloud(sim, run.opt);
+  sim.initialize(bench::collapse_setup(run));
   const double t_kyr = sim.config().units.time_s / constants::kYear / 1e3;
 
   struct Snapshot {

@@ -93,7 +93,7 @@ int main() {
   run.cfg.hierarchy.cluster.min_efficiency = 0.85;
   run.cfg.refinement.baryon_mass_threshold *= 0.4;
   core::Simulation sim(run.cfg);
-  core::setup_collapse_cloud(sim, run.opt);
+  sim.initialize(bench::collapse_setup(run));
   sim.advance_root_step();
   std::vector<double> weights;
   double steps = 1.0;

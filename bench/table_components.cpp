@@ -8,16 +8,44 @@
 // the N-body line is exercised), read the measured table from the global
 // trace recorder, print it side by side with the paper's, and emit the
 // machine-readable BENCH_table_components.json for regression tracking.
+//
+// A second sweep re-runs the same collapse across executor thread counts
+// and emits BENCH_exec_scaling.json (threads, wall seconds, speedup over
+// the serial run, plus cores_detected so a 1-core container result is not
+// mistaken for an engine regression).
 
 #include <cstdio>
 #include <map>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "collapse_common.hpp"
+#include "exec/exec_config.hpp"
 #include "perf/json.hpp"
 #include "perf/trace.hpp"
+#include "util/timer.hpp"
 
 using namespace enzo;
+
+namespace {
+
+/// One scaled collapse run on `threads` executor lanes; returns wall seconds.
+double timed_collapse(int threads) {
+  auto run = bench::collapse_run_config(16, 4, /*chemistry=*/true,
+                                        /*with_dark_matter=*/true);
+  run.cfg.exec.threads = threads;
+  run.cfg.exec.backend =
+      threads == 1 ? exec::Backend::kSerial : exec::Backend::kThreadPool;
+  core::Simulation sim(run.cfg);
+  sim.initialize(bench::collapse_setup(run));
+  bench::add_dark_matter(sim, 16, /*total_mass=*/0.1);
+  util::Stopwatch wall;
+  for (int s = 0; s < 8; ++s) sim.advance_root_step();
+  return wall.seconds();
+}
+
+}  // namespace
 
 int main() {
   auto& recorder = perf::TraceRecorder::global();
@@ -26,7 +54,7 @@ int main() {
   auto run = bench::collapse_run_config(16, 4, /*chemistry=*/true,
                                         /*with_dark_matter=*/true);
   core::Simulation sim(run.cfg);
-  core::setup_collapse_cloud(sim, run.opt);
+  sim.initialize(bench::collapse_setup(run));
   bench::add_dark_matter(sim, 16, /*total_mass=*/0.1);
 
   for (int s = 0; s < 8; ++s) sim.advance_root_step();
@@ -84,6 +112,46 @@ int main() {
     std::printf("\nwrote %s (fraction sum %.12f)\n", out_path, fraction_sum);
   } else {
     std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+
+  // ---- executor scaling sweep ---------------------------------------------
+  // Same collapse, swept over LevelExecutor lane counts.  Speedup is
+  // relative to the serial (threads = 1) run; on a 1-core box all rows
+  // measure scheduling overhead only, which is why cores_detected is part
+  // of the record.
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("\nexecutor scaling (same collapse, 8 root steps, %u core(s) "
+              "detected)\n\n",
+              cores);
+  std::printf("%8s %12s %12s %8s\n", "threads", "backend", "wall [s]",
+              "speedup");
+  std::string scaling = "{\"bench\":\"exec_scaling\",\"cores_detected\":" +
+                        perf::json_number(cores) +
+                        ",\"target_speedup\":3,\"runs\":[";
+  double serial_wall = 0.0;
+  bool first_run = true;
+  for (const int threads : {1, 2, 4, 8}) {
+    const double wall = timed_collapse(threads);
+    if (threads == 1) serial_wall = wall;
+    const double speedup = wall > 0 ? serial_wall / wall : 0.0;
+    const char* backend = threads == 1 ? "serial" : "threadpool";
+    std::printf("%8d %12s %12.3f %8.2f\n", threads, backend, wall, speedup);
+    if (!first_run) scaling += ",";
+    first_run = false;
+    scaling += "{\"threads\":" + perf::json_number(threads) +
+               ",\"backend\":\"" + backend +
+               "\",\"wall_seconds\":" + perf::json_number(wall) +
+               ",\"speedup\":" + perf::json_number(speedup) + "}";
+  }
+  scaling += "]}\n";
+  const char* scaling_path = "BENCH_exec_scaling.json";
+  if (std::FILE* f = std::fopen(scaling_path, "w")) {
+    std::fputs(scaling.c_str(), f);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", scaling_path);
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", scaling_path);
     return 1;
   }
   return 0;

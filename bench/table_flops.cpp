@@ -32,7 +32,7 @@ int main() {
   auto run = bench::collapse_run_config(16, 4, /*chemistry=*/true,
                                         /*with_dark_matter=*/true);
   core::Simulation sim(run.cfg);
-  core::setup_collapse_cloud(sim, run.opt);
+  sim.initialize(bench::collapse_setup(run));
   bench::add_dark_matter(sim, 16, 0.1);
 
   util::Stopwatch wall;

@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
   opt.box_comoving_cm = 1.0 * constants::kMpc;  // small box: early collapse
   opt.seed = 2001;
   opt.nested_static_levels = 1;
-  core::setup_cosmological(sim, opt);
+  sim.initialize(core::cosmological_setup(opt));
 
   std::printf("CDM box: %.1f comoving Mpc, %d^3 root, z_i = %.0f, "
               "%zu particles, nested static level over the center\n\n",

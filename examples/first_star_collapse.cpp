@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
   opt.cloud_radius = 0.25;
   opt.temperature = 300.0;
   opt.h2_fraction = 5e-4;  // the §4 "molecular cloud" fraction ~10⁻³
-  core::setup_collapse_cloud(sim, opt);
+  sim.initialize(core::collapse_cloud_setup(opt));
 
   std::printf("box %.1f pc, background n = %.2g cm^-3, cloud 10x, T = %g K\n",
               opt.box_proper_cm / constants::kParsec,

@@ -80,7 +80,7 @@ int main(int argc, char** argv) {
     opt.overdensity = 10.0;
     opt.cloud_radius = 0.25;
     opt.temperature = 300.0;
-    core::setup_collapse_cloud(sim, opt);
+    sim.initialize(core::collapse_cloud_setup(opt));
     for (int s = 0; s < 2; ++s) sim.advance_root_step();
   }
   auto& h = sim.hierarchy();

@@ -35,7 +35,7 @@ int main() {
   opt.overdensity = 10.0;
   opt.cloud_radius = 0.25;
   opt.temperature = 100.0;
-  core::setup_collapse_cloud(sim, opt);
+  sim.initialize(core::collapse_cloud_setup(opt));
 
   std::printf("initial hierarchy: %d levels, %zu grids, %lld cells\n",
               sim.hierarchy().deepest_level() + 1,

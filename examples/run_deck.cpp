@@ -14,9 +14,15 @@
 //   --audit            run the AMR invariant auditor after every root step
 //                      (same as deck key AuditInvariants = 1); any violation
 //                      makes the run exit non-zero
+//
+// Execution flags (override the deck's Threads/Executor keys):
+//   --threads N        run level sweeps on N lanes (1 = serial backend,
+//                      0 = all hardware threads); also --threads=N
+//   --executor=NAME    force the backend: serial or threadpool
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -24,6 +30,7 @@
 
 #include "analysis/analysis.hpp"
 #include "core/parameter_file.hpp"
+#include "exec/exec_config.hpp"
 #include "io/checkpoint.hpp"
 #include "perf/diagnostics.hpp"
 #include "perf/trace.hpp"
@@ -34,6 +41,8 @@ using namespace enzo;
 int main(int argc, char** argv) {
   std::string trace_out, diag_out;
   bool audit = false;
+  int threads_override = -1;  // -1: keep the deck's value
+  std::string executor_override;
   std::vector<const char*> decks;
   for (int a = 1; a < argc; ++a) {
     if (std::strncmp(argv[a], "--trace-out=", 12) == 0)
@@ -42,12 +51,19 @@ int main(int argc, char** argv) {
       diag_out = argv[a] + 11;
     else if (std::strcmp(argv[a], "--audit") == 0)
       audit = true;
+    else if (std::strncmp(argv[a], "--threads=", 10) == 0)
+      threads_override = std::atoi(argv[a] + 10);
+    else if (std::strcmp(argv[a], "--threads") == 0 && a + 1 < argc)
+      threads_override = std::atoi(argv[++a]);
+    else if (std::strncmp(argv[a], "--executor=", 11) == 0)
+      executor_override = argv[a] + 11;
     else
       decks.push_back(argv[a]);
   }
   if (decks.empty()) {
     std::fprintf(stderr,
                  "usage: %s [--trace-out=FILE] [--diag-out=FILE] [--audit] "
+                 "[--threads N] [--executor=serial|threadpool] "
                  "<parameter-deck> [more decks...]\n",
                  argv[0]);
     return 1;
@@ -70,6 +86,15 @@ int main(int argc, char** argv) {
     std::printf("==== deck: %s ====\n", deck_path);
     core::ParameterDeck deck = core::parse_parameter_file(deck_path);
     if (audit) deck.config.audit_invariants = true;
+    if (threads_override >= 0) {
+      deck.config.exec.threads = threads_override;
+      if (executor_override.empty())
+        deck.config.exec.backend = threads_override == 1
+                                       ? exec::Backend::kSerial
+                                       : exec::Backend::kThreadPool;
+    }
+    if (!executor_override.empty())
+      deck.config.exec.backend = exec::backend_from_string(executor_override);
     std::printf("effective parameters:\n%s\n",
                 core::render_deck(deck).c_str());
     core::Simulation sim(deck.config);

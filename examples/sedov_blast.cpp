@@ -44,32 +44,37 @@ int main() {
   cfg.hydro.gamma = 5.0 / 3.0;
   cfg.refinement.overdensity_threshold = 1.5;  // chase the shock shell
   core::Simulation sim(cfg);
-  core::setup_uniform(sim, 1.0, 1e-4);
-
-  // Deposit the blast energy in a small central sphere.
   const double E = 1.0;
-  Grid* g = sim.hierarchy().grids(0)[0];
-  double vol_sum = 0;
   const double r_dep = 2.5 / 32.0;
-  for (int k = 0; k < 32; ++k)
-    for (int j = 0; j < 32; ++j)
-      for (int i = 0; i < 32; ++i) {
-        const double x = (i + 0.5) / 32 - 0.5, y = (j + 0.5) / 32 - 0.5,
-                     z = (k + 0.5) / 32 - 0.5;
-        if (x * x + y * y + z * z < r_dep * r_dep) vol_sum += 1.0;
-      }
-  const double e_cell = E / (vol_sum / (32.0 * 32 * 32));
-  for (int k = 0; k < 32; ++k)
-    for (int j = 0; j < 32; ++j)
-      for (int i = 0; i < 32; ++i) {
-        const double x = (i + 0.5) / 32 - 0.5, y = (j + 0.5) / 32 - 0.5,
-                     z = (k + 0.5) / 32 - 0.5;
-        if (x * x + y * y + z * z < r_dep * r_dep) {
-          g->field(Field::kInternalEnergy)(g->sx(i), g->sy(j), g->sz(k)) =
-              e_cell;
-          g->field(Field::kTotalEnergy)(g->sx(i), g->sy(j), g->sz(k)) = e_cell;
+  // Uniform medium, then deposit the blast energy in a small central sphere
+  // (after finalize: the refinement criteria first see the quiet medium and
+  // chase the shock as it forms, like the original two-phase setup).
+  core::ProblemSetup setup = core::uniform_setup(1.0, 1e-4);
+  setup.refine([E, r_dep](core::Simulation& s) {
+    Grid* g = s.hierarchy().grids(0)[0];
+    double vol_sum = 0;
+    for (int k = 0; k < 32; ++k)
+      for (int j = 0; j < 32; ++j)
+        for (int i = 0; i < 32; ++i) {
+          const double x = (i + 0.5) / 32 - 0.5, y = (j + 0.5) / 32 - 0.5,
+                       z = (k + 0.5) / 32 - 0.5;
+          if (x * x + y * y + z * z < r_dep * r_dep) vol_sum += 1.0;
         }
-      }
+    const double e_cell = E / (vol_sum / (32.0 * 32 * 32));
+    for (int k = 0; k < 32; ++k)
+      for (int j = 0; j < 32; ++j)
+        for (int i = 0; i < 32; ++i) {
+          const double x = (i + 0.5) / 32 - 0.5, y = (j + 0.5) / 32 - 0.5,
+                       z = (k + 0.5) / 32 - 0.5;
+          if (x * x + y * y + z * z < r_dep * r_dep) {
+            g->field(Field::kInternalEnergy)(g->sx(i), g->sy(j), g->sz(k)) =
+                e_cell;
+            g->field(Field::kTotalEnergy)(g->sx(i), g->sy(j), g->sz(k)) =
+                e_cell;
+          }
+        }
+  });
+  sim.initialize(setup);
 
   // β for γ = 5/3 (Sedov): r = β (E t²/ρ)^{1/5}, β ≈ 1.152.
   const double beta = 1.152;

@@ -22,11 +22,12 @@ core::Simulation make_tube(int n, bool refined) {
   cfg.hydro.gamma = 1.4;
   cfg.rebuild_interval = 1 << 20;  // static tree
   core::Simulation sim(cfg);
+  core::ProblemSetup setup = core::sod_tube_setup();
   if (refined) {
     // Refine the middle half of the tube at 2×.
-    sim.add_static_region(1, {{n / 2, 0, 0}, {3 * n / 2, 1, 1}});
+    setup.static_region(1, {{n / 2, 0, 0}, {3 * n / 2, 1, 1}});
   }
-  core::setup_sod_tube(sim);
+  sim.initialize(setup);
   return sim;
 }
 }  // namespace

@@ -55,7 +55,7 @@ int main() {
   core::PancakeOptions opt;
   opt.a_caustic_redshift = 3.0;
   opt.box_comoving_cm = 64.0 * constants::kMpc;
-  core::setup_zeldovich_pancake(sim, opt);
+  sim.initialize(core::zeldovich_pancake_setup(opt));
 
   cosmology::Frw frw(cfg.frw);
   const double a_i = sim.scale_factor();

@@ -19,6 +19,10 @@
 #include "cosmology/units.hpp"
 #include "mesh/grid.hpp"
 
+namespace enzo::exec {
+class LevelExecutor;
+}
+
 namespace enzo::chemistry {
 
 struct ChemistryParams {
@@ -46,10 +50,13 @@ struct ChemUnits {
 
 /// Advance every active cell's species and internal energy by dt (code
 /// units), sub-cycling internally.  Total energy is adjusted by the internal
-/// energy change.  Requires the chemistry fields to be allocated.
+/// energy change.  Requires the chemistry fields to be allocated.  `ex`
+/// (optional) chunks the independent cell updates via the executor's nested
+/// parallel_for; nullptr runs them inline.
 void solve_chemistry_step(mesh::Grid& g, double dt,
                           const ChemistryParams& params,
-                          const ChemUnits& units);
+                          const ChemUnits& units,
+                          exec::LevelExecutor* ex = nullptr);
 
 /// Gas temperature (K) of one cell from its internal energy + composition.
 double cell_temperature(const mesh::Grid& g, int si, int sj, int sk,

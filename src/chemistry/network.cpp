@@ -1,7 +1,9 @@
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "chemistry/chemistry.hpp"
+#include "exec/executor.hpp"
 #include "chemistry/rates.hpp"
 #include "perf/metrics.hpp"
 #include "perf/trace.hpp"
@@ -255,21 +257,26 @@ ChemUnits ChemUnits::from(const cosmology::CodeUnits& u, double a) {
 }
 
 void solve_chemistry_step(Grid& g, double dt, const ChemistryParams& params,
-                          const ChemUnits& units) {
+                          const ChemUnits& units, exec::LevelExecutor* ex) {
   ENZO_REQUIRE(g.has_field(Field::kH2I), "chemistry fields not allocated");
   perf::TraceScope scope("network", perf::component::kChemistry, g.level());
   const double dt_s = dt * units.time_s;
   auto& rho = g.field(Field::kDensity);
   auto& eint = g.field(Field::kInternalEnergy);
   auto& etot = g.field(Field::kTotalEnergy);
-  std::int64_t subcycles = 0;
-
-#ifdef _OPENMP
-#pragma omp parallel for collapse(2) schedule(dynamic, 4) \
-    reduction(+ : subcycles)
-#endif
-  for (int k = 0; k < g.nx(2); ++k) {
-    for (int j = 0; j < g.nx(1); ++j) {
+  // Cells are independent; rows of cells are chunked through the executor
+  // (replacing the old OpenMP pragma).  The subcycle tally is an integer sum
+  // — commutative, so the atomic accumulation stays deterministic at any
+  // thread count.
+  std::atomic<std::int64_t> subcycles{0};
+  const auto nj = static_cast<std::size_t>(g.nx(1));
+  const auto nk = static_cast<std::size_t>(g.nx(2));
+  exec::maybe_parallel_for(
+      ex, nk * nj, 1, [&](std::size_t row_begin, std::size_t row_end) {
+    std::int64_t local_subcycles = 0;
+    for (std::size_t row = row_begin; row < row_end; ++row) {
+      const int k = static_cast<int>(row / nj);
+      const int j = static_cast<int>(row % nj);
       for (int i = 0; i < g.nx(0); ++i) {
         const int si = g.sx(i), sj = g.sy(j), sk = g.sz(k);
         CellState st;
@@ -279,7 +286,8 @@ void solve_chemistry_step(Grid& g, double dt, const ChemistryParams& params,
         st.e = eint(si, sj, sk) * units.e_cgs;
         const double rho_cgs = rho(si, sj, sk) * units.rho_cgs;
         const double e_before = st.e;
-        subcycles += advance_cell(st, dt_s, rho_cgs, params, units.t_cmb);
+        local_subcycles +=
+            advance_cell(st, dt_s, rho_cgs, params, units.t_cmb);
         for (int s = 0; s < kNsp; ++s)
           g.field(kSpeciesField[s])(si, sj, sk) =
               st.n[s] * kA[s] / units.n_factor;
@@ -288,14 +296,17 @@ void solve_chemistry_step(Grid& g, double dt, const ChemistryParams& params,
         etot(si, sj, sk) += de_code;
       }
     }
-  }
+    subcycles.fetch_add(local_subcycles, std::memory_order_relaxed);
+  });
   static perf::Counter& subcycle_counter =
       perf::Registry::global().counter("chemistry.subcycles");
-  subcycle_counter.add(static_cast<std::uint64_t>(subcycles));
+  const auto total_subcycles =
+      static_cast<std::uint64_t>(subcycles.load(std::memory_order_relaxed));
+  subcycle_counter.add(total_subcycles);
   // The measured subcycle count replaces the old fixed ×10 estimate.
   util::FlopCounter::global().add(
-      "chemistry", util::flop_cost::kChemistryPerCellPerSubcycle *
-                       static_cast<std::uint64_t>(subcycles));
+      "chemistry",
+      util::flop_cost::kChemistryPerCellPerSubcycle * total_subcycles);
 }
 
 double cell_mu(const Grid& g, int si, int sj, int sk) {

@@ -4,6 +4,7 @@
 #include "chemistry/chemistry.hpp"
 #include "cosmology/frw.hpp"
 #include "cosmology/units.hpp"
+#include "exec/exec_config.hpp"
 #include "gravity/gravity.hpp"
 #include "hydro/hydro.hpp"
 #include "mesh/hierarchy.hpp"
@@ -55,6 +56,9 @@ struct SimulationConfig {
   bool trace_wcycle = false;
   /// Safety valve on subcycles per level step.
   int max_substeps_per_level = 64;
+  /// Execution backend for the per-level grid sweeps (deck keys: Threads,
+  /// Executor; run_deck flag: --threads N).
+  exec::ExecConfig exec;
 };
 
 }  // namespace enzo::core

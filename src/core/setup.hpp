@@ -14,7 +14,14 @@
 // the hierarchy deep — minutes of laptop time instead of 10⁶ SP2-seconds.
 //
 // The remaining setups are standard verification problems.
+//
+// Each problem is exposed two ways:
+//   - a *_setup(...) factory returning a ProblemSetup, composable with extra
+//     hooks and run via Simulation::initialize() — the preferred API;
+//   - a legacy setup_*(sim, ...) function, now a one-line shim over the
+//     factory.
 
+#include "core/problem_setup.hpp"
 #include "core/simulation.hpp"
 
 namespace enzo::core {
@@ -30,10 +37,11 @@ struct CosmologySetupOptions {
   double initial_h2_fraction = 2e-6;
 };
 
-/// Initialize a comoving CDM simulation; cfg.hierarchy.root_dims, frw and
+/// Comoving CDM simulation; cfg.hierarchy.root_dims, frw and
 /// initial_redshift must be set.  Fills cfg.units, builds the root grid,
 /// fields and particles, and (if requested) the nested static levels with
 /// mode-consistent small-scale power.
+ProblemSetup cosmological_setup(const CosmologySetupOptions& opt);
 void setup_cosmological(Simulation& sim, const CosmologySetupOptions& opt);
 
 struct CollapseSetupOptions {
@@ -47,13 +55,14 @@ struct CollapseSetupOptions {
   bool chemistry = true;
 };
 
-/// Initialize the isolated primordial-cloud collapse (static space, full
-/// gravity + chemistry).  Sets cfg.units to a self-consistent simple system
-/// in which G_code = 4πG·ρ_unit·t_unit² with t_unit the background free-fall
-/// scale.
+/// Isolated primordial-cloud collapse (static space, full gravity +
+/// chemistry).  Sets cfg.units to a self-consistent simple system in which
+/// G_code = 4πG·ρ_unit·t_unit² with t_unit the background free-fall scale.
+ProblemSetup collapse_cloud_setup(const CollapseSetupOptions& opt);
 void setup_collapse_cloud(Simulation& sim, const CollapseSetupOptions& opt);
 
 /// Sod shock tube along x (n×1×1, outflow boundaries).
+ProblemSetup sod_tube_setup();
 void setup_sod_tube(Simulation& sim);
 
 /// Zel'dovich pancake: single sinusoidal perturbation collapsing to a
@@ -64,9 +73,11 @@ struct PancakeOptions {
   double box_comoving_cm = 64.0 * 3.0857e24;  ///< 64 Mpc
   double initial_temperature = 100.0;         ///< K
 };
+ProblemSetup zeldovich_pancake_setup(const PancakeOptions& opt);
 void setup_zeldovich_pancake(Simulation& sim, const PancakeOptions& opt);
 
 /// Uniform medium (smoke tests).
+ProblemSetup uniform_setup(double rho, double eint);
 void setup_uniform(Simulation& sim, double rho, double eint);
 
 }  // namespace enzo::core

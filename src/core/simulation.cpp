@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <string>
+#include <utility>
 
 #include "chemistry/chemistry.hpp"
 #include "gravity/gravity.hpp"
@@ -12,6 +13,7 @@
 #include "mesh/project.hpp"
 #include "nbody/nbody.hpp"
 #include "perf/log.hpp"
+#include "perf/metrics.hpp"
 #include "perf/trace.hpp"
 #include "util/alloc_stats.hpp"
 #include "util/error.hpp"
@@ -47,6 +49,48 @@ void Simulation::build_root(int tiles_per_axis) {
   // hierarchy from the current configuration.
   sync_hierarchy_params();
   hierarchy_.build_root(tiles_per_axis);
+}
+
+void Simulation::initialize(const ProblemSetup& setup) {
+  for (const auto& fn : setup.configure_) fn(cfg_);
+  build_root(setup.tiles_);
+  for (const auto& [lvl, box] : setup.static_regions_)
+    add_static_region(lvl, box);
+  for (const auto& fn : setup.fill_) fn(*this);
+  finalize_setup();
+  for (const auto& fn : setup.refine_) fn(*this);
+}
+
+exec::LevelExecutor& Simulation::executor() {
+  const exec::ExecConfig& want = cfg_.exec;
+  if (!exec_ || exec_built_.backend != want.backend ||
+      exec_built_.threads != want.threads || exec_built_.pin != want.pin) {
+    exec_ = exec::make_executor(want);
+    exec_built_ = want;
+  }
+  return *exec_;
+}
+
+std::uint64_t Simulation::grid_cost(const mesh::Grid& g) const {
+  const std::uint64_t cells = static_cast<std::uint64_t>(g.nx(0)) *
+                              static_cast<std::uint64_t>(g.nx(1)) *
+                              static_cast<std::uint64_t>(g.nx(2));
+  std::uint64_t cost = cells;
+  if (cfg_.enable_chemistry) {
+    // Historical subcycles-per-hydro-cell ratio from the metrics registry:
+    // a cheap global proxy for how collapsed (and therefore chemically
+    // stiff) the gas is.  Capped so one hot grid cannot starve the rest.
+    static perf::Counter& subcycles =
+        perf::Registry::global().counter("chemistry.subcycles");
+    static perf::Counter& hydro_cells =
+        perf::Registry::global().counter("hydro.cells_updated");
+    const std::uint64_t rate = std::min<std::uint64_t>(
+        64, subcycles.value() / std::max<std::uint64_t>(1, hydro_cells.value()));
+    cost += cells * rate;
+  }
+  if (cfg_.enable_particles)
+    cost += 4 * static_cast<std::uint64_t>(g.particles().size());
+  return cost;
 }
 
 void Simulation::add_static_region(int level, const mesh::IndexBox& box) {
@@ -171,74 +215,115 @@ void Simulation::update_scale_factor() {
 }
 
 double Simulation::compute_level_timestep(int level) {
-  double dt = std::numeric_limits<double>::max();
-  hydro::DtLimiter limiter = hydro::DtLimiter::kNone;
-  const cosmology::Expansion exp = expansion_at(
-      ext::pos_to_double(hierarchy_.grids(level)[0]->time()));
-  for (Grid* g : hierarchy_.grids(level)) {
-    if (cfg_.enable_hydro) {
-      const hydro::TimestepInfo info =
-          hydro::compute_timestep_info(*g, cfg_.hydro, exp);
-      if (info.dt < dt) {
-        dt = info.dt;
-        limiter = info.limiter;
-      }
-    }
-    if (cfg_.enable_particles) {
-      const double dtp = nbody::particle_timestep(*g, exp.a, cfg_.hydro.cfl);
-      if (dtp < dt) {
-        dt = dtp;
-        limiter = hydro::DtLimiter::kParticle;
-      }
-    }
-  }
-  ENZO_REQUIRE(dt > 0 && std::isfinite(dt),
+  auto grids = hierarchy_.grids(level);
+  const cosmology::Expansion exp =
+      expansion_at(ext::pos_to_double(grids[0]->time()));
+  // Ordered reduction: the per-grid minima are computed in parallel but
+  // folded left-to-right with the same strict-< tie-breaks as the old
+  // serial loop (hydro before particles within a grid, earlier grids win
+  // ties), so the chosen limiter is identical at any thread count.
+  struct DtInfo {
+    double dt;
+    hydro::DtLimiter limiter;
+  };
+  const DtInfo init{std::numeric_limits<double>::max(),
+                    hydro::DtLimiter::kNone};
+  const DtInfo best = executor().reduce_ordered(
+      {"compute_timestep", perf::component::kOther, level}, grids.size(), init,
+      [&](std::size_t n) {
+        const Grid& g = *grids[n];
+        DtInfo local = init;
+        if (cfg_.enable_hydro) {
+          const hydro::TimestepInfo info =
+              hydro::compute_timestep_info(g, cfg_.hydro, exp);
+          if (info.dt < local.dt) local = {info.dt, info.limiter};
+        }
+        if (cfg_.enable_particles) {
+          const double dtp = nbody::particle_timestep(g, exp.a, cfg_.hydro.cfl);
+          if (dtp < local.dt) local = {dtp, hydro::DtLimiter::kParticle};
+        }
+        return local;
+      },
+      [](const DtInfo& acc, const DtInfo& v) {
+        return v.dt < acc.dt ? v : acc;
+      });
+  ENZO_REQUIRE(best.dt > 0 && std::isfinite(best.dt),
                "non-positive timestep at level " + std::to_string(level));
-  if (level == 0) root_dt_limiter_ = limiter;
-  return dt;
+  if (level == 0) root_dt_limiter_ = best.limiter;
+  return best.dt;
 }
 
 void Simulation::solve_gravity_level(int level) {
   perf::TraceScope scope("gravity", perf::component::kGravity, level);
+  exec::LevelExecutor& ex = executor();
   // Assemble gravitating mass everywhere at/below this level, deposit
   // particles, and push child mass down into parents.
   for (int l = hierarchy_.deepest_level(); l >= 0; --l) {
-    gravity::begin_gravitating_mass(hierarchy_, l);
-    if (cfg_.enable_particles)
-      for (Grid* g : hierarchy_.grids(l)) nbody::deposit_particles_cic(*g);
+    gravity::begin_gravitating_mass(hierarchy_, l, &ex);
+    if (cfg_.enable_particles) {
+      auto grids = hierarchy_.grids(l);
+      // CIC deposits scatter only into the owning grid's gravitating-mass
+      // field (particles live on the grid they deposit into).
+      ex.for_each(
+          {"cic_deposit", perf::component::kNbody, l}, grids.size(),
+          [&](std::size_t n) { nbody::deposit_particles_cic(*grids[n]); },
+          [&](std::size_t n) {
+            return static_cast<std::uint64_t>(grids[n]->particles().size());
+          });
+    }
   }
-  gravity::restrict_gravitating_mass(hierarchy_);
+  gravity::restrict_gravitating_mass(hierarchy_, &ex);
   if (level == 0)
     gravity::solve_root_gravity(hierarchy_, cfg_.gravity, a_);
   else
-    gravity::solve_subgrid_gravity(hierarchy_, level, cfg_.gravity, a_);
-  for (Grid* g : hierarchy_.grids(level))
-    gravity::compute_accelerations(*g, a_);
+    gravity::solve_subgrid_gravity(hierarchy_, level, cfg_.gravity, a_, &ex);
+  auto grids = hierarchy_.grids(level);
+  ex.for_each(
+      {"accelerations", perf::component::kGravity, level}, grids.size(),
+      [&](std::size_t n) { gravity::compute_accelerations(*grids[n], a_); },
+      [&](std::size_t n) { return grid_cost(*grids[n]); });
 }
 
 void Simulation::step_grids(int level, double dt,
                             const cosmology::Expansion& exp) {
-  for (Grid* g : hierarchy_.grids(level)) {
-    g->store_old_fields();
-    if (cfg_.enable_hydro) {
-      perf::TraceScope scope("hydro", perf::component::kHydro, level);
-      hydro::solve_hydro_step(*g, dt, cfg_.hydro, exp);
-    }
-    if (cfg_.enable_gravity) {
-      perf::TraceScope scope("gravity_sources", perf::component::kGravity,
-                             level);
-      hydro::apply_gravity_sources(*g, dt, cfg_.hydro);
-    }
-    if (cfg_.enable_chemistry) {
-      perf::TraceScope scope("chemistry", perf::component::kChemistry, level);
-      chemistry::solve_chemistry_step(*g, dt, cfg_.chemistry, chem_units());
-    }
-    if (cfg_.enable_particles) {
-      perf::TraceScope scope("nbody", perf::component::kNbody, level);
-      nbody::kick_particles(*g, dt, exp.adot_over_a);
-      nbody::drift_particles(*g, dt, exp.a);
-    }
-  }
+  auto grids = hierarchy_.grids(level);
+  const std::uint64_t gen = hierarchy_.generation();
+  const chemistry::ChemUnits cu = chem_units();
+  exec::LevelExecutor& ex = executor();
+  // Each task advances exactly one grid: all writes (fields, fluxes,
+  // particles) stay inside that grid; ghost values were filled before the
+  // phase and are read-only here.  Physics kernels receive the executor for
+  // their *intra*-grid parallel_for loops; nested work shares the one pool
+  // (a nested drain runs only its own leaf group), so parallelism never
+  // oversubscribes the lane count.
+  ex.for_each(
+      {"step_grids", perf::component::kOther, level}, grids.size(),
+      [&](std::size_t n) {
+        Grid* g = grids[n];
+        g->store_old_fields();
+        if (cfg_.enable_hydro) {
+          perf::TraceScope scope("hydro", perf::component::kHydro, level);
+          hydro::solve_hydro_step(*g, dt, cfg_.hydro, exp, &ex);
+        }
+        if (cfg_.enable_gravity) {
+          perf::TraceScope scope("gravity_sources", perf::component::kGravity,
+                                 level);
+          hydro::apply_gravity_sources(*g, dt, cfg_.hydro);
+        }
+        if (cfg_.enable_chemistry) {
+          perf::TraceScope scope("chemistry", perf::component::kChemistry,
+                                 level);
+          chemistry::solve_chemistry_step(*g, dt, cfg_.chemistry, cu, &ex);
+        }
+        if (cfg_.enable_particles) {
+          perf::TraceScope scope("nbody", perf::component::kNbody, level);
+          nbody::kick_particles(*g, dt, exp.adot_over_a);
+          nbody::drift_particles(*g, dt, exp.a);
+        }
+      },
+      [&](std::size_t n) { return grid_cost(*grids[n]); });
+  ENZO_REQUIRE(gen == hierarchy_.generation(),
+               "hierarchy rebuilt during step_grids");
 }
 
 void Simulation::evolve_level(int level, ext::pos_t parent_time) {
@@ -246,11 +331,14 @@ void Simulation::evolve_level(int level, ext::pos_t parent_time) {
   if (level_grids.empty()) return;
   perf::TraceScope level_scope("evolve_level/L" + std::to_string(level),
                                perf::component::kOther, level);
+  exec::LevelExecutor& ex = executor();
   // A new parent window opens: zero the boundary flux registers that the
   // parent's flux correction will read after this level catches up.
   if (cfg_.enable_hydro)
-    for (Grid* g : level_grids) g->reset_boundary_fluxes();
-  mesh::set_boundary_values(hierarchy_, level);
+    ex.for_each({"reset_boundary_fluxes", perf::component::kHydro, level},
+                level_grids.size(),
+                [&](std::size_t n) { level_grids[n]->reset_boundary_fluxes(); });
+  mesh::set_boundary_values(hierarchy_, level, &ex);
 
   int substeps = 0;
   while (level_grids[0]->time() < parent_time) {
@@ -300,22 +388,48 @@ void Simulation::evolve_level(int level, ext::pos_t parent_time) {
       update_scale_factor();
     }
 
-    mesh::set_boundary_values(hierarchy_, level);
+    mesh::set_boundary_values(hierarchy_, level, &ex);
     evolve_level(level + 1, t_new);
 
     // Flux correction + projection (§3.2.1 two-way coupling).
     {
-      perf::TraceScope scope("flux_projection", perf::component::kOther,
-                             level);
       // All corrections before any projection: a correction may land on a
       // coarse cell covered by a *sibling* of the correcting child, and the
       // sibling's projected average must win there (interleaving the two
       // passes let a later child's correction clobber an earlier sibling's
       // projection, leaving parent ≠ child average on those cells).
-      for (Grid* child : hierarchy_.grids(level + 1))
-        mesh::flux_correct_from_child(*child, *child->parent());
-      for (Grid* child : hierarchy_.grids(level + 1))
-        mesh::project_to_parent(*child, *child->parent());
+      //
+      // Both operations write only the child's *parent*, so tasks are
+      // grouped by parent: one task runs all of a parent's children — the
+      // corrections in child order, then the projections in child order —
+      // which is exactly the serial ordering restricted to that parent
+      // (cross-parent writes touch disjoint cells).
+      auto children = hierarchy_.grids(level + 1);
+      std::vector<std::pair<Grid*, std::vector<Grid*>>> groups;
+      for (Grid* child : children) {
+        auto it = std::find_if(groups.begin(), groups.end(), [&](auto& pr) {
+          return pr.first == child->parent();
+        });
+        if (it == groups.end())
+          groups.emplace_back(child->parent(), std::vector<Grid*>{child});
+        else
+          it->second.push_back(child);
+      }
+      ex.for_each(
+          {"flux_projection", perf::component::kOther, level}, groups.size(),
+          [&](std::size_t n) {
+            auto& [parent, kids] = groups[n];
+            for (Grid* child : kids)
+              mesh::flux_correct_from_child(*child, *parent);
+            for (Grid* child : kids) mesh::project_to_parent(*child, *parent);
+          },
+          [&](std::size_t n) {
+            std::uint64_t c = 0;
+            for (const Grid* child : groups[n].second)
+              c += static_cast<std::uint64_t>(child->nx(0)) * child->nx(1) *
+                   child->nx(2);
+            return c;
+          });
     }
     if (cfg_.enable_particles) {
       perf::TraceScope scope("particle_redistribute",
@@ -371,7 +485,7 @@ const analysis::AuditReport& Simulation::run_audit() {
   // projection pass, so refresh boundaries from the current (consistent)
   // state first — exactly what the next step would do anyway.
   for (int l = 0; l <= hierarchy_.deepest_level(); ++l)
-    mesh::set_boundary_values(hierarchy_, l);
+    mesh::set_boundary_values(hierarchy_, l, &executor());
 
   analysis::AuditOptions opts;
   // Mass/energy leave through the boundary on outflow domains, and energy is

@@ -17,10 +17,13 @@
 // extended precision so a child level always lands on its parent's time
 // exactly, no matter how deep the hierarchy (§3.5).
 
+#include <memory>
 #include <vector>
 
 #include "analysis/auditor.hpp"
 #include "core/config.hpp"
+#include "core/problem_setup.hpp"
+#include "exec/executor.hpp"
 #include "ext/position.hpp"
 #include "perf/diagnostics.hpp"
 
@@ -35,17 +38,21 @@ class Simulation {
   mesh::Hierarchy& hierarchy() { return hierarchy_; }
   const mesh::Hierarchy& hierarchy() const { return hierarchy_; }
 
-  /// Build the root level (tiles_per_axis per side).  The caller then fills
-  /// the root fields/particles (see setup.hpp) and calls finalize_setup().
+  /// Run a declarative problem setup end to end: configure hooks, root
+  /// build, static regions, fill hooks, finalize, refine hooks — in that
+  /// order (see problem_setup.hpp).  This is the preferred way to
+  /// initialize a Simulation.
+  void initialize(const ProblemSetup& setup);
+
+  /// Deprecated shim: build the root level (tiles_per_axis per side).  The
+  /// caller then fills the root fields/particles and calls finalize_setup().
+  /// New code should describe the problem as a ProblemSetup and call
+  /// initialize() instead.
   void build_root(int tiles_per_axis = 1);
 
-  /// Re-derive the (still-empty) hierarchy from the current config — needed
-  /// when a problem setup adjusted hierarchy parameters after construction
-  /// (build_root does this automatically; checkpoint loading calls it).
-  void sync_hierarchy_params();
-
-  /// Snapshot old states, set times, and run the initial rebuild cascade so
-  /// the starting hierarchy reflects the refinement criteria.
+  /// Deprecated shim: snapshot old states, set times, and run the initial
+  /// rebuild cascade (initialize() does this between the fill and refine
+  /// hooks).
   void finalize_setup();
 
   /// Pin a region (box in that level's index space) as permanently refined —
@@ -87,6 +94,18 @@ class Simulation {
   /// The refinement-criteria flagger (exposed for tests/benches).
   mesh::Hierarchy::FlagFn flagger();
 
+  // ---- execution -----------------------------------------------------------
+  /// The level-execution engine used for every per-level grid sweep
+  /// (boundary fill, timestep reduction, gravity, step_grids, flux
+  /// projection).  Built lazily from config().exec and rebuilt when the
+  /// backend or thread count changes between steps.
+  exec::LevelExecutor& executor();
+  /// Scheduling cost estimate for a grid: cell count, inflated by the
+  /// metrics-registry chemistry subcycle rate when chemistry is enabled and
+  /// by particle count when particles are enabled.  Seeds the work-stealing
+  /// queues so expensive grids are picked up first.
+  std::uint64_t grid_cost(const mesh::Grid& g) const;
+
   // ---- telemetry -----------------------------------------------------------
   /// Attach a per-step JSONL diagnostics sink (non-owning; pass nullptr to
   /// detach).  One StepRecord is written after every root-level step; the
@@ -113,6 +132,10 @@ class Simulation {
   const analysis::AuditReport& run_audit();
 
  private:
+  /// Re-derive the (still-empty) hierarchy from the current config — needed
+  /// when a problem setup adjusted hierarchy parameters after construction
+  /// (build_root and checkpoint loading go through this).
+  void sync_hierarchy_params();
   void evolve_level(int level, ext::pos_t parent_time);
   void step_root(double dt);
   double compute_level_timestep(int level);
@@ -122,6 +145,8 @@ class Simulation {
 
   SimulationConfig cfg_;
   mesh::Hierarchy hierarchy_;
+  std::unique_ptr<exec::LevelExecutor> exec_;
+  exec::ExecConfig exec_built_;  ///< config exec_ was built from
   cosmology::Frw frw_;
   ext::pos_t time_{0.0};
   double a_ = 1.0;

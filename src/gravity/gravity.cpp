@@ -1,8 +1,11 @@
 // Gravitating-mass assembly, subgrid Poisson orchestration (parent BC
 // interpolation + multigrid + sibling iteration), and force differencing.
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "exec/executor.hpp"
 #include "gravity/gravity.hpp"
 #include "perf/trace.hpp"
 #include "util/error.hpp"
@@ -15,6 +18,12 @@ namespace {
 
 int pot_ghost(const Grid& g, int d) {
   return g.spec().level_dims[d] > 1 ? 1 : 0;
+}
+
+std::uint64_t cells_of(const Grid& g) {
+  return static_cast<std::uint64_t>(g.nx(0)) *
+         static_cast<std::uint64_t>(g.nx(1)) *
+         static_cast<std::uint64_t>(g.nx(2));
 }
 
 /// Trilinear interpolation of the parent's potential at the center of the
@@ -135,112 +144,168 @@ void exchange_potential_with_siblings(Grid& g,
   }
 }
 
-}  // namespace
-
-void begin_gravitating_mass(mesh::Hierarchy& h, int level) {
-  for (Grid* g : h.grids(level)) {
-    g->allocate_gravity();
-    auto& gm = g->gravitating_mass();
-    gm.fill(0.0);
-    const auto& rho = g->field(mesh::Field::kDensity);
-    const int gx = pot_ghost(*g, 0), gy = pot_ghost(*g, 1),
-              gz = pot_ghost(*g, 2);
-    for (int k = 0; k < g->nx(2); ++k)
-      for (int j = 0; j < g->nx(1); ++j)
-        for (int i = 0; i < g->nx(0); ++i)
-          gm(i + gx, j + gy, k + gz) = rho(g->sx(i), g->sy(j), g->sz(k));
-  }
+/// Volume-average one child's gravitating mass into the parent cells under
+/// its box (child boxes are aligned to parent cells, so siblings touch
+/// disjoint parent cells).
+void restrict_child_mass(const Grid& g, Grid& parent) {
+  if (!parent.has_gravity() || !g.has_gravity()) return;
+  int rd[3];
+  for (int d = 0; d < 3; ++d)
+    rd[d] = static_cast<int>(g.spec().level_dims[d] /
+                             parent.spec().level_dims[d]);
+  const int gx = pot_ghost(g, 0), gy = pot_ghost(g, 1), gz = pot_ghost(g, 2);
+  const int pgx = pot_ghost(parent, 0), pgy = pot_ghost(parent, 1),
+            pgz = pot_ghost(parent, 2);
+  auto& pgm = parent.gravitating_mass();
+  const auto& cgm = g.gravitating_mass();
+  const double inv_nf = 1.0 / (static_cast<double>(rd[0]) * rd[1] * rd[2]);
+  for (std::int64_t pk = g.box().lo[2] / rd[2]; pk < g.box().hi[2] / rd[2];
+       ++pk)
+    for (std::int64_t pj = g.box().lo[1] / rd[1]; pj < g.box().hi[1] / rd[1];
+         ++pj)
+      for (std::int64_t pi = g.box().lo[0] / rd[0]; pi < g.box().hi[0] / rd[0];
+           ++pi) {
+        double sum = 0.0;
+        for (int ck = 0; ck < rd[2]; ++ck)
+          for (int cj = 0; cj < rd[1]; ++cj)
+            for (int ci = 0; ci < rd[0]; ++ci)
+              sum += cgm(
+                  static_cast<int>(pi * rd[0] - g.box().lo[0]) + ci + gx,
+                  static_cast<int>(pj * rd[1] - g.box().lo[1]) + cj + gy,
+                  static_cast<int>(pk * rd[2] - g.box().lo[2]) + ck + gz);
+        pgm(static_cast<int>(pi - parent.box().lo[0]) + pgx,
+            static_cast<int>(pj - parent.box().lo[1]) + pgy,
+            static_cast<int>(pk - parent.box().lo[2]) + pgz) = sum * inv_nf;
+      }
 }
 
-void restrict_gravitating_mass(mesh::Hierarchy& h) {
+}  // namespace
+
+void begin_gravitating_mass(mesh::Hierarchy& h, int level,
+                            exec::LevelExecutor* ex) {
+  const auto grids = h.grids(level);
+  exec::fallback(ex).for_each(
+      {"begin_gravitating_mass", perf::component::kGravity, level},
+      grids.size(),
+      [&](std::size_t n) {
+        Grid* g = grids[n];
+        g->allocate_gravity();
+        auto& gm = g->gravitating_mass();
+        gm.fill(0.0);
+        const auto& rho = g->field(mesh::Field::kDensity);
+        const int gx = pot_ghost(*g, 0), gy = pot_ghost(*g, 1),
+                  gz = pot_ghost(*g, 2);
+        for (int k = 0; k < g->nx(2); ++k)
+          for (int j = 0; j < g->nx(1); ++j)
+            for (int i = 0; i < g->nx(0); ++i)
+              gm(i + gx, j + gy, k + gz) = rho(g->sx(i), g->sy(j), g->sz(k));
+      },
+      [&](std::size_t n) { return cells_of(*grids[n]); });
+}
+
+void restrict_gravitating_mass(mesh::Hierarchy& h, exec::LevelExecutor* ex) {
   for (int l = h.deepest_level(); l >= 1; --l) {
-    for (Grid* g : h.grids(l)) {
-      Grid* parent = g->parent();
+    const auto children = h.grids(l);
+    // Children write into their (possibly shared) parent's mass array:
+    // group by parent so each parent is touched by exactly one task, which
+    // preserves the serial per-parent write order exactly.
+    std::vector<std::pair<Grid*, std::vector<Grid*>>> groups;
+    for (Grid* c : children) {
+      Grid* parent = c->parent();
       ENZO_REQUIRE(parent != nullptr, "gravity restriction without parent");
-      if (!parent->has_gravity() || !g->has_gravity()) continue;
-      int rd[3];
-      for (int d = 0; d < 3; ++d)
-        rd[d] = static_cast<int>(g->spec().level_dims[d] /
-                                 parent->spec().level_dims[d]);
-      const int gx = pot_ghost(*g, 0), gy = pot_ghost(*g, 1),
-                gz = pot_ghost(*g, 2);
-      const int pgx = pot_ghost(*parent, 0), pgy = pot_ghost(*parent, 1),
-                pgz = pot_ghost(*parent, 2);
-      auto& pgm = parent->gravitating_mass();
-      const auto& cgm = g->gravitating_mass();
-      const double inv_nf = 1.0 / (static_cast<double>(rd[0]) * rd[1] * rd[2]);
-      for (std::int64_t pk = g->box().lo[2] / rd[2];
-           pk < g->box().hi[2] / rd[2]; ++pk)
-        for (std::int64_t pj = g->box().lo[1] / rd[1];
-             pj < g->box().hi[1] / rd[1]; ++pj)
-          for (std::int64_t pi = g->box().lo[0] / rd[0];
-               pi < g->box().hi[0] / rd[0]; ++pi) {
-            double sum = 0.0;
-            for (int ck = 0; ck < rd[2]; ++ck)
-              for (int cj = 0; cj < rd[1]; ++cj)
-                for (int ci = 0; ci < rd[0]; ++ci)
-                  sum += cgm(static_cast<int>(pi * rd[0] - g->box().lo[0]) +
-                                 ci + gx,
-                             static_cast<int>(pj * rd[1] - g->box().lo[1]) +
-                                 cj + gy,
-                             static_cast<int>(pk * rd[2] - g->box().lo[2]) +
-                                 ck + gz);
-            pgm(static_cast<int>(pi - parent->box().lo[0]) + pgx,
-                static_cast<int>(pj - parent->box().lo[1]) + pgy,
-                static_cast<int>(pk - parent->box().lo[2]) + pgz) =
-                sum * inv_nf;
-          }
+      auto it = std::find_if(
+          groups.begin(), groups.end(),
+          [&](const auto& gp) { return gp.first == parent; });
+      if (it == groups.end())
+        groups.emplace_back(parent, std::vector<Grid*>{c});
+      else
+        it->second.push_back(c);
     }
+    exec::fallback(ex).for_each(
+        {"restrict_gravitating_mass", perf::component::kGravity, l},
+        groups.size(),
+        [&](std::size_t n) {
+          Grid* parent = groups[n].first;
+          for (Grid* g : groups[n].second)
+            restrict_child_mass(*g, *parent);
+        },
+        [&](std::size_t n) {
+          std::uint64_t c = 0;
+          for (const Grid* g : groups[n].second) c += cells_of(*g);
+          return c;
+        });
   }
 }
 
 void solve_subgrid_gravity(mesh::Hierarchy& h, int level,
-                           const GravityParams& p, double a) {
+                           const GravityParams& p, double a,
+                           exec::LevelExecutor* ex) {
   ENZO_REQUIRE(level >= 1, "solve_subgrid_gravity on the root level");
   auto level_grids = h.grids(level);
   if (level_grids.empty()) return;
   perf::TraceScope scope("subgrid_multigrid", perf::component::kGravity,
                          level);
+  exec::LevelExecutor& e = exec::fallback(ex);
+  const auto grid_cost = [&](std::size_t n) {
+    return cells_of(*level_grids[n]);
+  };
   const double coef = p.grav_const_code / a;
 
   // Per-grid RHS and initial guess (interpolated parent potential
-  // everywhere, which also sets the Dirichlet ghosts).
+  // everywhere, which also sets the Dirichlet ghosts).  Each task writes
+  // only its own potential/RHS and reads its parent's solved potential,
+  // which this phase never writes.
   std::vector<util::Array3<double>> rhs(level_grids.size());
-  for (std::size_t n = 0; n < level_grids.size(); ++n) {
-    Grid* g = level_grids[n];
-    g->allocate_gravity();
-    Grid* parent = g->parent();
-    ENZO_REQUIRE(parent && parent->has_gravity(),
-                 "parent potential missing for subgrid gravity");
-    auto& pot = g->potential();
-    const int gx = pot_ghost(*g, 0), gy = pot_ghost(*g, 1),
-              gz = pot_ghost(*g, 2);
-    for (int k = -gz; k < g->nx(2) + gz; ++k)
-      for (int j = -gy; j < g->nx(1) + gy; ++j)
-        for (int i = -gx; i < g->nx(0) + gx; ++i)
-          pot(i + gx, j + gy, k + gz) =
-              parent_potential_at(*g, *parent, g->box().lo[0] + i,
-                                  g->box().lo[1] + j, g->box().lo[2] + k);
-    rhs[n].resize(pot.nx(), pot.ny(), pot.nz(), 0.0);
-    const auto& gm = g->gravitating_mass();
-    for (int k = 0; k < g->nx(2); ++k)
-      for (int j = 0; j < g->nx(1); ++j)
-        for (int i = 0; i < g->nx(0); ++i)
-          rhs[n](i + gx, j + gy, k + gz) =
-              coef * (gm(i + gx, j + gy, k + gz) - p.mean_density);
-  }
+  e.for_each(
+      {"subgrid_rhs", perf::component::kGravity, level}, level_grids.size(),
+      [&](std::size_t n) {
+        Grid* g = level_grids[n];
+        g->allocate_gravity();
+        Grid* parent = g->parent();
+        ENZO_REQUIRE(parent && parent->has_gravity(),
+                     "parent potential missing for subgrid gravity");
+        auto& pot = g->potential();
+        const int gx = pot_ghost(*g, 0), gy = pot_ghost(*g, 1),
+                  gz = pot_ghost(*g, 2);
+        for (int k = -gz; k < g->nx(2) + gz; ++k)
+          for (int j = -gy; j < g->nx(1) + gy; ++j)
+            for (int i = -gx; i < g->nx(0) + gx; ++i)
+              pot(i + gx, j + gy, k + gz) =
+                  parent_potential_at(*g, *parent, g->box().lo[0] + i,
+                                      g->box().lo[1] + j, g->box().lo[2] + k);
+        rhs[n].resize(pot.nx(), pot.ny(), pot.nz(), 0.0);
+        const auto& gm = g->gravitating_mass();
+        for (int k = 0; k < g->nx(2); ++k)
+          for (int j = 0; j < g->nx(1); ++j)
+            for (int i = 0; i < g->nx(0); ++i)
+              rhs[n](i + gx, j + gy, k + gz) =
+                  coef * (gm(i + gx, j + gy, k + gz) - p.mean_density);
+      },
+      grid_cost);
 
-  // Solve, exchange boundaries with siblings, and solve again (§3.3).
+  // Solve, exchange boundaries with siblings, and solve again (§3.3).  The
+  // two half-steps are separate phases: solving touches only the grid's own
+  // arrays; exchanging writes only the grid's own ghost layer while reading
+  // sibling interiors, which no exchange task writes.
   for (int pass = 0; pass <= p.sibling_iterations; ++pass) {
-    for (std::size_t n = 0; n < level_grids.size(); ++n) {
-      Grid* g = level_grids[n];
-      multigrid_solve(g->potential(), rhs[n], g->cell_width_d(0), p);
-    }
+    e.for_each(
+        {"multigrid_solve", perf::component::kGravity, level},
+        level_grids.size(),
+        [&](std::size_t n) {
+          Grid* g = level_grids[n];
+          multigrid_solve(g->potential(), rhs[n], g->cell_width_d(0), p);
+        },
+        grid_cost);
     if (pass < p.sibling_iterations) {
-      for (Grid* g : level_grids) {
-        fill_potential_bc_from_parent(*g, *g->parent());
-        exchange_potential_with_siblings(*g, level_grids);
-      }
+      e.for_each(
+          {"sibling_exchange", perf::component::kGravity, level},
+          level_grids.size(),
+          [&](std::size_t n) {
+            Grid* g = level_grids[n];
+            fill_potential_bc_from_parent(*g, *g->parent());
+            exchange_potential_with_siblings(*g, level_grids);
+          },
+          grid_cost);
     }
   }
 }

@@ -17,6 +17,10 @@
 
 #include "mesh/hierarchy.hpp"
 
+namespace enzo::exec {
+class LevelExecutor;
+}
+
 namespace enzo::gravity {
 
 struct GravityParams {
@@ -33,19 +37,28 @@ struct GravityParams {
 /// own CIC-deposited particles (done by the caller through nbody), then
 /// propagate fine-level mass down so each coarse grid sees the full matter
 /// distribution under its children.  Call after nbody deposition.
-void restrict_gravitating_mass(mesh::Hierarchy& h);
+/// `ex` (optional, here and below) runs the per-grid work as executor
+/// phases; children sharing a parent are grouped onto one task.
+void restrict_gravitating_mass(mesh::Hierarchy& h,
+                               exec::LevelExecutor* ex = nullptr);
 
 /// Copy the gas density into gravitating_mass (active cells) for every grid
 /// on the level, zeroing the ghost layer (particles are added afterwards).
-void begin_gravitating_mass(mesh::Hierarchy& h, int level);
+void begin_gravitating_mass(mesh::Hierarchy& h, int level,
+                            exec::LevelExecutor* ex = nullptr);
 
 /// Solve on the (periodic) root level via FFT; root may be tiled.
 void solve_root_gravity(mesh::Hierarchy& h, const GravityParams& p, double a);
 
 /// Solve on a refined level: Dirichlet boundary interpolated from parent
-/// potentials, multigrid V-cycles, sibling-exchange iteration.
+/// potentials, multigrid V-cycles, sibling-exchange iteration.  The solve
+/// and exchange passes are separate executor phases: a solve task touches
+/// only its own potential/RHS, an exchange task writes only its own ghost
+/// layer while reading sibling *interiors* (which no exchange task writes),
+/// so both phases are order-independent.
 void solve_subgrid_gravity(mesh::Hierarchy& h, int level,
-                           const GravityParams& p, double a);
+                           const GravityParams& p, double a,
+                           exec::LevelExecutor* ex = nullptr);
 
 /// Cell-centered accelerations g = −(1/a)∇φ by central differences (the
 /// potential ghost layer must be set, which both solvers guarantee).

@@ -21,6 +21,10 @@
 #include "cosmology/units.hpp"
 #include "mesh/grid.hpp"
 
+namespace enzo::exec {
+class LevelExecutor;
+}
+
 namespace enzo::hydro {
 
 enum class Solver { kPpm, kZeus };
@@ -77,8 +81,11 @@ inline double compute_timestep(const mesh::Grid& g, const HydroParams& params,
 /// then expansion sources, then dual-energy synchronization and floors.
 /// Ghost zones must be current (SetBoundaryValues).  Gravity sources are
 /// applied separately by apply_gravity_sources after the gravity solve.
+/// `ex` (optional) chunks the independent pencil sweeps via the executor's
+/// nested parallel_for; nullptr runs them inline.
 void solve_hydro_step(mesh::Grid& g, double dt, const HydroParams& params,
-                      const cosmology::Expansion& exp);
+                      const cosmology::Expansion& exp,
+                      exec::LevelExecutor* ex = nullptr);
 
 /// Kick velocities with the grid's acceleration field and re-sync total
 /// energy; call after the Poisson solve each step.

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/executor.hpp"
 #include "hydro/hydro.hpp"
 #include "hydro/pencil.hpp"
 #include "perf/metrics.hpp"
@@ -91,7 +92,8 @@ void zeus_source_step(Grid& g, double dt, const HydroParams& hp,
 
 /// Run the directional sweeps and apply the conservative updates.
 void sweep_all_axes(Grid& g, double dt, const HydroParams& hp,
-                    const cosmology::Expansion& exp) {
+                    const cosmology::Expansion& exp,
+                    exec::LevelExecutor* ex) {
   const std::vector<Field> species = species_fields(g);
   const int nscal = static_cast<int>(species.size());
   const SweepParams sp{hp.gamma, hp.flattening, hp.zeus_viscosity};
@@ -123,11 +125,19 @@ void sweep_all_axes(Grid& g, double dt, const HydroParams& hp,
     auto& etot = g.field(Field::kTotalEnergy);
     auto& eint = g.field(Field::kInternalEnergy);
 
-#ifdef _OPENMP
-#pragma omp parallel for collapse(2) schedule(static)
-#endif
-    for (int j2 = 0; j2 < g.nt(t2); ++j2) {
-      for (int j1 = 0; j1 < g.nt(t1); ++j1) {
+    // Pencils are independent — each (j1, j2) pair reads its own pre-sweep
+    // line and writes its own cells, flux-register line, and boundary-flux
+    // entries — so the executor may chunk them freely.  (This replaces the
+    // old OpenMP pragma: loop parallelism now lives only in the
+    // LevelExecutor layer, so grid tasks and pencil chunks cannot
+    // oversubscribe each other.)
+    const int n1 = g.nt(t1), n2 = g.nt(t2);
+    exec::maybe_parallel_for(
+        ex, static_cast<std::size_t>(n1) * static_cast<std::size_t>(n2), 1,
+        [&](std::size_t pencil_begin, std::size_t pencil_end) {
+      for (std::size_t pidx = pencil_begin; pidx < pencil_end; ++pidx) {
+        const int j2 = static_cast<int>(pidx / static_cast<std::size_t>(n1));
+        const int j1 = static_cast<int>(pidx % static_cast<std::size_t>(n1));
         Pencil pc;
         pc.resize(np, g.ng(d), nscal);
         auto sidx = [&](int i) {
@@ -234,7 +244,7 @@ void sweep_all_axes(Grid& g, double dt, const HydroParams& hp,
         accumulate(Field::kInternalEnergy, pc.f_eint);
         for (int sc = 0; sc < nscal; ++sc) accumulate(species[sc], pc.f_scal[sc]);
       }
-    }
+    });
     // kPpmPerCellPerSweep already covers the full variable set; passive
     // scalars add roughly reconstruction + upwinding each.
     const std::uint64_t cost =
@@ -382,7 +392,8 @@ TimestepInfo compute_timestep_info(const Grid& g, const HydroParams& params,
 }
 
 void solve_hydro_step(Grid& g, double dt, const HydroParams& params,
-                      const cosmology::Expansion& exp) {
+                      const cosmology::Expansion& exp,
+                      exec::LevelExecutor* ex) {
   ENZO_REQUIRE(dt > 0.0, "hydro step requires dt > 0");
   // Per-step flux arrays are reset every solve (they describe *this* step,
   // the window the grid's own children must match).  The boundary registers
@@ -391,7 +402,7 @@ void solve_hydro_step(Grid& g, double dt, const HydroParams& params,
   g.reset_fluxes();
   if (!g.has_boundary_fluxes()) g.reset_boundary_fluxes();
   if (params.solver == Solver::kZeus) zeus_source_step(g, dt, params, exp);
-  sweep_all_axes(g, dt, params, exp);
+  sweep_all_axes(g, dt, params, exp, ex);
   apply_expansion_sources(g, dt, params, exp);
   dual_energy_sync(g, params);
   static perf::Counter& cells_updated =

@@ -124,7 +124,9 @@ void read_checkpoint(core::Simulation& sim, const std::string& path) {
   ENZO_REQUIRE(is.good(), "cannot open checkpoint: " + path);
   ENZO_REQUIRE(sim.hierarchy().grids(0).empty(),
                "read_checkpoint needs an unbuilt root");
-  sim.sync_hierarchy_params();
+  // Re-derive the (still-empty) hierarchy from the deck-loaded config — the
+  // checkpoint's grid structure is rebuilt below from the file itself.
+  sim.hierarchy() = mesh::Hierarchy(sim.config().hierarchy);
   auto& h = sim.hierarchy();
   const auto& hp = sim.config().hierarchy;
 

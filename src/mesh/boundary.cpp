@@ -1,5 +1,6 @@
 #include "mesh/boundary.hpp"
 
+#include "exec/executor.hpp"
 #include "mesh/interpolate.hpp"
 #include "perf/metrics.hpp"
 #include "perf/trace.hpp"
@@ -27,9 +28,7 @@ void fill_outflow_ghosts(Grid& g) {
   }
 }
 
-void set_boundary_values(Hierarchy& h, int level) {
-  perf::TraceScope scope("set_boundary_values", perf::component::kBoundary,
-                         level);
+void set_boundary_values(Hierarchy& h, int level, exec::LevelExecutor* ex) {
   static perf::Counter& ghost_cells =
       perf::Registry::global().counter("boundary.ghost_cells_filled");
   auto level_grids = h.grids(level);
@@ -43,34 +42,45 @@ void set_boundary_values(Hierarchy& h, int level) {
   const Index3 dims = h.level_dims(level);
   const bool periodic = h.params().periodic;
 
-  for (Grid* g : level_grids) {
-    // Step 1: parent interpolation (root has no parent).
-    if (level > 0) {
-      ENZO_REQUIRE(g->parent() != nullptr, "subgrid without parent in BC");
-      fill_ghosts_from_parent(*g, *g->parent());
-    } else if (!periodic) {
-      fill_outflow_ghosts(*g);
-    }
-    // Step 2: sibling copies (highest-resolution data wins), including
-    // periodic images.  For a single periodic root grid the self-copy with
-    // nonzero shift implements the wrap.
-    std::array<std::vector<std::int64_t>, 3> shifts;
-    for (int d = 0; d < 3; ++d) {
-      shifts[d] = {0};
-      if (periodic && dims[d] > 1) {
-        shifts[d].push_back(dims[d]);
-        shifts[d].push_back(-dims[d]);
-      }
-    }
-    for (Grid* s : level_grids) {
-      for (std::int64_t kz : shifts[2])
-        for (std::int64_t ky : shifts[1])
-          for (std::int64_t kx : shifts[0]) {
-            if (s == g && kx == 0 && ky == 0 && kz == 0) continue;
-            g->copy_from_sibling(*s, {kx, ky, kz});
+  // Grids fill independently: a task writes only its own ghost cells (its
+  // interior is disjoint from every sibling's total region, shifted images
+  // included) and reads parent/sibling active cells, which no task writes.
+  exec::fallback(ex).for_each(
+      {"set_boundary_values", perf::component::kBoundary, level},
+      level_grids.size(),
+      [&](std::size_t n) {
+        Grid* g = level_grids[n];
+        // Step 1: parent interpolation (root has no parent).
+        if (level > 0) {
+          ENZO_REQUIRE(g->parent() != nullptr, "subgrid without parent in BC");
+          fill_ghosts_from_parent(*g, *g->parent());
+        } else if (!periodic) {
+          fill_outflow_ghosts(*g);
+        }
+        // Step 2: sibling copies (highest-resolution data wins), including
+        // periodic images.  For a single periodic root grid the self-copy
+        // with nonzero shift implements the wrap.
+        std::array<std::vector<std::int64_t>, 3> shifts;
+        for (int d = 0; d < 3; ++d) {
+          shifts[d] = {0};
+          if (periodic && dims[d] > 1) {
+            shifts[d].push_back(dims[d]);
+            shifts[d].push_back(-dims[d]);
           }
-    }
-  }
+        }
+        for (Grid* s : level_grids) {
+          for (std::int64_t kz : shifts[2])
+            for (std::int64_t ky : shifts[1])
+              for (std::int64_t kx : shifts[0]) {
+                if (s == g && kx == 0 && ky == 0 && kz == 0) continue;
+                g->copy_from_sibling(*s, {kx, ky, kz});
+              }
+        }
+      },
+      [&](std::size_t n) {
+        const Grid* g = level_grids[n];
+        return static_cast<std::uint64_t>(g->nt(0)) * g->nt(1) * g->nt(2);
+      });
 }
 
 }  // namespace enzo::mesh

@@ -13,10 +13,17 @@
 
 #include "mesh/hierarchy.hpp"
 
+namespace enzo::exec {
+class LevelExecutor;
+}
+
 namespace enzo::mesh {
 
-/// Apply the two-step boundary fill to every grid on `level`.
-void set_boundary_values(Hierarchy& h, int level);
+/// Apply the two-step boundary fill to every grid on `level`.  With `ex`,
+/// grids fill in parallel: each task writes only its own ghost layer and
+/// reads parent/sibling *active* cells, which the phase never writes.
+void set_boundary_values(Hierarchy& h, int level,
+                         exec::LevelExecutor* ex = nullptr);
 
 /// Outflow (zero-gradient) fill of a root grid's external ghost zones.
 void fill_outflow_ghosts(Grid& g);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "exec/executor.hpp"
 #include "mesh/interpolate.hpp"
 #include "perf/metrics.hpp"
 #include "perf/trace.hpp"
@@ -54,8 +55,11 @@ GridSpec Hierarchy::make_spec(int level, const IndexBox& box) const {
 }
 
 void Hierarchy::build_root(int tiles_per_axis) {
+  ENZO_REQUIRE(!exec::in_phase(),
+               "hierarchy mutation inside an executor phase");
   ENZO_REQUIRE(levels_.empty(), "root already built");
   ENZO_REQUIRE(tiles_per_axis >= 1, "bad tile count");
+  ++generation_;
   levels_.emplace_back();
   const Index3 dims = level_dims(0);
   for (int d = 0; d < 3; ++d)
@@ -115,6 +119,9 @@ std::int64_t Hierarchy::total_cells() const {
 }
 
 Grid* Hierarchy::insert_grid(std::unique_ptr<Grid> g) {
+  ENZO_REQUIRE(!exec::in_phase(),
+               "hierarchy mutation inside an executor phase");
+  ++generation_;
   const int level = g->level();
   ENZO_REQUIRE(level >= 0, "negative level");
   ENZO_REQUIRE(level == 0 || g->parent() != nullptr,
@@ -144,6 +151,9 @@ const std::vector<GridDescriptor>& Hierarchy::descriptors(int level) const {
 }
 
 void Hierarchy::rebuild(int level, const FlagFn& flag) {
+  ENZO_REQUIRE(!exec::in_phase(),
+               "hierarchy mutation inside an executor phase");
+  ++generation_;
   ENZO_REQUIRE(level >= 1, "cannot rebuild the root level");
   ENZO_REQUIRE(level < static_cast<int>(levels_.size()) + 1,
                "rebuild level beyond deepest+1");

@@ -96,11 +96,19 @@ class Hierarchy {
   /// Convenience for building aligned subgrid specs.
   GridSpec make_spec(int level, const IndexBox& box) const;
 
+  /// Monotonically increasing structure version, bumped by build_root,
+  /// insert_grid, and rebuild.  Executor phases capture it alongside their
+  /// grid-list snapshot and assert it unchanged afterwards, enforcing the
+  /// invalidation contract: Grid* lists obtained before a phase stay valid
+  /// throughout it, and the hierarchy is never mutated from inside one.
+  std::uint64_t generation() const { return generation_; }
+
  private:
   void refresh_descriptors(int level);
   HierarchyParams params_;
   std::vector<std::vector<std::unique_ptr<Grid>>> levels_;
   std::vector<std::vector<GridDescriptor>> descriptors_;
+  std::uint64_t generation_ = 0;
 };
 
 }  // namespace enzo::mesh

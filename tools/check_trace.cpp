@@ -149,9 +149,9 @@ int main(int argc, char** argv) {
         "trace covers >= 2 refinement levels (0 and 1)");
   check(saw_l1_nesting,
         "scopes nest through evolve_level/L0/evolve_level/L1/...");
-  check(recorder.path_calls("evolve_level/L0/hydro") >=
+  check(recorder.path_calls("evolve_level/L0/step_grids/hydro") >=
             static_cast<std::uint64_t>(kSteps),
-        "hydro scopes nest under the root evolve_level");
+        "hydro scopes nest under evolve_level via the step_grids phase");
 
   // ---- component-table fractions -------------------------------------------
   double fraction_sum = 0.0;
