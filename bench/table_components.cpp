@@ -13,8 +13,13 @@
 // and emits BENCH_exec_scaling.json (threads, wall seconds, speedup over
 // the serial run, plus cores_detected so a 1-core container result is not
 // mistaken for an engine regression).
+//
+// Finally the evolved hierarchy is checkpointed (raw and compressed) and
+// BENCH_checkpoint.json records snapshot size, compression ratio, and write
+// throughput, so checkpoint-path regressions show up in the bench record.
 
 #include <cstdio>
+#include <filesystem>
 #include <map>
 #include <string>
 #include <thread>
@@ -22,6 +27,7 @@
 
 #include "collapse_common.hpp"
 #include "exec/exec_config.hpp"
+#include "io/checkpoint.hpp"
 #include "perf/json.hpp"
 #include "perf/trace.hpp"
 #include "util/timer.hpp"
@@ -152,6 +158,59 @@ int main() {
     std::printf("\nwrote %s\n", scaling_path);
   } else {
     std::fprintf(stderr, "cannot write %s\n", scaling_path);
+    return 1;
+  }
+
+  // ---- checkpoint size / throughput ---------------------------------------
+  // Snapshot the evolved hierarchy from the component run twice — once raw,
+  // once with shuffle+RLE section compression — through the real atomic
+  // write path, and record sizes and wall time.
+  namespace fs = std::filesystem;
+  const fs::path ckpt_dir = fs::temp_directory_path() / "enzo_bench_ckpt";
+  fs::create_directories(ckpt_dir);
+  const std::uint64_t raw_bytes = io::checkpoint_size_bytes(sim);
+  std::printf("\ncheckpoint write (evolved collapse hierarchy, %.2f MiB raw)\n"
+              "\n%12s %14s %10s %10s %14s\n",
+              static_cast<double>(raw_bytes) / (1024.0 * 1024.0), "mode",
+              "file [B]", "ratio", "wall [s]", "write [MB/s]");
+  std::string ckpt_json = "{\"bench\":\"checkpoint\",\"raw_bytes\":" +
+                          perf::json_number(raw_bytes) + ",\"runs\":[";
+  bool first_ckpt = true;
+  for (const bool compress : {false, true}) {
+    io::CheckpointWriteOptions opts;
+    opts.compress = compress;
+    opts.executor = &sim.executor();
+    const fs::path path =
+        ckpt_dir / (compress ? "bench_comp.ckpt" : "bench_raw.ckpt");
+    util::Stopwatch wall;
+    io::write_checkpoint(sim, path.string(), opts);
+    const double secs = wall.seconds();
+    const auto file_bytes = static_cast<std::uint64_t>(fs::file_size(path));
+    const double ratio =
+        file_bytes > 0 ? static_cast<double>(raw_bytes) / file_bytes : 0.0;
+    const double mb_s =
+        secs > 0 ? static_cast<double>(file_bytes) / (1.0e6 * secs) : 0.0;
+    const char* mode = compress ? "compressed" : "raw";
+    std::printf("%12s %14llu %9.2fx %10.4f %14.1f\n", mode,
+                static_cast<unsigned long long>(file_bytes), ratio, secs,
+                mb_s);
+    if (!first_ckpt) ckpt_json += ",";
+    first_ckpt = false;
+    ckpt_json += std::string("{\"mode\":\"") + mode +
+                 "\",\"file_bytes\":" + perf::json_number(file_bytes) +
+                 ",\"ratio\":" + perf::json_number(ratio) +
+                 ",\"wall_seconds\":" + perf::json_number(secs) +
+                 ",\"write_mb_s\":" + perf::json_number(mb_s) + "}";
+  }
+  ckpt_json += "]}\n";
+  fs::remove_all(ckpt_dir);
+  const char* ckpt_path = "BENCH_checkpoint.json";
+  if (std::FILE* f = std::fopen(ckpt_path, "w")) {
+    std::fputs(ckpt_json.c_str(), f);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", ckpt_path);
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", ckpt_path);
     return 1;
   }
   return 0;

@@ -19,6 +19,15 @@
 //   --threads N        run level sweeps on N lanes (1 = serial backend,
 //                      0 = all hardware threads); also --threads=N
 //   --executor=NAME    force the backend: serial or threadpool
+//
+// Checkpoint / restart:
+//   --restart          resume from the newest intact snapshot in the deck's
+//                      CheckpointPath directory (corrupted or torn snapshots
+//                      are skipped automatically)
+//   --restart=PATH     resume from PATH (a snapshot file or a directory)
+//   With CheckpointInterval = N in the deck, a snapshot is written to
+//   CheckpointPath every N root steps (rolling retention CheckpointKeep,
+//   default 3).  Without it, one snapshot is written at end of run.
 
 #include <cstdint>
 #include <cstdio>
@@ -32,6 +41,7 @@
 #include "core/parameter_file.hpp"
 #include "exec/exec_config.hpp"
 #include "io/checkpoint.hpp"
+#include "io/checkpoint_writer.hpp"
 #include "perf/diagnostics.hpp"
 #include "perf/trace.hpp"
 #include "util/timer.hpp"
@@ -41,6 +51,8 @@ using namespace enzo;
 int main(int argc, char** argv) {
   std::string trace_out, diag_out;
   bool audit = false;
+  bool restart = false;
+  std::string restart_path;  // empty: use the deck's CheckpointPath
   int threads_override = -1;  // -1: keep the deck's value
   std::string executor_override;
   std::vector<const char*> decks;
@@ -51,6 +63,12 @@ int main(int argc, char** argv) {
       diag_out = argv[a] + 11;
     else if (std::strcmp(argv[a], "--audit") == 0)
       audit = true;
+    else if (std::strcmp(argv[a], "--restart") == 0)
+      restart = true;
+    else if (std::strncmp(argv[a], "--restart=", 10) == 0) {
+      restart = true;
+      restart_path = argv[a] + 10;
+    }
     else if (std::strncmp(argv[a], "--threads=", 10) == 0)
       threads_override = std::atoi(argv[a] + 10);
     else if (std::strcmp(argv[a], "--threads") == 0 && a + 1 < argc)
@@ -63,6 +81,7 @@ int main(int argc, char** argv) {
   if (decks.empty()) {
     std::fprintf(stderr,
                  "usage: %s [--trace-out=FILE] [--diag-out=FILE] [--audit] "
+                 "[--restart[=PATH]] "
                  "[--threads N] [--executor=serial|threadpool] "
                  "<parameter-deck> [more decks...]\n",
                  argv[0]);
@@ -98,24 +117,77 @@ int main(int argc, char** argv) {
     std::printf("effective parameters:\n%s\n",
                 core::render_deck(deck).c_str());
     core::Simulation sim(deck.config);
-    core::setup_from_deck(sim, deck);
+    // The sink must be attached before a restore: attaching resets the
+    // conservation baselines that read_checkpoint then reinstates.
+    if (sink) sim.set_diagnostics_sink(sink.get());
+    if (restart) {
+      const std::string from =
+          !restart_path.empty() ? restart_path : deck.checkpoint_path;
+      if (from.empty()) {
+        std::fprintf(stderr,
+                     "--restart needs a path: pass --restart=PATH or set "
+                     "CheckpointPath in the deck\n");
+        return 1;
+      }
+      core::configure_from_deck(sim, deck);
+      const io::RestoreResult res = io::restore_latest_checkpoint(sim, from);
+      std::printf("restarted from %s (step %ld, t = %.6g%s)\n",
+                  res.path.c_str(), sim.root_steps_taken(), sim.time_d(),
+                  res.skipped > 0
+                      ? (", " + std::to_string(res.skipped) +
+                         " corrupt snapshot(s) skipped")
+                            .c_str()
+                      : "");
+    } else {
+      core::setup_from_deck(sim, deck);
+    }
     std::printf("initialized: %d levels, %zu grids, %lld cells\n",
                 sim.hierarchy().deepest_level() + 1,
                 sim.hierarchy().total_grids(),
                 static_cast<long long>(sim.hierarchy().total_cells()));
-    if (sink) sim.set_diagnostics_sink(sink.get());
+
+    // Periodic auto-checkpointing: encode on the solver thread (per-grid
+    // sections in parallel through the level executor), write + prune in the
+    // background.  Declared after sim so it joins its worker first.
+    std::unique_ptr<io::CheckpointWriter> ckpt_writer;
+    if (deck.checkpoint_interval > 0 && !deck.checkpoint_path.empty()) {
+      io::CheckpointWriter::Options copts;
+      copts.dir = deck.checkpoint_path;
+      copts.keep = deck.checkpoint_keep;
+      copts.executor = &sim.executor();
+      ckpt_writer = std::make_unique<io::CheckpointWriter>(copts);
+      const int interval = deck.checkpoint_interval;
+      sim.set_post_step_hook([&ckpt_writer, interval](core::Simulation& s) {
+        if (s.root_steps_taken() % interval == 0)
+          ckpt_writer->checkpoint(s);
+      });
+    }
 
     util::Stopwatch wall;
-    for (int s = 0; s < deck.stop_steps; ++s) {
+    for (long s = sim.root_steps_taken(); s < deck.stop_steps; ++s) {
       if (deck.stop_time > 0 && sim.time_d() >= deck.stop_time) break;
       if (deck.stop_time > 0)
         sim.evolve_until(deck.stop_time, 1);
       else
         sim.advance_root_step();
       const auto st = analysis::hierarchy_stats(sim.hierarchy());
-      std::printf("step %3d  t = %-10.4g levels %d  grids %-5zu cells %lld\n",
+      std::printf("step %3ld  t = %-10.4g levels %d  grids %-5zu cells %lld\n",
                   s, sim.time_d(), st.max_level + 1, st.total_grids,
                   static_cast<long long>(st.total_cells));
+    }
+    if (ckpt_writer) {
+      sim.set_post_step_hook(nullptr);
+      ckpt_writer->wait();
+      if (!ckpt_writer->ok()) {
+        std::fprintf(stderr, "checkpoint write failed: %s\n",
+                     ckpt_writer->last_error().c_str());
+        return 1;
+      }
+      std::printf("checkpoints: %llu written to %s (newest %ld kept)\n",
+                  static_cast<unsigned long long>(
+                      ckpt_writer->writes_completed()),
+                  deck.checkpoint_path.c_str(),
+                  static_cast<long>(deck.checkpoint_keep));
     }
     std::printf("done in %.1f s wall\n", wall.seconds());
     if (deck.config.audit_invariants) {
@@ -126,9 +198,11 @@ int main(int argc, char** argv) {
                   sim.last_audit().summary().c_str());
       audit_violations += sim.audit_violations_total();
     }
-    if (!deck.checkpoint_path.empty()) {
-      io::write_checkpoint(sim, deck.checkpoint_path);
-      std::printf("checkpoint written: %s (%.1f MB)\n",
+    if (deck.checkpoint_interval <= 0 && !deck.checkpoint_path.empty()) {
+      io::CheckpointWriteOptions wopts;
+      wopts.executor = &sim.executor();
+      io::write_checkpoint(sim, deck.checkpoint_path, wopts);
+      std::printf("checkpoint written: %s (%.1f MB raw)\n",
                   deck.checkpoint_path.c_str(),
                   io::checkpoint_size_bytes(sim) / 1048576.0);
     }

@@ -183,6 +183,11 @@ struct Parser {
     if (key == "AuditInvariants") { cfg.audit_invariants = boolean(value); return; }
     if (key == "AuditInterval") { cfg.audit_interval = integer(value); return; }
     if (key == "CheckpointPath") { deck.checkpoint_path = value; return; }
+    if (key == "CheckpointInterval") {
+      deck.checkpoint_interval = integer(value);
+      return;
+    }
+    if (key == "CheckpointKeep") { deck.checkpoint_keep = integer(value); return; }
     fail("unknown parameter '" + key + "'");
   }
 };
@@ -215,27 +220,31 @@ ParameterDeck parse_parameter_file(const std::string& path) {
   return parse_parameter_deck(in);
 }
 
-void setup_from_deck(Simulation& sim, const ParameterDeck& deck) {
+ProblemSetup deck_problem_setup(const ParameterDeck& deck) {
   switch (deck.problem) {
     case ProblemType::kUniform:
-      setup_uniform(sim, deck.uniform_density, deck.uniform_eint);
-      break;
+      return uniform_setup(deck.uniform_density, deck.uniform_eint);
     case ProblemType::kSodTube:
-      setup_sod_tube(sim);
-      break;
+      return sod_tube_setup();
     case ProblemType::kCollapseCloud: {
       CollapseSetupOptions opt = deck.collapse;
-      opt.chemistry = sim.config().enable_chemistry;
-      setup_collapse_cloud(sim, opt);
-      break;
+      opt.chemistry = deck.config.enable_chemistry;
+      return collapse_cloud_setup(opt);
     }
     case ProblemType::kCosmology:
-      setup_cosmological(sim, deck.cosmology);
-      break;
+      return cosmological_setup(deck.cosmology);
     case ProblemType::kZeldovichPancake:
-      setup_zeldovich_pancake(sim, deck.pancake);
-      break;
+      return zeldovich_pancake_setup(deck.pancake);
   }
+  ENZO_UNREACHABLE("unhandled problem type");
+}
+
+void setup_from_deck(Simulation& sim, const ParameterDeck& deck) {
+  sim.initialize(deck_problem_setup(deck));
+}
+
+void configure_from_deck(Simulation& sim, const ParameterDeck& deck) {
+  sim.configure_for_restart(deck_problem_setup(deck));
 }
 
 std::string render_deck(const ParameterDeck& deck) {
@@ -296,6 +305,10 @@ std::string render_deck(const ParameterDeck& deck) {
   if (deck.stop_time > 0) os << "StopTime = " << deck.stop_time << "\n";
   if (!deck.checkpoint_path.empty())
     os << "CheckpointPath = " << deck.checkpoint_path << "\n";
+  if (deck.checkpoint_interval != 0)
+    os << "CheckpointInterval = " << deck.checkpoint_interval << "\n";
+  if (deck.checkpoint_keep != 3)
+    os << "CheckpointKeep = " << deck.checkpoint_keep << "\n";
   return os.str();
 }
 

@@ -49,7 +49,12 @@ struct ParameterDeck {
   // Run control.
   double stop_time = -1.0;      ///< code units; <0 → use stop_steps only
   int stop_steps = 10;
-  std::string checkpoint_path;  ///< write a checkpoint at the end if set
+  /// Checkpoint directory (periodic mode) or file path (end-of-run mode).
+  std::string checkpoint_path;
+  /// Root steps between automatic checkpoints; 0 → only one at end of run.
+  int checkpoint_interval = 0;
+  /// Rolling retention: keep the newest N snapshots in checkpoint_path.
+  int checkpoint_keep = 3;
 };
 
 /// Parse a deck from a stream; throws enzo::Error with line numbers on
@@ -59,9 +64,17 @@ ParameterDeck parse_parameter_deck(std::istream& in);
 /// Convenience: parse from a file path.
 ParameterDeck parse_parameter_file(const std::string& path);
 
+/// The deck's problem as a composable ProblemSetup.
+ProblemSetup deck_problem_setup(const ParameterDeck& deck);
+
 /// Apply the deck's problem setup to a simulation constructed from
 /// deck.config (build_root + fields + finalize).
 void setup_from_deck(Simulation& sim, const ParameterDeck& deck);
+
+/// Restart path: apply only the deck setup's configure hooks (units, physics
+/// toggles, field list) so the config matches the original run; the state
+/// itself then comes from io::read_checkpoint / restore_latest_checkpoint.
+void configure_from_deck(Simulation& sim, const ParameterDeck& deck);
 
 /// Render the effective deck back to text (round-trip/debugging).
 std::string render_deck(const ParameterDeck& deck);

@@ -51,6 +51,11 @@ void Simulation::build_root(int tiles_per_axis) {
   hierarchy_.build_root(tiles_per_axis);
 }
 
+void Simulation::configure_for_restart(const ProblemSetup& setup) {
+  for (const auto& fn : setup.configure_) fn(cfg_);
+  sync_hierarchy_params();
+}
+
 void Simulation::initialize(const ProblemSetup& setup) {
   for (const auto& fn : setup.configure_) fn(cfg_);
   build_root(setup.tiles_);
@@ -197,6 +202,42 @@ void Simulation::restore_clock(ext::pos_t t) {
   update_scale_factor();
   level_steps_.assign(static_cast<std::size_t>(cfg_.hierarchy.max_level) + 2,
                       0);
+}
+
+Simulation::ClockState Simulation::clock_state() const {
+  ClockState s;
+  s.time = time_;
+  s.root_steps = root_steps_;
+  s.level_steps = level_steps_;
+  s.static_regions = static_regions_;
+  s.diag_baseline_set = diag_baseline_set_;
+  s.diag_mass0 = diag_mass0_;
+  s.diag_energy0 = diag_energy0_;
+  s.audit_baseline_set = audit_baseline_set_;
+  s.audit_mass0 = audit_mass0_;
+  s.audit_energy0 = audit_energy0_;
+  return s;
+}
+
+void Simulation::restore_clock_state(const ClockState& s) {
+  time_ = s.time;
+  update_scale_factor();
+  root_steps_ = s.root_steps;
+  // The restart config may raise max_level (the §4 deepen-on-restart trick):
+  // keep the saved cadence counters and zero-extend for the new levels.
+  level_steps_.assign(static_cast<std::size_t>(cfg_.hierarchy.max_level) + 2,
+                      0);
+  for (std::size_t l = 0;
+       l < std::min(level_steps_.size(), s.level_steps.size()); ++l)
+    level_steps_[l] = s.level_steps[l];
+  static_regions_.clear();
+  for (const auto& [lvl, box] : s.static_regions) add_static_region(lvl, box);
+  diag_baseline_set_ = s.diag_baseline_set;
+  diag_mass0_ = s.diag_mass0;
+  diag_energy0_ = s.diag_energy0;
+  audit_baseline_set_ = s.audit_baseline_set;
+  audit_mass0_ = s.audit_mass0;
+  audit_energy0_ = s.audit_energy0;
 }
 
 cosmology::Expansion Simulation::expansion_at(double t_code) const {
@@ -470,6 +511,7 @@ void Simulation::step_root(double dt) {
   if (cfg_.audit_invariants &&
       root_steps_ % std::max(1, cfg_.audit_interval) == 0)
     run_audit();
+  if (post_step_hook_) post_step_hook_(*this);
 }
 
 double Simulation::advance_root_step() {

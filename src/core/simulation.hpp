@@ -17,6 +17,7 @@
 // extended precision so a child level always lands on its parent's time
 // exactly, no matter how deep the hierarchy (§3.5).
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -59,6 +60,15 @@ class Simulation {
   /// the §4 "additional levels of static meshes" for nested initial
   /// conditions.
   void add_static_region(int level, const mesh::IndexBox& box);
+  const std::vector<std::pair<int, mesh::IndexBox>>& static_regions() const {
+    return static_regions_;
+  }
+
+  /// Restart path: run only a setup's *configure* hooks (units, physics
+  /// toggles, field list) and re-derive the still-empty hierarchy from the
+  /// result.  The state itself — root build, fills, static regions — then
+  /// comes from io::read_checkpoint instead of the setup's fill hooks.
+  void configure_for_restart(const ProblemSetup& setup);
 
   /// Advance by exactly one root-grid timestep (the whole W-cycle beneath).
   double advance_root_step();
@@ -76,6 +86,37 @@ class Simulation {
   /// Restore the clock after loading a checkpoint (code-time units); also
   /// re-derives the scale factor and resets per-level step counters.
   void restore_clock(ext::pos_t t);
+
+  /// Everything beyond the hierarchy that a checkpoint must persist for a
+  /// restarted run to continue the uninterrupted one bit-for-bit: the clock,
+  /// the root/per-level step counters (step numbering and rebuild cadence),
+  /// and the diagnostics/audit conservation baselines (residuals stay
+  /// relative to the original run's t=0 state, not the restart point).
+  struct ClockState {
+    ext::pos_t time{0.0};
+    long root_steps = 0;
+    std::vector<long> level_steps;
+    std::vector<std::pair<int, mesh::IndexBox>> static_regions;
+    bool diag_baseline_set = false;
+    double diag_mass0 = 0.0;
+    double diag_energy0 = 0.0;
+    bool audit_baseline_set = false;
+    double audit_mass0 = 0.0;
+    double audit_energy0 = 0.0;
+  };
+  ClockState clock_state() const;
+  /// Checkpoint-restore counterpart of restore_clock.  Attach a diagnostics
+  /// sink *before* restoring: set_diagnostics_sink resets the baselines this
+  /// call reinstates.
+  void restore_clock_state(const ClockState& s);
+
+  /// Invoked after each completed root step (diagnostics record written and
+  /// audit run, if configured).  run_deck's periodic auto-checkpointing
+  /// hangs off this; pass nullptr to detach.
+  using PostStepHook = std::function<void(Simulation&)>;
+  void set_post_step_hook(PostStepHook hook) {
+    post_step_hook_ = std::move(hook);
+  }
 
   /// Expansion state at a given code time.
   cosmology::Expansion expansion_at(double t_code) const;
@@ -155,6 +196,7 @@ class Simulation {
   std::vector<long> level_steps_;  ///< per-level step counters (rebuild cadence)
   std::vector<WcycleEvent> trace_;
   perf::DiagnosticsSink* diag_sink_ = nullptr;
+  PostStepHook post_step_hook_;
   hydro::DtLimiter root_dt_limiter_ = hydro::DtLimiter::kNone;
   bool diag_baseline_set_ = false;
   double diag_mass0_ = 0.0;

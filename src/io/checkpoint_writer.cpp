@@ -1,0 +1,81 @@
+#include "io/checkpoint_writer.hpp"
+
+#include <filesystem>
+#include <utility>
+
+#include "io/checkpoint.hpp"
+#include "perf/log.hpp"
+#include "perf/metrics.hpp"
+#include "perf/trace.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace enzo::io {
+
+CheckpointWriter::CheckpointWriter(Options opts) : opts_(std::move(opts)) {
+  ENZO_REQUIRE(!opts_.dir.empty(), "CheckpointWriter needs a directory");
+  ENZO_REQUIRE(opts_.keep >= 1, "CheckpointKeep must be at least 1");
+  std::filesystem::create_directories(opts_.dir);
+}
+
+CheckpointWriter::~CheckpointWriter() { wait(); }
+
+void CheckpointWriter::wait() {
+  if (worker_.joinable()) worker_.join();
+}
+
+std::string CheckpointWriter::last_error() const {
+  std::lock_guard<std::mutex> lock(err_mu_);
+  return last_error_;
+}
+
+std::string CheckpointWriter::checkpoint(const core::Simulation& sim) {
+  // Backpressure: at most one write in flight.  Joining here means a slow
+  // disk stalls the *solver* rather than accumulating whole-state images.
+  wait();
+
+  CheckpointWriteOptions wopts;
+  wopts.compress = opts_.compress;
+  wopts.executor = opts_.executor;
+
+  perf::TraceScope scope("checkpoint/encode", perf::component::kIo);
+  util::Stopwatch encode_watch;
+  std::vector<std::uint8_t> image = encode_checkpoint(sim, wopts);
+  perf::Registry::global()
+      .gauge("io.checkpoint.encode_seconds")
+      .set(encode_watch.seconds());
+
+  const std::string path =
+      (std::filesystem::path(opts_.dir) /
+       checkpoint_file_name(sim.root_steps_taken()))
+          .string();
+  const std::size_t raw_bytes = checkpoint_size_bytes(sim);
+  worker_ = std::thread([this, path, raw_bytes,
+                         image = std::move(image)]() mutable {
+    try {
+      perf::TraceScope wscope("checkpoint/write", perf::component::kIo);
+      util::Stopwatch write_watch;
+      atomic_write_file(path, image);
+      auto& reg = perf::Registry::global();
+      reg.gauge("io.checkpoint.write_seconds").set(write_watch.seconds());
+      reg.counter("io.checkpoint.writes").add(1);
+      reg.counter("io.checkpoint.bytes_raw").add(raw_bytes);
+      reg.counter("io.checkpoint.bytes_written").add(image.size());
+      bytes_written_.fetch_add(image.size(), std::memory_order_relaxed);
+      prune_checkpoints(opts_.dir, opts_.keep);
+      writes_completed_.fetch_add(1, std::memory_order_relaxed);
+    } catch (const std::exception& e) {
+      {
+        std::lock_guard<std::mutex> lock(err_mu_);
+        last_error_ = e.what();
+      }
+      ok_.store(false, std::memory_order_release);
+      perf::StructuredLog::global().logf(perf::LogLevel::kError, "checkpoint",
+                                         "background write of %s failed: %s",
+                                         path.c_str(), e.what());
+    }
+  });
+  return path;
+}
+
+}  // namespace enzo::io

@@ -1,0 +1,73 @@
+#pragma once
+// Periodic auto-checkpointing driver.
+//
+// CheckpointWriter turns write_checkpoint into a pipeline: the hierarchy is
+// snapshotted and encoded on the calling thread (the solver must not step
+// while the state is being serialized — per-grid encoding is parallelized
+// through the LevelExecutor instead), then the atomic file write and the
+// retention prune run on a background thread, overlapping the next
+// simulation steps.  At most one write is in flight: the next checkpoint
+// joins the previous write first, so a slow filesystem applies backpressure
+// instead of piling up images in memory.
+//
+// Files land in `dir/ckpt_<rootstep>.ckpt`; after each write the oldest
+// snapshots are pruned down to `keep` (the CheckpointKeep deck key).  Errors
+// on the background thread are captured and rethrown into ok()/last_error()
+// rather than terminating the process mid-run.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "exec/executor.hpp"
+
+namespace enzo::io {
+
+class CheckpointWriter {
+ public:
+  struct Options {
+    std::string dir;                          ///< checkpoint directory
+    int keep = 3;                             ///< rolling retention (>= 1)
+    bool compress = true;
+    exec::LevelExecutor* executor = nullptr;  ///< parallel section encoding
+  };
+
+  explicit CheckpointWriter(Options opts);
+  /// Joins any in-flight write.
+  ~CheckpointWriter();
+  CheckpointWriter(const CheckpointWriter&) = delete;
+  CheckpointWriter& operator=(const CheckpointWriter&) = delete;
+
+  /// Snapshot + encode now (blocking), then write + prune in the background.
+  /// Returns the path the snapshot will land at.
+  std::string checkpoint(const core::Simulation& sim);
+
+  /// Block until the in-flight write (if any) has completed.
+  void wait();
+
+  /// False once a background write has failed; the message is kept.
+  bool ok() const { return ok_.load(std::memory_order_acquire); }
+  std::string last_error() const;
+
+  std::uint64_t writes_completed() const {
+    return writes_completed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bytes_written() const {
+    return bytes_written_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Options opts_;
+  std::thread worker_;  ///< at most one in-flight write
+  std::atomic<bool> ok_{true};
+  mutable std::mutex err_mu_;
+  std::string last_error_;
+  std::atomic<std::uint64_t> writes_completed_{0};
+  std::atomic<std::uint64_t> bytes_written_{0};
+};
+
+}  // namespace enzo::io

@@ -1,0 +1,115 @@
+#include "io/codec.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "util/error.hpp"
+
+namespace enzo::io {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    t[i] = c;
+  }
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t crc = ~seed;
+  for (std::size_t i = 0; i < n; ++i)
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  return ~crc;
+}
+
+void shuffle8(const std::uint8_t* in, std::size_t n, std::uint8_t* out) {
+  ENZO_REQUIRE(n % 8 == 0, "shuffle8 payload not a multiple of 8 bytes");
+  const std::size_t words = n / 8;
+  for (std::size_t p = 0; p < 8; ++p)
+    for (std::size_t w = 0; w < words; ++w) out[p * words + w] = in[w * 8 + p];
+}
+
+void unshuffle8(const std::uint8_t* in, std::size_t n, std::uint8_t* out) {
+  ENZO_REQUIRE(n % 8 == 0, "unshuffle8 payload not a multiple of 8 bytes");
+  const std::size_t words = n / 8;
+  for (std::size_t p = 0; p < 8; ++p)
+    for (std::size_t w = 0; w < words; ++w) out[w * 8 + p] = in[p * words + w];
+}
+
+std::vector<std::uint8_t> rle_encode(const std::uint8_t* in, std::size_t n) {
+  std::vector<std::uint8_t> out;
+  out.reserve(n / 4 + 16);
+  std::size_t lit_start = 0, i = 0;
+  const auto flush_literals = [&](std::size_t end) {
+    while (lit_start < end) {
+      const std::size_t len = std::min<std::size_t>(128, end - lit_start);
+      out.push_back(static_cast<std::uint8_t>(len - 1));
+      out.insert(out.end(), in + lit_start, in + lit_start + len);
+      lit_start += len;
+    }
+  };
+  while (i < n) {
+    std::size_t run = 1;
+    while (i + run < n && in[i + run] == in[i] && run < 130) ++run;
+    if (run >= 3) {
+      flush_literals(i);
+      out.push_back(static_cast<std::uint8_t>(0x80 + (run - 3)));
+      out.push_back(in[i]);
+      i += run;
+      lit_start = i;
+    } else {
+      i += run;
+    }
+  }
+  flush_literals(n);
+  return out;
+}
+
+std::vector<std::uint8_t> rle_decode(const std::uint8_t* in, std::size_t n,
+                                     std::size_t expect_n) {
+  std::vector<std::uint8_t> out;
+  out.reserve(expect_n);
+  std::size_t pos = 0;
+  while (pos < n) {
+    const std::uint8_t c = in[pos++];
+    if (c < 0x80) {
+      const std::size_t len = static_cast<std::size_t>(c) + 1;
+      ENZO_REQUIRE(pos + len <= n && out.size() + len <= expect_n,
+                   "checkpoint: malformed RLE literal block");
+      out.insert(out.end(), in + pos, in + pos + len);
+      pos += len;
+    } else {
+      const std::size_t len = static_cast<std::size_t>(c - 0x80) + 3;
+      ENZO_REQUIRE(pos < n && out.size() + len <= expect_n,
+                   "checkpoint: malformed RLE run block");
+      out.insert(out.end(), len, in[pos++]);
+    }
+  }
+  ENZO_REQUIRE(out.size() == expect_n, "checkpoint: RLE payload short");
+  return out;
+}
+
+std::vector<std::uint8_t> compress_block(const std::uint8_t* in,
+                                         std::size_t n) {
+  std::vector<std::uint8_t> shuffled(n);
+  shuffle8(in, n, shuffled.data());
+  return rle_encode(shuffled.data(), n);
+}
+
+std::vector<std::uint8_t> decompress_block(const std::uint8_t* in,
+                                           std::size_t n, std::size_t raw_n) {
+  const std::vector<std::uint8_t> shuffled = rle_decode(in, n, raw_n);
+  std::vector<std::uint8_t> out(raw_n);
+  unshuffle8(shuffled.data(), raw_n, out.data());
+  return out;
+}
+
+}  // namespace enzo::io

@@ -33,6 +33,7 @@ inline constexpr const char* kChemistry = "chemistry & cooling";
 inline constexpr const char* kNbody = "N-body";
 inline constexpr const char* kRebuild = "hierarchy rebuild";
 inline constexpr const char* kBoundary = "boundary conditions";
+inline constexpr const char* kIo = "checkpoint I/O";
 inline constexpr const char* kOther = "other overhead";
 }  // namespace component
 

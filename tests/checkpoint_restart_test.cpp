@@ -1,0 +1,157 @@
+// Restart determinism: the §4 workflow demands that an interrupted and
+// resumed run is indistinguishable from an uninterrupted one.  The
+// cosmology_box deck (gravity + particles + AMR) is run N steps straight
+// through, then again as checkpoint-at-2 / fresh-process restart / continue —
+// the per-step diagnostics records of the overlapping steps and the audit
+// conservation sums must match byte for byte.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/auditor.hpp"
+#include "core/parameter_file.hpp"
+#include "core/simulation.hpp"
+#include "io/checkpoint.hpp"
+#include "io/checkpoint_writer.hpp"
+#include "perf/diagnostics.hpp"
+
+using namespace enzo;
+
+namespace {
+
+constexpr int kTotalSteps = 4;
+constexpr int kCheckpointStep = 2;
+
+core::ParameterDeck box_deck() {
+  const std::string deck_path =
+      std::string(ENZO_SOURCE_DIR) + "/decks/cosmology_box.enzo";
+  return core::parse_parameter_file(deck_path);
+}
+
+std::vector<std::string> normalized_records(const std::string& path) {
+  std::vector<std::string> out;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    perf::StepRecord rec;
+    EXPECT_TRUE(perf::parse_step_record(line, &rec)) << "bad record: " << line;
+    rec.wall_seconds = 0.0;
+    rec.peak_bytes = 0;
+    rec.flops = 0;
+    out.push_back(perf::step_record_json(rec));
+  }
+  return out;
+}
+
+struct RunResult {
+  std::vector<std::string> records;
+  double audit_mass = 0.0;
+  double audit_energy = 0.0;
+};
+
+}  // namespace
+
+TEST(CheckpointRestartTest, ResumedRunIsByteIdenticalToUninterrupted) {
+  const std::string dir = ::testing::TempDir();
+  const std::string ckpt_dir = dir + "ckpt_restart_det";
+  std::filesystem::remove_all(ckpt_dir);
+
+  // Reference: kTotalSteps straight through.
+  RunResult ref;
+  {
+    const std::string diag = dir + "restart_det_ref.jsonl";
+    core::ParameterDeck deck = box_deck();
+    core::Simulation sim(deck.config);
+    core::setup_from_deck(sim, deck);
+    perf::DiagnosticsSink sink(diag);
+    ASSERT_TRUE(sink.ok());
+    sim.set_diagnostics_sink(&sink);
+    for (int s = 0; s < kTotalSteps; ++s) sim.advance_root_step();
+    sim.set_diagnostics_sink(nullptr);
+    const analysis::AuditReport& rep = sim.run_audit();
+    ref.records = normalized_records(diag);
+    ref.audit_mass = rep.mass_total;
+    ref.audit_energy = rep.energy_total;
+    std::remove(diag.c_str());
+  }
+  ASSERT_EQ(ref.records.size(), static_cast<std::size_t>(kTotalSteps));
+
+  // Interrupted: run to kCheckpointStep with the periodic writer (compressed
+  // sections, executor-parallel encode), then stop — simulating the job
+  // dying after its last completed checkpoint.  Like the reference (and like
+  // production), this run logs diagnostics; the conservation baselines taken
+  // at its first record must travel through the checkpoint.
+  {
+    const std::string diag = dir + "restart_det_first.jsonl";
+    core::ParameterDeck deck = box_deck();
+    core::Simulation sim(deck.config);
+    core::setup_from_deck(sim, deck);
+    perf::DiagnosticsSink sink(diag);
+    ASSERT_TRUE(sink.ok());
+    sim.set_diagnostics_sink(&sink);
+    io::CheckpointWriter::Options wopts;
+    wopts.dir = ckpt_dir;
+    wopts.executor = &sim.executor();
+    io::CheckpointWriter writer(wopts);
+    for (int s = 0; s < kCheckpointStep; ++s) {
+      sim.advance_root_step();
+      writer.checkpoint(sim);
+    }
+    writer.wait();
+    ASSERT_TRUE(writer.ok()) << writer.last_error();
+    sim.set_diagnostics_sink(nullptr);
+    // The pre-interruption records must already match the reference.
+    const auto first = normalized_records(diag);
+    ASSERT_EQ(first.size(), static_cast<std::size_t>(kCheckpointStep));
+    for (std::size_t i = 0; i < first.size(); ++i)
+      EXPECT_EQ(first[i], ref.records[i]) << "pre-restart step " << i + 1;
+    std::remove(diag.c_str());
+  }
+
+  // Resumed: a fresh Simulation (fresh process in production), sink attached
+  // *before* the restore so the reinstated conservation baselines stick, then
+  // the remaining steps.
+  RunResult resumed;
+  {
+    const std::string diag = dir + "restart_det_resume.jsonl";
+    core::ParameterDeck deck = box_deck();
+    core::Simulation sim(deck.config);
+    perf::DiagnosticsSink sink(diag);
+    ASSERT_TRUE(sink.ok());
+    sim.set_diagnostics_sink(&sink);
+    core::configure_from_deck(sim, deck);
+    const io::RestoreResult res = io::restore_latest_checkpoint(sim, ckpt_dir);
+    EXPECT_EQ(res.skipped, 0);
+    ASSERT_EQ(sim.root_steps_taken(), kCheckpointStep);
+    for (int s = kCheckpointStep; s < kTotalSteps; ++s)
+      sim.advance_root_step();
+    sim.set_diagnostics_sink(nullptr);
+    const analysis::AuditReport& rep = sim.run_audit();
+    resumed.records = normalized_records(diag);
+    resumed.audit_mass = rep.mass_total;
+    resumed.audit_energy = rep.energy_total;
+    std::remove(diag.c_str());
+  }
+
+  // The resumed run wrote records for steps kCheckpointStep+1..kTotalSteps;
+  // they must equal the reference's records for the same steps, byte for
+  // byte — including the conservation residuals, which depend on the
+  // *original* t=0 baselines travelling through the checkpoint.
+  ASSERT_EQ(resumed.records.size(),
+            static_cast<std::size_t>(kTotalSteps - kCheckpointStep));
+  for (std::size_t i = 0; i < resumed.records.size(); ++i)
+    EXPECT_EQ(resumed.records[i],
+              ref.records[static_cast<std::size_t>(kCheckpointStep) + i])
+        << "step " << kCheckpointStep + i;
+
+  // Audit conservation sums of the final states must agree bitwise.
+  EXPECT_EQ(resumed.audit_mass, ref.audit_mass);
+  EXPECT_EQ(resumed.audit_energy, ref.audit_energy);
+  std::filesystem::remove_all(ckpt_dir);
+}

@@ -5,11 +5,16 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <random>
 
 #include "analysis/analysis.hpp"
 #include "core/setup.hpp"
 #include "io/checkpoint.hpp"
+#include "io/checkpoint_writer.hpp"
+#include "io/codec.hpp"
 #include "util/constants.hpp"
 
 using namespace enzo;
@@ -177,15 +182,23 @@ TEST(Checkpoint, TruncatedFileDetected) {
   std::filesystem::remove(path);
 }
 
-TEST(Checkpoint, SizeEstimateMatchesActual) {
+TEST(Checkpoint, SizeEstimateMatchesActualExactly) {
+  // checkpoint_size_bytes is an exact accounting of the uncompressed v2
+  // format (the v1 estimate undercounted particles by 8 B and grid times by
+  // 32 B); an uncompressed write must hit it to the byte, and a compressed
+  // write must never exceed it.
   const std::string path = temp_path("enzo_ckpt_size.bin");
   core::Simulation a(collapse_cfg());
   make_blob(a);
-  io::write_checkpoint(a, path);
-  const auto actual = std::filesystem::file_size(path);
+  a.advance_root_step();  // refine, so multiple grids and old fields exist
+  io::CheckpointWriteOptions raw;
+  raw.compress = false;
+  io::write_checkpoint(a, path, raw);
   const auto estimate = io::checkpoint_size_bytes(a);
-  EXPECT_NEAR(static_cast<double>(actual), static_cast<double>(estimate),
-              0.15 * estimate);
+  EXPECT_EQ(std::filesystem::file_size(path), estimate);
+
+  io::write_checkpoint(a, path);  // compressed (default)
+  EXPECT_LE(std::filesystem::file_size(path), estimate);
   std::filesystem::remove(path);
 }
 
@@ -209,6 +222,268 @@ TEST(Checkpoint, RestartWithMoreLevelsDeepens) {
   EXPECT_GT(b.hierarchy().deepest_level(), a.hierarchy().deepest_level());
   b.hierarchy().check_invariants();
   std::filesystem::remove(path);
+}
+
+// ---- codec ----------------------------------------------------------------
+
+TEST(Codec, Crc32KnownVectorAndIncremental) {
+  // The standard "123456789" IEEE CRC-32 check value.
+  const char* s = "123456789";
+  const auto* p = reinterpret_cast<const std::uint8_t*>(s);
+  EXPECT_EQ(io::crc32(p, 9), 0xCBF43926u);
+  // Incremental chaining must equal one-shot.
+  const std::uint32_t part = io::crc32(p, 4);
+  EXPECT_EQ(io::crc32(p + 4, 5, part), 0xCBF43926u);
+}
+
+TEST(Codec, ShuffleRleRoundTrip) {
+  // Smooth doubles (the common field pattern) must round-trip and shrink.
+  std::vector<double> vals(512);
+  for (std::size_t i = 0; i < vals.size(); ++i)
+    vals[i] = 1.0 + 1e-3 * static_cast<double>(i % 7);
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(vals.data());
+  const std::size_t n = vals.size() * sizeof(double);
+  const std::vector<std::uint8_t> packed = io::compress_block(bytes, n);
+  EXPECT_LT(packed.size(), n);
+  const std::vector<std::uint8_t> back =
+      io::decompress_block(packed.data(), packed.size(), n);
+  ASSERT_EQ(back.size(), n);
+  EXPECT_EQ(std::memcmp(back.data(), bytes, n), 0);
+
+  // Incompressible random bytes must still round-trip (even if bigger).
+  std::mt19937_64 rng(12345);
+  std::vector<std::uint8_t> noise(4096);
+  for (auto& b : noise) b = static_cast<std::uint8_t>(rng());
+  const auto packed2 = io::compress_block(noise.data(), noise.size());
+  const auto back2 =
+      io::decompress_block(packed2.data(), packed2.size(), noise.size());
+  EXPECT_EQ(back2, noise);
+}
+
+TEST(Codec, MalformedRleRejected) {
+  // A run declared but its fill byte missing.
+  const std::uint8_t bad[] = {0x85};
+  EXPECT_THROW(io::rle_decode(bad, 1, 8), enzo::Error);
+  // Declared output size not met.
+  const std::uint8_t short_lit[] = {0x01, 0x42, 0x42};
+  EXPECT_THROW(io::rle_decode(short_lit, 3, 64), enzo::Error);
+}
+
+// ---- format v2 integrity ---------------------------------------------------
+
+namespace {
+
+/// A written blob checkpoint plus a fresh target sim, for corruption tests.
+std::vector<std::uint8_t> slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(is),
+          std::istreambuf_iterator<char>()};
+}
+
+void spit(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(reinterpret_cast<const char*>(bytes.data()),
+           static_cast<std::streamsize>(bytes.size()));
+}
+
+}  // namespace
+
+TEST(Checkpoint, CompressedRoundTripIsIdentical) {
+  const std::string path = temp_path("enzo_ckpt_comp.bin");
+  core::Simulation a(collapse_cfg());
+  make_blob(a);
+  a.advance_root_step();
+  io::write_checkpoint(a, path);  // compression on by default
+
+  // At least one GRID section should actually have compressed.
+  const auto sections = io::describe_checkpoint(path);
+  bool any_compressed = false;
+  for (const auto& s : sections) any_compressed |= s.compressed;
+  EXPECT_TRUE(any_compressed);
+
+  core::Simulation b(collapse_cfg());
+  io::read_checkpoint(b, path);
+  for (int l = 0; l <= a.hierarchy().deepest_level(); ++l) {
+    const auto ga = a.hierarchy().grids(l);
+    const auto gb = b.hierarchy().grids(l);
+    ASSERT_EQ(ga.size(), gb.size());
+    for (std::size_t n = 0; n < ga.size(); ++n)
+      for (Field f : ga[n]->field_list()) {
+        const auto& fa = ga[n]->field(f);
+        const auto& fb = gb[n]->field(f);
+        ASSERT_EQ(std::memcmp(fa.data(), fb.data(),
+                              fa.size() * sizeof(double)),
+                  0);
+      }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, SingleByteFlipDetected) {
+  const std::string path = temp_path("enzo_ckpt_flip.bin");
+  core::Simulation a(collapse_cfg());
+  make_blob(a);
+  io::write_checkpoint(a, path);
+  const std::vector<std::uint8_t> good = slurp(path);
+  // Flip one bit at a spread of offsets covering header, META, GRID payload,
+  // and trailer; every one must be rejected.
+  for (std::size_t off : {std::size_t{3}, std::size_t{20},
+                          good.size() / 3, good.size() / 2,
+                          good.size() - 2}) {
+    std::vector<std::uint8_t> bad = good;
+    bad[off] ^= 0x10;
+    spit(path, bad);
+    core::Simulation b(collapse_cfg());
+    EXPECT_THROW(io::read_checkpoint(b, path), enzo::Error) << "offset " << off;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, TrailingGarbageRejected) {
+  // A v1-style reader stopped once it had read "enough grids"; v2 requires
+  // the stream to end exactly at the trailer, so appended bytes fail.
+  const std::string path = temp_path("enzo_ckpt_padded.bin");
+  core::Simulation a(collapse_cfg());
+  make_blob(a);
+  io::write_checkpoint(a, path);
+  std::vector<std::uint8_t> padded = slurp(path);
+  padded.push_back(0);
+  spit(path, padded);
+  core::Simulation b(collapse_cfg());
+  EXPECT_THROW(io::read_checkpoint(b, path), enzo::Error);
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, OldVersionRejected) {
+  const std::string path = temp_path("enzo_ckpt_v1.bin");
+  core::Simulation a(collapse_cfg());
+  make_blob(a);
+  io::write_checkpoint(a, path);
+  std::vector<std::uint8_t> bytes = slurp(path);
+  // Rewrite the version word (offset 8) to 1 and re-seal the file CRC so the
+  // *version check* is what fires, not the checksum.
+  const std::uint32_t v1 = 1;
+  std::memcpy(bytes.data() + 8, &v1, 4);
+  const std::uint32_t crc = io::crc32(bytes.data(), bytes.size() - 4);
+  std::memcpy(bytes.data() + bytes.size() - 4, &crc, 4);
+  spit(path, bytes);
+  core::Simulation b(collapse_cfg());
+  try {
+    io::read_checkpoint(b, path);
+    FAIL() << "v1 checkpoint accepted";
+  } catch (const enzo::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("unsupported checkpoint version"),
+              std::string::npos);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, InjectedCrashLeavesPreviousSnapshotIntact) {
+  const std::string path = temp_path("enzo_ckpt_crash.bin");
+  const std::string tmp = path + ".tmp";
+  core::Simulation a(collapse_cfg());
+  make_blob(a);
+  io::write_checkpoint(a, path);
+  const std::vector<std::uint8_t> before = slurp(path);
+
+  // Step on, then crash the next write partway through the temp file.
+  a.advance_root_step();
+  io::CheckpointWriteOptions opts;
+  opts.inject_crash_after_bytes =
+      io::encode_checkpoint(a, opts).size() / 2;
+  io::write_checkpoint(a, path, opts);
+
+  // The destination still holds the previous good snapshot byte-for-byte;
+  // the torn temp file is left behind (and ignored by directory scans).
+  EXPECT_EQ(slurp(path), before);
+  EXPECT_TRUE(std::filesystem::exists(tmp));
+  core::Simulation b(collapse_cfg());
+  io::read_checkpoint(b, path);  // must not throw
+  EXPECT_EQ(b.root_steps_taken(), 0);
+  std::filesystem::remove(path);
+  std::filesystem::remove(tmp);
+}
+
+// ---- retention + recovery ---------------------------------------------------
+
+namespace {
+
+struct TempDir {
+  std::filesystem::path dir;
+  explicit TempDir(const char* name)
+      : dir(std::filesystem::temp_directory_path() / name) {
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+  }
+  ~TempDir() { std::filesystem::remove_all(dir); }
+  std::string str() const { return dir.string(); }
+};
+
+}  // namespace
+
+TEST(Checkpoint, WriterRollsRetention) {
+  TempDir td("enzo_ckpt_retain");
+  core::Simulation a(collapse_cfg());
+  make_blob(a);
+  io::CheckpointWriter::Options wopts;
+  wopts.dir = td.str();
+  wopts.keep = 2;
+  io::CheckpointWriter writer(wopts);
+  for (int s = 0; s < 4; ++s) {
+    a.advance_root_step();
+    writer.checkpoint(a);
+  }
+  writer.wait();
+  ASSERT_TRUE(writer.ok()) << writer.last_error();
+  EXPECT_EQ(writer.writes_completed(), 4u);
+  const auto files = io::list_checkpoints(td.str());
+  ASSERT_EQ(files.size(), 2u);  // pruned down to keep=2, newest survive
+  EXPECT_NE(files[0].find(io::checkpoint_file_name(3)), std::string::npos);
+  EXPECT_NE(files[1].find(io::checkpoint_file_name(4)), std::string::npos);
+
+  // restore_latest lands on the newest snapshot.
+  core::Simulation b(collapse_cfg());
+  const auto res = io::restore_latest_checkpoint(b, td.str());
+  EXPECT_EQ(res.skipped, 0);
+  EXPECT_EQ(b.root_steps_taken(), 4);
+}
+
+TEST(Checkpoint, RecoverySkipsCorruptAndTornSnapshots) {
+  TempDir td("enzo_ckpt_recover");
+  core::Simulation a(collapse_cfg());
+  make_blob(a);
+  io::CheckpointWriter::Options wopts;
+  wopts.dir = td.str();
+  wopts.keep = 10;
+  io::CheckpointWriter writer(wopts);
+  for (int s = 0; s < 3; ++s) {
+    a.advance_root_step();
+    writer.checkpoint(a);
+  }
+  writer.wait();
+  ASSERT_TRUE(writer.ok()) << writer.last_error();
+
+  // Corrupt the newest (byte flip) and truncate the second-newest: recovery
+  // must fall back to the snapshot from step 1.
+  auto files = io::list_checkpoints(td.str());
+  ASSERT_EQ(files.size(), 3u);
+  {
+    std::vector<std::uint8_t> bytes = slurp(files[2]);
+    bytes[bytes.size() / 2] ^= 0xFF;
+    spit(files[2], bytes);
+  }
+  std::filesystem::resize_file(files[1],
+                               std::filesystem::file_size(files[1]) / 3);
+  core::Simulation b(collapse_cfg());
+  const auto res = io::restore_latest_checkpoint(b, td.str());
+  EXPECT_EQ(res.skipped, 2);
+  EXPECT_EQ(res.path, files[0]);
+  EXPECT_EQ(b.root_steps_taken(), 1);
+
+  // All snapshots corrupt → recovery throws.
+  std::filesystem::resize_file(files[0], 10);
+  core::Simulation c(collapse_cfg());
+  EXPECT_THROW(io::restore_latest_checkpoint(c, td.str()), enzo::Error);
 }
 
 // ---- image output ---------------------------------------------------------

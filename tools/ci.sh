@@ -1,11 +1,17 @@
 #!/usr/bin/env bash
 # ci.sh: the full correctness matrix, in the order a PR gate should run it.
 #
-#   1. werror      — -Wall -Wextra -Werror, full test suite
+#   1. werror      — -Wall -Wextra -Werror, full test suite (includes the
+#                    `io` label: checkpoint round-trips, restart determinism,
+#                    and the ckpt_faultinject corruption/torn-write sweep)
 #   2. clang-tidy  — tools/run_tidy diff gate (skips if clang-tidy missing)
 #   3. asan-ubsan  — AddressSanitizer + UBSan + ENZO_BOUNDS_CHECK,
-#                    `ctest -L sanitize` subset
+#                    `ctest -L sanitize` subset (the fault sweep carries the
+#                    sanitize label too, so torn-file parsing runs under asan)
 #   4. tsan        — ThreadSanitizer (OpenMP off), `ctest -L sanitize` subset
+#
+# An extra on-demand stage `io` (CI_STAGES="io") re-runs just the checkpoint
+# suite against an existing build-werror tree.
 #
 # Each stage uses the corresponding CMakePresets.json preset, so a local
 # repro of any failure is one command, e.g.:
@@ -43,6 +49,17 @@ for stage in $stages; do
       # Gate against the merge base when on a branch, else all of HEAD's
       # parent; run_tidy itself skips cleanly when clang-tidy is missing.
       tools/run_tidy -b build-werror || failed+=(tidy)
+      ;;
+    io)
+      banner "stage: io checkpoint suite"
+      # Targeted re-run of the checkpoint/restart tests and the fault sweep
+      # against an existing werror build (configure+build it if missing).
+      if [ ! -d build-werror ]; then
+        cmake --preset werror && cmake --build --preset werror -j "$jobs" \
+          || { failed+=(io); continue; }
+      fi
+      ctest --test-dir build-werror -L io -j "$jobs" --output-on-failure \
+        || failed+=(io)
       ;;
     werror|asan-ubsan|tsan)
       run_preset "$stage" || failed+=("$stage")
