@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "mesh/topology.hpp"
 #include "perf/log.hpp"
 #include "perf/metrics.hpp"
 #include "perf/trace.hpp"
@@ -49,6 +50,20 @@ void axis_ratios(const mesh::Hierarchy& h, int level, std::int64_t rd[3]) {
   const Index3 cd = h.level_dims(level);
   const Index3 pd = h.level_dims(level - 1);
   for (int d = 0; d < 3; ++d) rd[d] = cd[d] / pd[d];
+}
+
+// ---- topology: the overlap cache matches the current structure -------------
+
+// Must run before any check that calls h.topology(): that accessor lazily
+// rebuilds a stale cache, which would hide exactly the condition we are
+// trying to flag.
+void check_topology(const mesh::Hierarchy& h, AuditContext& ctx) {
+  const auto cached = h.topology_cache_generation();
+  if (cached.has_value() && *cached != h.generation())
+    ctx.record("topology", 0, 0,
+               "overlap-topology cache is stale: built for generation " +
+                   std::to_string(*cached) + " but hierarchy is at " +
+                   std::to_string(h.generation()));
 }
 
 // ---- structure: nesting, alignment, containment, non-overlap ---------------
@@ -192,6 +207,12 @@ void check_projection(const mesh::Hierarchy& h, AuditContext& ctx) {
 
 void check_ghosts(const mesh::Hierarchy& h, AuditContext& ctx) {
   const bool periodic = h.params().periodic;
+  // The point index answers the per-cell owner search; its bin candidate
+  // lists preserve grid order, so it returns the same first-containing grid
+  // as the linear scan (check_topology already ran, so refreshing here is
+  // safe).
+  const mesh::OverlapTopology* topo =
+      mesh::use_overlap_topology() ? &h.topology() : nullptr;
   for (int l = 0; l <= h.deepest_level(); ++l) {
     const Index3 dims = h.level_dims(l);
     const auto lv = h.grids(l);
@@ -217,11 +238,15 @@ void check_ghosts(const mesh::Hierarchy& h, AuditContext& ctx) {
             }
             if (!ghost || outside) continue;
             const Grid* owner = nullptr;
-            for (const Grid* o : lv)
-              if (o->box().contains(p)) {
-                owner = o;
-                break;
-              }
+            if (topo != nullptr) {
+              owner = topo->grid_at(l, p);
+            } else {
+              for (const Grid* o : lv)
+                if (o->box().contains(p)) {
+                  owner = o;
+                  break;
+                }
+            }
             if (owner == nullptr) continue;  // parent-interpolated ghost
             ++ctx.report.ghosts_checked;
             const int oi =
@@ -458,6 +483,7 @@ AuditReport audit_hierarchy(const mesh::Hierarchy& h,
   report.levels = h.deepest_level() + 1;
   report.grids = h.total_grids();
   AuditContext ctx{opts, report};
+  if (opts.check_topology) check_topology(h, ctx);
   if (opts.check_structure) check_structure(h, ctx);
   if (opts.check_projection) check_projection(h, ctx);
   if (opts.check_ghosts) check_ghosts(h, ctx);

@@ -17,7 +17,10 @@
 //                  register (what flux correction leaves behind, §3.2.1);
 //   * particles  — every particle lies inside its owning grid;
 //   * finite     — all field data is finite and active densities positive;
-//   * conservation — root-level mass/energy totals against caller baselines.
+//   * conservation — root-level mass/energy totals against caller baselines;
+//   * topology   — the regrid-cached overlap topology (mesh/topology.hpp) was
+//                  built for the current structure generation (a stale cache
+//                  means consumers may hold dead neighbor lists).
 //
 // A silent nesting or ghost bug shows up as wrong physics, not a crash; the
 // auditor turns it into a structured report.  Violations are *collected*,
@@ -39,6 +42,11 @@
 namespace enzo::analysis {
 
 struct AuditOptions {
+  /// Verify the overlap-topology cache is not stale: a cache built for an
+  /// older structure generation means some consumer could be holding dead
+  /// neighbor lists.  Runs before every other check (the other checks may
+  /// query — and thereby silently refresh — the cache).
+  bool check_topology = true;
   bool check_structure = true;
   bool check_projection = true;
   /// Also require the conserved products ρ·q of specific fields (velocity,

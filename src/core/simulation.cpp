@@ -11,6 +11,7 @@
 #include "hydro/hydro.hpp"
 #include "mesh/boundary.hpp"
 #include "mesh/project.hpp"
+#include "mesh/topology.hpp"
 #include "nbody/nbody.hpp"
 #include "perf/log.hpp"
 #include "perf/metrics.hpp"
@@ -446,27 +447,33 @@ void Simulation::evolve_level(int level, ext::pos_t parent_time) {
       // which is exactly the serial ordering restricted to that parent
       // (cross-parent writes touch disjoint cells).
       auto children = hierarchy_.grids(level + 1);
-      std::vector<std::pair<Grid*, std::vector<Grid*>>> groups;
-      for (Grid* child : children) {
-        auto it = std::find_if(groups.begin(), groups.end(), [&](auto& pr) {
-          return pr.first == child->parent();
-        });
-        if (it == groups.end())
-          groups.emplace_back(child->parent(), std::vector<Grid*>{child});
-        else
-          it->second.push_back(child);
+      std::vector<mesh::ParentGroup> local;
+      const std::vector<mesh::ParentGroup>* groups = &local;
+      if (mesh::use_overlap_topology() && !children.empty()) {
+        // Same first-seen-order grouping, precomputed at rebuild time.
+        groups = &hierarchy_.topology().children_by_parent(level + 1);
+      } else {
+        for (Grid* child : children) {
+          auto it = std::find_if(local.begin(), local.end(), [&](auto& pr) {
+            return pr.first == child->parent();
+          });
+          if (it == local.end())
+            local.emplace_back(child->parent(), std::vector<Grid*>{child});
+          else
+            it->second.push_back(child);
+        }
       }
       ex.for_each(
-          {"flux_projection", perf::component::kOther, level}, groups.size(),
+          {"flux_projection", perf::component::kOther, level}, groups->size(),
           [&](std::size_t n) {
-            auto& [parent, kids] = groups[n];
+            const auto& [parent, kids] = (*groups)[n];
             for (Grid* child : kids)
               mesh::flux_correct_from_child(*child, *parent);
             for (Grid* child : kids) mesh::project_to_parent(*child, *parent);
           },
           [&](std::size_t n) {
             std::uint64_t c = 0;
-            for (const Grid* child : groups[n].second)
+            for (const Grid* child : (*groups)[n].second)
               c += static_cast<std::uint64_t>(child->nx(0)) * child->nx(1) *
                    child->nx(2);
             return c;

@@ -1,52 +1,49 @@
 #include "fft/fft.hpp"
 
 #include <cmath>
+#include <memory>
 
 #include "util/error.hpp"
 #include "util/flops.hpp"
 
 namespace enzo::fft {
 
-namespace {
+namespace detail {
 
 // Twiddle/bit-reversal tables are cached per transform length; root grids
-// use a handful of sizes per run so this is a clean win.
-struct Plan {
-  int n = 0;
-  std::vector<int> bitrev;
-  std::vector<cplx> w;  // forward twiddles e^{-2 pi i k / n}, k < n/2
-};
-
+// use a handful of sizes per run so this is a clean win.  Entries are
+// heap-allocated individually: the cache vector may reallocate when a new
+// length is planned, and references returned earlier must survive that.
 const Plan& plan_for(int n) {
-  thread_local std::vector<Plan> cache;
-  for (const Plan& p : cache)
-    if (p.n == n) return p;
-  Plan p;
-  p.n = n;
-  p.bitrev.resize(n);
+  thread_local std::vector<std::unique_ptr<Plan>> cache;
+  for (const auto& p : cache)
+    if (p->n == n) return *p;
+  auto p = std::make_unique<Plan>();
+  p->n = n;
+  p->bitrev.resize(n);
   int log2n = 0;
   while ((1 << log2n) < n) ++log2n;
   for (int i = 0; i < n; ++i) {
     int r = 0;
     for (int b = 0; b < log2n; ++b)
       if (i & (1 << b)) r |= 1 << (log2n - 1 - b);
-    p.bitrev[i] = r;
+    p->bitrev[i] = r;
   }
-  p.w.resize(n / 2);
+  p->w.resize(n / 2);
   for (int k = 0; k < n / 2; ++k) {
     const double ang = -2.0 * M_PI * k / n;
-    p.w[k] = cplx(std::cos(ang), std::sin(ang));
+    p->w[k] = cplx(std::cos(ang), std::sin(ang));
   }
   cache.push_back(std::move(p));
-  return cache.back();
+  return *cache.back();
 }
 
-}  // namespace
+}  // namespace detail
 
 void fft_inplace(cplx* data, int n, bool inverse) {
   ENZO_REQUIRE(is_pow2(n), "fft length must be a power of two");
   if (n == 1) return;
-  const Plan& p = plan_for(n);
+  const detail::Plan& p = detail::plan_for(n);
   for (int i = 0; i < n; ++i) {
     const int j = p.bitrev[i];
     if (i < j) std::swap(data[i], data[j]);

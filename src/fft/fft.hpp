@@ -20,6 +20,25 @@ using cplx = std::complex<double>;
 /// True if n is a positive power of two.
 constexpr bool is_pow2(int n) { return n > 0 && (n & (n - 1)) == 0; }
 
+namespace detail {
+
+/// Twiddle/bit-reversal tables for one transform length.
+struct Plan {
+  int n = 0;
+  std::vector<int> bitrev;
+  std::vector<cplx> w;  // forward twiddles e^{-2 pi i k / n}, k < n/2
+};
+
+/// Per-thread plan cache keyed by length.  Returned references stay valid
+/// for the thread's lifetime even as more lengths are planned: entries are
+/// individually heap-allocated, so growing the cache never moves a Plan (a
+/// previous version stored Plans inline in the vector and handed out
+/// references that dangled on reallocation).  Exposed for the regression
+/// test; solver code calls it through fft_inplace.
+const Plan& plan_for(int n);
+
+}  // namespace detail
+
 /// In-place complex FFT of length n (power of two).  inverse=true applies the
 /// conjugate transform *without* the 1/n normalization; callers normalize.
 void fft_inplace(cplx* data, int n, bool inverse);

@@ -7,6 +7,7 @@
 
 #include "exec/executor.hpp"
 #include "gravity/gravity.hpp"
+#include "mesh/topology.hpp"
 #include "perf/trace.hpp"
 #include "util/error.hpp"
 
@@ -95,11 +96,39 @@ void fill_potential_bc_from_parent(Grid& g, const Grid& parent) {
       }
 }
 
-/// Copy sibling interior potential into g's ghost layer where they overlap
-/// (with periodic images).
-void exchange_potential_with_siblings(Grid& g,
-                                      const std::vector<Grid*>& level_grids) {
+/// Copy one sibling's interior potential into g's ghost layer over the
+/// (already nonempty-tested) overlap `ov` at periodic shift (kx,ky,kz).
+void copy_potential_overlap(Grid& g, const Grid& s, const mesh::IndexBox& ov,
+                            std::int64_t kx, std::int64_t ky,
+                            std::int64_t kz) {
   auto& pot = g.potential();
+  const int gx = pot_ghost(g, 0), gy = pot_ghost(g, 1), gz = pot_ghost(g, 2);
+  const int sgx = pot_ghost(s, 0), sgy = pot_ghost(s, 1),
+            sgz = pot_ghost(s, 2);
+  for (std::int64_t zk = ov.lo[2]; zk < ov.hi[2]; ++zk)
+    for (std::int64_t zj = ov.lo[1]; zj < ov.hi[1]; ++zj)
+      for (std::int64_t zi = ov.lo[0]; zi < ov.hi[0]; ++zi) {
+        const int di = static_cast<int>(zi - g.box().lo[0]) + gx;
+        const int dj = static_cast<int>(zj - g.box().lo[1]) + gy;
+        const int dk = static_cast<int>(zk - g.box().lo[2]) + gz;
+        const int si = static_cast<int>(zi - kx - s.box().lo[0]) + sgx;
+        const int sj = static_cast<int>(zj - ky - s.box().lo[1]) + sgy;
+        const int sk = static_cast<int>(zk - kz - s.box().lo[2]) + sgz;
+        pot(di, dj, dk) = s.potential()(si, sj, sk);
+      }
+}
+
+/// Copy sibling interior potential into g's ghost layer where they overlap
+/// (with periodic images).  When a topology cache is supplied only the
+/// cached neighbor links are visited — this runs every multigrid sweep, so
+/// it was the hottest all-pairs consumer.  The potential's one-cell ghost
+/// box is a subset of the cache's "wide" candidate box, so every sibling
+/// with a nonempty potential overlap is guaranteed to appear in the link
+/// list (the exact 1-ghost intersection is recomputed per link).
+void exchange_potential_with_siblings(Grid& g,
+                                      const std::vector<Grid*>& level_grids,
+                                      const mesh::OverlapTopology* topo,
+                                      int level, std::size_t ordinal) {
   const int gx = pot_ghost(g, 0), gy = pot_ghost(g, 1), gz = pot_ghost(g, 2);
   mesh::IndexBox ghost_box = g.box();
   ghost_box.lo[0] -= gx;
@@ -108,17 +137,20 @@ void exchange_potential_with_siblings(Grid& g,
   ghost_box.hi[0] += gx;
   ghost_box.hi[1] += gy;
   ghost_box.hi[2] += gz;
-  std::array<std::vector<std::int64_t>, 3> shifts;
-  for (int d = 0; d < 3; ++d) {
-    shifts[d] = {0};
-    if (g.spec().periodic && g.spec().level_dims[d] > 1) {
-      shifts[d].push_back(g.spec().level_dims[d]);
-      shifts[d].push_back(-g.spec().level_dims[d]);
+  if (topo != nullptr) {
+    for (const mesh::SiblingLink& ln : topo->siblings(level, ordinal)) {
+      const Grid* s = level_grids[ln.src];
+      const mesh::IndexBox ov =
+          ghost_box.intersect(s->box().shifted(ln.shift));
+      if (ov.empty()) continue;
+      copy_potential_overlap(g, *s, ov, ln.shift[0], ln.shift[1],
+                             ln.shift[2]);
     }
+    return;
   }
+  const auto shifts = mesh::periodic_image_shifts(g.spec().level_dims,
+                                                  g.spec().periodic);
   for (Grid* s : level_grids) {
-    const int sgx = pot_ghost(*s, 0), sgy = pot_ghost(*s, 1),
-              sgz = pot_ghost(*s, 2);
     for (std::int64_t kz : shifts[2])
       for (std::int64_t ky : shifts[1])
         for (std::int64_t kx : shifts[0]) {
@@ -126,20 +158,7 @@ void exchange_potential_with_siblings(Grid& g,
           const mesh::IndexBox ov =
               ghost_box.intersect(s->box().shifted({kx, ky, kz}));
           if (ov.empty()) continue;
-          for (std::int64_t zk = ov.lo[2]; zk < ov.hi[2]; ++zk)
-            for (std::int64_t zj = ov.lo[1]; zj < ov.hi[1]; ++zj)
-              for (std::int64_t zi = ov.lo[0]; zi < ov.hi[0]; ++zi) {
-                const int di = static_cast<int>(zi - g.box().lo[0]) + gx;
-                const int dj = static_cast<int>(zj - g.box().lo[1]) + gy;
-                const int dk = static_cast<int>(zk - g.box().lo[2]) + gz;
-                const int si =
-                    static_cast<int>(zi - kx - s->box().lo[0]) + sgx;
-                const int sj =
-                    static_cast<int>(zj - ky - s->box().lo[1]) + sgy;
-                const int sk =
-                    static_cast<int>(zk - kz - s->box().lo[2]) + sgz;
-                pot(di, dj, dk) = s->potential()(si, sj, sk);
-              }
+          copy_potential_overlap(g, *s, ov, kx, ky, kz);
         }
   }
 }
@@ -208,30 +227,39 @@ void restrict_gravitating_mass(mesh::Hierarchy& h, exec::LevelExecutor* ex) {
     const auto children = h.grids(l);
     // Children write into their (possibly shared) parent's mass array:
     // group by parent so each parent is touched by exactly one task, which
-    // preserves the serial per-parent write order exactly.
-    std::vector<std::pair<Grid*, std::vector<Grid*>>> groups;
-    for (Grid* c : children) {
-      Grid* parent = c->parent();
-      ENZO_REQUIRE(parent != nullptr, "gravity restriction without parent");
-      auto it = std::find_if(
-          groups.begin(), groups.end(),
-          [&](const auto& gp) { return gp.first == parent; });
-      if (it == groups.end())
-        groups.emplace_back(parent, std::vector<Grid*>{c});
-      else
-        it->second.push_back(c);
+    // preserves the serial per-parent write order exactly.  The topology
+    // cache holds the same first-seen-order grouping precomputed.
+    std::vector<mesh::ParentGroup> local;
+    const std::vector<mesh::ParentGroup>* groups = &local;
+    if (mesh::use_overlap_topology() && !children.empty()) {
+      groups = &h.topology().children_by_parent(l);
+      for (const mesh::ParentGroup& gp : *groups)
+        ENZO_REQUIRE(gp.first != nullptr,
+                     "gravity restriction without parent");
+    } else {
+      for (Grid* c : children) {
+        Grid* parent = c->parent();
+        ENZO_REQUIRE(parent != nullptr, "gravity restriction without parent");
+        auto it = std::find_if(
+            local.begin(), local.end(),
+            [&](const auto& gp) { return gp.first == parent; });
+        if (it == local.end())
+          local.emplace_back(parent, std::vector<Grid*>{c});
+        else
+          it->second.push_back(c);
+      }
     }
     exec::fallback(ex).for_each(
         {"restrict_gravitating_mass", perf::component::kGravity, l},
-        groups.size(),
+        groups->size(),
         [&](std::size_t n) {
-          Grid* parent = groups[n].first;
-          for (Grid* g : groups[n].second)
+          Grid* parent = (*groups)[n].first;
+          for (Grid* g : (*groups)[n].second)
             restrict_child_mass(*g, *parent);
         },
         [&](std::size_t n) {
           std::uint64_t c = 0;
-          for (const Grid* g : groups[n].second) c += cells_of(*g);
+          for (const Grid* g : (*groups)[n].second) c += cells_of(*g);
           return c;
         });
   }
@@ -250,6 +278,10 @@ void solve_subgrid_gravity(mesh::Hierarchy& h, int level,
     return cells_of(*level_grids[n]);
   };
   const double coef = p.grav_const_code / a;
+  // Fetch the cached neighbor lists before the first phase (the hierarchy is
+  // frozen inside phases, so the reference stays valid for all of them).
+  const mesh::OverlapTopology* topo =
+      mesh::use_overlap_topology() ? &h.topology() : nullptr;
 
   // Per-grid RHS and initial guess (interpolated parent potential
   // everywhere, which also sets the Dirichlet ghosts).  Each task writes
@@ -303,7 +335,7 @@ void solve_subgrid_gravity(mesh::Hierarchy& h, int level,
           [&](std::size_t n) {
             Grid* g = level_grids[n];
             fill_potential_bc_from_parent(*g, *g->parent());
-            exchange_potential_with_siblings(*g, level_grids);
+            exchange_potential_with_siblings(*g, level_grids, topo, level, n);
           },
           grid_cost);
     }

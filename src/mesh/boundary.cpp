@@ -2,6 +2,7 @@
 
 #include "exec/executor.hpp"
 #include "mesh/interpolate.hpp"
+#include "mesh/topology.hpp"
 #include "perf/metrics.hpp"
 #include "perf/trace.hpp"
 #include "util/error.hpp"
@@ -32,15 +33,14 @@ void set_boundary_values(Hierarchy& h, int level, exec::LevelExecutor* ex) {
   static perf::Counter& ghost_cells =
       perf::Registry::global().counter("boundary.ghost_cells_filled");
   auto level_grids = h.grids(level);
-  for (const Grid* g : level_grids) {
-    const std::uint64_t total =
-        static_cast<std::uint64_t>(g->nt(0)) * g->nt(1) * g->nt(2);
-    const std::uint64_t active =
-        static_cast<std::uint64_t>(g->nx(0)) * g->nx(1) * g->nx(2);
-    ghost_cells.add(total - active);
-  }
   const Index3 dims = h.level_dims(level);
   const bool periodic = h.params().periodic;
+
+  // Fetch the cached neighbor lists *before* entering the phase: the
+  // hierarchy is frozen inside it, so the reference stays valid throughout.
+  const OverlapTopology* topo =
+      (use_overlap_topology() && !level_grids.empty()) ? &h.topology()
+                                                       : nullptr;
 
   // Grids fill independently: a task writes only its own ghost cells (its
   // interior is disjoint from every sibling's total region, shifted images
@@ -50,6 +50,11 @@ void set_boundary_values(Hierarchy& h, int level, exec::LevelExecutor* ex) {
       level_grids.size(),
       [&](std::size_t n) {
         Grid* g = level_grids[n];
+        const std::uint64_t total =
+            static_cast<std::uint64_t>(g->nt(0)) * g->nt(1) * g->nt(2);
+        const std::uint64_t active =
+            static_cast<std::uint64_t>(g->nx(0)) * g->nx(1) * g->nx(2);
+        ghost_cells.add(total - active);
         // Step 1: parent interpolation (root has no parent).
         if (level > 0) {
           ENZO_REQUIRE(g->parent() != nullptr, "subgrid without parent in BC");
@@ -59,22 +64,24 @@ void set_boundary_values(Hierarchy& h, int level, exec::LevelExecutor* ex) {
         }
         // Step 2: sibling copies (highest-resolution data wins), including
         // periodic images.  For a single periodic root grid the self-copy
-        // with nonzero shift implements the wrap.
-        std::array<std::vector<std::int64_t>, 3> shifts;
-        for (int d = 0; d < 3; ++d) {
-          shifts[d] = {0};
-          if (periodic && dims[d] > 1) {
-            shifts[d].push_back(dims[d]);
-            shifts[d].push_back(-dims[d]);
+        // with nonzero shift implements the wrap.  The cached links replay
+        // the all-pairs scan order exactly (sources ascending, shifts in
+        // canonical nesting), so both branches fill bytes identically.
+        if (topo != nullptr) {
+          for (const SiblingLink& ln : topo->siblings(level, n)) {
+            if (ln.overlap.empty()) continue;
+            g->copy_from_sibling(*level_grids[ln.src], ln.shift);
           }
-        }
-        for (Grid* s : level_grids) {
-          for (std::int64_t kz : shifts[2])
-            for (std::int64_t ky : shifts[1])
-              for (std::int64_t kx : shifts[0]) {
-                if (s == g && kx == 0 && ky == 0 && kz == 0) continue;
-                g->copy_from_sibling(*s, {kx, ky, kz});
-              }
+        } else {
+          const auto shifts = periodic_image_shifts(dims, periodic);
+          for (Grid* s : level_grids) {
+            for (std::int64_t kz : shifts[2])
+              for (std::int64_t ky : shifts[1])
+                for (std::int64_t kx : shifts[0]) {
+                  if (s == g && kx == 0 && ky == 0 && kz == 0) continue;
+                  g->copy_from_sibling(*s, {kx, ky, kz});
+                }
+          }
         }
       },
       [&](std::size_t n) {

@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "mesh/topology.hpp"
 #include "util/alloc_stats.hpp"
 #include "util/error.hpp"
 
@@ -68,15 +69,18 @@ ext::PosVec Grid::cell_center(int i, int j, int k) const {
   return c;
 }
 
-std::int64_t Grid::global_index_of(ext::pos_t x, int d) const {
+std::int64_t global_cell_index(ext::pos_t x, std::int64_t dims) {
 #ifdef ENZO_POSITION_DOUBLE
   return static_cast<std::int64_t>(
-      std::floor(x * static_cast<double>(spec_.level_dims[d])));
+      std::floor(x * static_cast<double>(dims)));
 #else
-  const ext::pos_t scaled =
-      x * ext::pos_t(static_cast<double>(spec_.level_dims[d]));
+  const ext::pos_t scaled = x * ext::pos_t(static_cast<double>(dims));
   return static_cast<std::int64_t>(ext::floor(scaled).to_double());
 #endif
+}
+
+std::int64_t Grid::global_index_of(ext::pos_t x, int d) const {
+  return global_cell_index(x, spec_.level_dims[d]);
 }
 
 bool Grid::contains_position(const ext::PosVec& x) const {
@@ -230,15 +234,13 @@ void Grid::wrap_own_ghosts() {
   ENZO_REQUIRE(covers_periodic_domain(),
                "wrap_own_ghosts on a grid that does not cover the domain");
   // All 26 periodic images (the source region is always the active box, so
-  // edge/corner ghosts need the diagonal shifts).
-  std::array<std::vector<std::int64_t>, 3> shifts;
-  for (int d = 0; d < 3; ++d) {
-    shifts[d] = {0};
-    if (ng_[d] > 0) {
-      shifts[d].push_back(spec_.level_dims[d]);
-      shifts[d].push_back(-spec_.level_dims[d]);
-    }
-  }
+  // edge/corner ghosts need the diagonal shifts).  This site used to guard
+  // on `ng_[d] > 0` instead of the canonical `dims[d] > 1`; the two only
+  // differ when nghost == 0, where both end up copying nothing (the shifted
+  // active box cannot meet a ghostless total box), so the shared helper is
+  // behaviour-preserving here.
+  const auto shifts =
+      periodic_image_shifts(spec_.level_dims, spec_.periodic);
   for (std::int64_t kz : shifts[2])
     for (std::int64_t ky : shifts[1])
       for (std::int64_t kx : shifts[0]) {

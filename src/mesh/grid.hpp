@@ -37,6 +37,12 @@ struct Particle {
   std::uint64_t id = 0;
 };
 
+/// Global level-index of the cell containing coordinate x on an axis with
+/// `dims` cells (extended-precision floor).  Shared by
+/// Grid::global_index_of and the topology point index so both use
+/// bit-identical arithmetic.
+std::int64_t global_cell_index(ext::pos_t x, std::int64_t dims);
+
 /// Immutable description of a grid's place in the hierarchy.
 struct GridSpec {
   int level = 0;

@@ -5,6 +5,7 @@
 
 #include "exec/executor.hpp"
 #include "mesh/interpolate.hpp"
+#include "mesh/topology.hpp"
 #include "perf/metrics.hpp"
 #include "perf/trace.hpp"
 #include "util/error.hpp"
@@ -27,6 +28,54 @@ Hierarchy::Hierarchy(HierarchyParams params) : params_(std::move(params)) {
   for (int d = 0; d < 3; ++d)
     ENZO_REQUIRE(params_.root_dims[d] >= 1, "bad root dims");
   ENZO_REQUIRE(!params_.fields.empty(), "hierarchy needs a field list");
+}
+
+// Out of line because OverlapTopology is incomplete in the header; the move
+// operations transfer the topology cache (grid addresses are stable across
+// a move of the owning vectors) but each object keeps its own mutex.
+Hierarchy::~Hierarchy() = default;
+
+Hierarchy::Hierarchy(Hierarchy&& other) noexcept
+    : params_(std::move(other.params_)),
+      levels_(std::move(other.levels_)),
+      descriptors_(std::move(other.descriptors_)),
+      generation_(other.generation_),
+      topology_(std::move(other.topology_)),
+      topology_generation_(other.topology_generation_.load()) {
+  other.topology_generation_.store(kNoTopology);
+}
+
+Hierarchy& Hierarchy::operator=(Hierarchy&& other) noexcept {
+  if (this != &other) {
+    params_ = std::move(other.params_);
+    levels_ = std::move(other.levels_);
+    descriptors_ = std::move(other.descriptors_);
+    generation_ = other.generation_;
+    topology_ = std::move(other.topology_);
+    topology_generation_.store(other.topology_generation_.load());
+    other.topology_generation_.store(kNoTopology);
+  }
+  return *this;
+}
+
+const OverlapTopology& Hierarchy::topology() const {
+  // Fast path: the acquire pairs with the release below, so observing our
+  // generation guarantees the built topology is visible.
+  if (topology_generation_.load(std::memory_order_acquire) == generation_)
+    return *topology_;
+  std::lock_guard<std::mutex> lock(topology_mu_);
+  if (topology_generation_.load(std::memory_order_relaxed) != generation_) {
+    topology_ = std::make_unique<OverlapTopology>(*this);
+    topology_generation_.store(generation_, std::memory_order_release);
+  }
+  return *topology_;
+}
+
+std::optional<std::uint64_t> Hierarchy::topology_cache_generation() const {
+  const std::uint64_t g =
+      topology_generation_.load(std::memory_order_acquire);
+  if (g == kNoTopology) return std::nullopt;
+  return g;
 }
 
 Index3 Hierarchy::level_dims(int level) const {

@@ -13,14 +13,19 @@
 // maintained per level: metadata-only replicas that every rank can hold so
 // neighbour lookups never require probing other ranks.
 
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <vector>
 
 #include "mesh/berger_rigoutsos.hpp"
 #include "mesh/grid.hpp"
 
 namespace enzo::mesh {
+
+class OverlapTopology;  // mesh/topology.hpp
 
 struct HierarchyParams {
   Index3 root_dims{32, 32, 32};
@@ -48,6 +53,9 @@ struct GridDescriptor {
 class Hierarchy {
  public:
   explicit Hierarchy(HierarchyParams params);
+  ~Hierarchy();
+  Hierarchy(Hierarchy&& other) noexcept;
+  Hierarchy& operator=(Hierarchy&& other) noexcept;
 
   const HierarchyParams& params() const { return params_; }
 
@@ -103,12 +111,31 @@ class Hierarchy {
   /// throughout it, and the hierarchy is never mutated from inside one.
   std::uint64_t generation() const { return generation_; }
 
+  /// The overlap-topology cache for the current structure generation,
+  /// (re)built lazily on the first query after a mutation — i.e. once per
+  /// rebuild.  Consumers fetch it *before* entering an executor phase (the
+  /// hierarchy is frozen inside one, so the reference stays valid for the
+  /// whole phase); the returned lists follow the same lifetime rule as any
+  /// pre-phase Grid* snapshot.
+  const OverlapTopology& topology() const;
+
+  /// Generation the cached topology was built for, without (re)building it;
+  /// nullopt when no topology has ever been built.  A value differing from
+  /// generation() means the cache is stale — the auditor reports that as a
+  /// hierarchy violation, since a consumer holding such a topology would
+  /// read dead neighbor lists.
+  std::optional<std::uint64_t> topology_cache_generation() const;
+
  private:
   void refresh_descriptors(int level);
   HierarchyParams params_;
   std::vector<std::vector<std::unique_ptr<Grid>>> levels_;
   std::vector<std::vector<GridDescriptor>> descriptors_;
   std::uint64_t generation_ = 0;
+  static constexpr std::uint64_t kNoTopology = ~std::uint64_t{0};
+  mutable std::mutex topology_mu_;
+  mutable std::unique_ptr<OverlapTopology> topology_;
+  mutable std::atomic<std::uint64_t> topology_generation_{kNoTopology};
 };
 
 }  // namespace enzo::mesh

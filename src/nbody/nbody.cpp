@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <string>
+#include <utility>
 
+#include "mesh/topology.hpp"
 #include "perf/metrics.hpp"
 #include "perf/trace.hpp"
 #include "util/error.hpp"
@@ -172,13 +174,27 @@ void redistribute_particles(mesh::Hierarchy& h) {
   perf::TraceScope scope("redistribute_particles", perf::component::kNbody);
   // Re-home any particle that escaped its grid or for which a finer grid
   // now contains its position (the ownership invariant is finest-owner).
-  std::vector<Particle> homeless;
+  // The topology point index answers finest-owner in O(1) per particle
+  // instead of scanning every grid of every deeper level; its candidate
+  // lists preserve grid order, so the owner it returns is exactly the grid
+  // the linear deepest-first scan would have found.
+  const mesh::OverlapTopology* topo =
+      mesh::use_overlap_topology() ? &h.topology() : nullptr;
+  std::vector<std::pair<Particle, Grid*>> homeless;
   for (int l = h.deepest_level(); l >= 0; --l)
     for (Grid* g : h.grids(l)) {
       auto& pp = g->particles();
       std::vector<Particle> keep;
       keep.reserve(pp.size());
       for (Particle& p : pp) {
+        if (topo != nullptr) {
+          Grid* owner = topo->finest_owner(p.x);
+          if (owner == g)
+            keep.push_back(p);
+          else
+            homeless.emplace_back(p, owner);
+          continue;
+        }
         bool stays = g->contains_position(p.x);
         if (stays) {
           for (int fl = l + 1; fl <= h.deepest_level() && stays; ++fl)
@@ -191,18 +207,20 @@ void redistribute_particles(mesh::Hierarchy& h) {
         if (stays)
           keep.push_back(p);
         else
-          homeless.push_back(p);
+          homeless.emplace_back(p, nullptr);
       }
       pp.swap(keep);
     }
-  for (Particle& p : homeless) {
-    Grid* dest = nullptr;
-    for (int l = h.deepest_level(); l >= 0 && !dest; --l)
-      for (Grid* g : h.grids(l))
-        if (g->contains_position(p.x)) {
-          dest = g;
-          break;
-        }
+  for (auto& [p, owner] : homeless) {
+    Grid* dest = owner;
+    if (dest == nullptr && topo == nullptr) {
+      for (int l = h.deepest_level(); l >= 0 && !dest; --l)
+        for (Grid* g : h.grids(l))
+          if (g->contains_position(p.x)) {
+            dest = g;
+            break;
+          }
+    }
     ENZO_REQUIRE(dest != nullptr,
                  "particle left the domain at (" +
                      std::to_string(ext::pos_to_double(p.x[0])) + ", " +

@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "mesh/topology.hpp"
 #include "util/error.hpp"
 
 namespace enzo::parallel {
@@ -15,16 +16,23 @@ std::vector<ExchangeBlock> plan_sibling_exchange(const mesh::Hierarchy& h,
   // order reproduces its overwrite semantics bit for bit.
   std::vector<ExchangeBlock> plan;
   const auto grids = h.grids(level);
+  if (mesh::use_overlap_topology() && !grids.empty()) {
+    // The cached overlap *is* the ghost-grown intersection computed below,
+    // and the link order replays the all-pairs scan order, so both branches
+    // emit identical plans.
+    const mesh::OverlapTopology& topo = h.topology();
+    for (std::size_t n = 0; n < grids.size(); ++n) {
+      for (const mesh::SiblingLink& ln : topo.siblings(level, n)) {
+        if (ln.overlap.empty()) continue;
+        plan.push_back({grids[ln.src]->id(), grids[n]->id(), ln.overlap,
+                        ln.shift});
+      }
+    }
+    return plan;
+  }
   const mesh::Index3 dims = h.level_dims(level);
   const bool periodic = h.params().periodic;
-  std::array<std::vector<std::int64_t>, 3> shifts;
-  for (int d = 0; d < 3; ++d) {
-    shifts[d] = {0};
-    if (periodic && dims[d] > 1) {
-      shifts[d].push_back(dims[d]);
-      shifts[d].push_back(-dims[d]);
-    }
-  }
+  const auto shifts = mesh::periodic_image_shifts(dims, periodic);
   for (const Grid* g : grids) {
     mesh::IndexBox total = g->box();
     for (int d = 0; d < 3; ++d) {

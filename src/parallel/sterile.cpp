@@ -1,5 +1,7 @@
 #include "parallel/sterile.hpp"
 
+#include "mesh/topology.hpp"
+
 namespace enzo::parallel {
 
 void SterileStore::mirror(const mesh::Hierarchy& h,
@@ -27,14 +29,9 @@ std::vector<mesh::GridDescriptor> SterileStore::find_overlaps(
     bool periodic) const {
   ++lookups_;
   std::vector<mesh::GridDescriptor> out;
-  std::array<std::vector<std::int64_t>, 3> shifts;
-  for (int d = 0; d < 3; ++d) {
-    shifts[d] = {0};
-    if (periodic && dims[d] > 1) {
-      shifts[d].push_back(dims[d]);
-      shifts[d].push_back(-dims[d]);
-    }
-  }
+  // Arbitrary-target queries stay a scan over the (metadata-only)
+  // descriptors; only the shift enumeration goes through the shared helper.
+  const auto shifts = mesh::periodic_image_shifts(dims, periodic);
   for (const auto& desc : all_) {
     if (desc.level != level) continue;
     bool hit = false;

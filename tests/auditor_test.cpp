@@ -325,3 +325,36 @@ TEST(Auditor, ReportingPublishesMetrics) {
   EXPECT_TRUE(r.passed());
   EXPECT_GE(perf::Registry::global().counter("audit.runs").value(), 1u);
 }
+
+TEST(Auditor, StaleTopologyCacheFlagged) {
+  Hierarchy h = make_healthy_hierarchy();
+  ASSERT_GE(h.deepest_level(), 1);
+  // make_healthy_hierarchy filled boundaries, so the topology cache is
+  // current and a plain audit passes.
+  ASSERT_TRUE(h.topology_cache_generation().has_value());
+  EXPECT_TRUE(analysis::audit_hierarchy(h).passed());
+  // A structure mutation without a subsequent topology query leaves the
+  // cache stale; the auditor must flag it *before* any check lazily
+  // refreshes it.
+  auto extra = std::make_unique<Grid>(
+      h.make_spec(1, {{0, 0, 0}, {4, 4, 4}}), h.params().fields);
+  extra->set_parent(h.grids(0)[0]);
+  for (Field f : extra->field_list()) extra->field(f).fill(1.0);
+  h.insert_grid(std::move(extra));
+  ASSERT_NE(*h.topology_cache_generation(), h.generation());
+  AuditOptions opts;
+  // Isolate the staleness check: the injected grid has stale ghosts/fluxes.
+  opts.check_ghosts = false;
+  opts.check_projection = false;
+  opts.check_flux_registers = false;
+  const AuditReport r = analysis::audit_hierarchy(h, opts);
+  EXPECT_FALSE(r.passed());
+  EXPECT_GE(count_check(r, "topology"), 1u) << r.summary();
+  // Disabled, the same hierarchy passes (structure etc. are clean).
+  opts.check_topology = false;
+  EXPECT_TRUE(analysis::audit_hierarchy(h, opts).passed());
+  // A topology query refreshes the cache; the audit is clean again.
+  opts.check_topology = true;
+  (void)h.topology();
+  EXPECT_TRUE(analysis::audit_hierarchy(h, opts).passed());
+}

@@ -6,6 +6,7 @@
 
 #include <cmath>
 #include <complex>
+#include <thread>
 #include <vector>
 
 #include "fft/fft.hpp"
@@ -204,4 +205,50 @@ TEST(Fft, LinearityProperty) {
     EXPECT_NEAR(sum[i].real(), expect.real(), 1e-8);
     EXPECT_NEAR(sum[i].imag(), expect.imag(), 1e-8);
   }
+}
+
+// ---- plan-cache lifetime -----------------------------------------------------
+
+// Regression: plan_for used to return references into a thread_local
+// std::vector<Plan>; planning additional lengths reallocated the vector and
+// left previously returned references dangling (asan catches the stale read
+// directly; without asan the corrupted twiddles break the round trip).
+TEST(FftPlanCache, ReferencesSurviveCacheGrowth) {
+  // New thread → fresh thread_local cache, so the test controls exactly
+  // which lengths have been planned.
+  std::thread([] {
+    const ef::detail::Plan& p8 = ef::detail::plan_for(8);
+    EXPECT_EQ(p8.n, 8);
+    ASSERT_EQ(p8.bitrev.size(), 8u);
+    ASSERT_EQ(p8.w.size(), 4u);
+    const std::vector<int> bitrev8 = p8.bitrev;
+    const std::vector<cplx> w8 = p8.w;
+    // Plan enough distinct lengths to force several cache reallocations
+    // while the p8 reference is still live.
+    for (int n = 16; n <= 2048; n <<= 1) {
+      const ef::detail::Plan& pn = ef::detail::plan_for(n);
+      EXPECT_EQ(pn.n, n);
+      // Interleave a transform of an already-planned length: fft_inplace
+      // re-fetches its plan, and the held reference must still be intact.
+      enzo::util::Rng rng(static_cast<std::uint64_t>(n));
+      std::vector<cplx> v(8);
+      for (cplx& c : v) c = cplx(rng.gaussian(), rng.gaussian());
+      const std::vector<cplx> orig = v;
+      ef::fft(v, false);
+      ef::fft(v, true);
+      for (int i = 0; i < 8; ++i) {
+        EXPECT_NEAR(v[i].real(), orig[i].real(), 1e-12);
+        EXPECT_NEAR(v[i].imag(), orig[i].imag(), 1e-12);
+      }
+      EXPECT_EQ(p8.n, 8);
+      EXPECT_EQ(p8.bitrev, bitrev8);
+      ASSERT_EQ(p8.w.size(), w8.size());
+      for (std::size_t k = 0; k < w8.size(); ++k) {
+        EXPECT_EQ(p8.w[k].real(), w8[k].real());
+        EXPECT_EQ(p8.w[k].imag(), w8[k].imag());
+      }
+    }
+    // Re-planning a known length returns the same object, not a copy.
+    EXPECT_EQ(&ef::detail::plan_for(8), &p8);
+  }).join();
 }

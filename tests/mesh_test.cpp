@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <memory>
 #include <set>
 
 #include "mesh/berger_rigoutsos.hpp"
@@ -16,6 +18,7 @@
 #include "mesh/hierarchy.hpp"
 #include "mesh/interpolate.hpp"
 #include "mesh/project.hpp"
+#include "mesh/topology.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -776,4 +779,247 @@ TEST(Boundary, SubgridGetsParentThenSiblingData) {
   // g1's high-x ghosts hold g2's 9.0.
   EXPECT_DOUBLE_EQ(g1->field(Field::kDensity)(g1->sx(8), g1->sy(2), g1->sz(2)),
                    9.0);
+}
+
+// ---- Overlap topology --------------------------------------------------------
+
+namespace {
+
+/// A hierarchy with randomized (aligned, possibly touching) level-1 boxes —
+/// the link-equivalence checks compare two enumeration strategies, so the
+/// boxes need not form a physically valid refinement pattern.
+Hierarchy make_random_hierarchy(std::uint64_t seed, Index3 root_dims,
+                                bool periodic, int root_tiles) {
+  enzo::util::Rng rng(seed);
+  HierarchyParams p;
+  p.root_dims = root_dims;
+  p.periodic = periodic;
+  p.max_level = 2;
+  Hierarchy h(p);
+  h.build_root(root_tiles);
+  const auto roots = h.grids(0);
+  const Index3 dims1 = h.level_dims(1);
+  const int n1 = 2 + static_cast<int>(rng.uniform(0, 4));
+  for (int i = 0; i < n1; ++i) {
+    IndexBox box;
+    for (int d = 0; d < 3; ++d) {
+      if (dims1[d] == 1) {
+        box.lo[d] = 0;
+        box.hi[d] = 1;
+        continue;
+      }
+      const std::int64_t half = dims1[d] / 2;
+      const auto lo = static_cast<std::int64_t>(rng.uniform(0, static_cast<double>(half - 2)));
+      const auto ext = 1 + static_cast<std::int64_t>(rng.uniform(0, 3));
+      box.lo[d] = 2 * lo;
+      box.hi[d] = std::min<std::int64_t>(2 * (lo + ext), dims1[d]);
+    }
+    auto g = std::make_unique<Grid>(h.make_spec(1, box), p.fields);
+    const Index3 pc{box.lo[0] / 2, box.lo[1] / 2, box.lo[2] / 2};
+    Grid* parent = nullptr;
+    for (Grid* r : roots)
+      if (r->box().contains(pc)) {
+        parent = r;
+        break;
+      }
+    g->set_parent(parent);
+    h.insert_grid(std::move(g));
+  }
+  return h;
+}
+
+}  // namespace
+
+TEST(Topology, PeriodicImageShiftEnumeration) {
+  const auto s = periodic_image_shifts({8, 1, 4}, true);
+  EXPECT_EQ(s[0], (std::vector<std::int64_t>{0, 8, -8}));
+  EXPECT_EQ(s[1], (std::vector<std::int64_t>{0}));  // degenerate axis: no wrap
+  EXPECT_EQ(s[2], (std::vector<std::int64_t>{0, 4, -4}));
+  const auto n = periodic_image_shifts({8, 8, 8}, false);
+  for (int d = 0; d < 3; ++d)
+    EXPECT_EQ(n[d], (std::vector<std::int64_t>{0}));
+}
+
+TEST(Topology, SiblingLinksMatchAllPairsReference) {
+  struct Case {
+    std::uint64_t seed;
+    Index3 dims;
+    bool periodic;
+    int tiles;
+  };
+  const Case cases[] = {{1, {16, 16, 16}, true, 2},
+                        {2, {16, 16, 16}, false, 2},
+                        {3, {32, 32, 1}, true, 1},
+                        {4, {16, 16, 16}, true, 1},
+                        {5, {8, 16, 32}, true, 2}};
+  for (const Case& c : cases) {
+    Hierarchy h = make_random_hierarchy(c.seed, c.dims, c.periodic, c.tiles);
+    const OverlapTopology& topo = h.topology();
+    EXPECT_EQ(topo.generation(), h.generation());
+    for (int l = 0; l <= h.deepest_level(); ++l) {
+      const auto lv = h.grids(l);
+      ASSERT_EQ(topo.level_grids(l).size(), lv.size());
+      const Index3 dims = h.level_dims(l);
+      const auto shifts = periodic_image_shifts(dims, c.periodic);
+      for (std::size_t i = 0; i < lv.size(); ++i) {
+        const Grid* g = lv[i];
+        IndexBox ghost = g->box(), wide = g->box();
+        for (int d = 0; d < 3; ++d) {
+          const std::int64_t ng = g->ng(d);
+          const std::int64_t w =
+              std::max<std::int64_t>(ng, dims[d] > 1 ? 1 : 0);
+          ghost.lo[d] -= ng;
+          ghost.hi[d] += ng;
+          wide.lo[d] -= w;
+          wide.hi[d] += w;
+        }
+        // Fresh all-pairs reference enumeration, in the canonical order.
+        std::vector<SiblingLink> ref;
+        for (std::size_t j = 0; j < lv.size(); ++j)
+          for (std::int64_t kz : shifts[2])
+            for (std::int64_t ky : shifts[1])
+              for (std::int64_t kx : shifts[0]) {
+                if (j == i && kx == 0 && ky == 0 && kz == 0) continue;
+                const IndexBox sb = lv[j]->box().shifted({kx, ky, kz});
+                if (wide.intersect(sb).empty()) continue;
+                ref.push_back({static_cast<std::uint32_t>(j),
+                               {kx, ky, kz},
+                               ghost.intersect(sb)});
+              }
+        const auto range = topo.siblings(l, i);
+        ASSERT_EQ(range.size(), ref.size())
+            << "seed " << c.seed << " level " << l << " grid " << i;
+        std::size_t k = 0;
+        for (const SiblingLink& ln : range) {
+          EXPECT_EQ(ln.src, ref[k].src);
+          EXPECT_EQ(ln.shift, ref[k].shift);
+          EXPECT_EQ(ln.overlap, ref[k].overlap);
+          ++k;
+        }
+      }
+    }
+  }
+}
+
+TEST(Topology, ChildrenByParentMatchesFindIfGrouping) {
+  for (std::uint64_t seed : {7u, 8u, 9u}) {
+    Hierarchy h = make_random_hierarchy(seed, {16, 16, 16}, true, 2);
+    const OverlapTopology& topo = h.topology();
+    const auto children = h.grids(1);
+    std::vector<std::pair<const Grid*, std::vector<const Grid*>>> ref;
+    for (const Grid* c : children) {
+      auto it = std::find_if(ref.begin(), ref.end(), [&](const auto& gp) {
+        return gp.first == c->parent();
+      });
+      if (it == ref.end())
+        ref.push_back({c->parent(), {c}});
+      else
+        it->second.push_back(c);
+    }
+    const auto& groups = topo.children_by_parent(1);
+    ASSERT_EQ(groups.size(), ref.size());
+    for (std::size_t n = 0; n < groups.size(); ++n) {
+      EXPECT_EQ(groups[n].first, ref[n].first);
+      ASSERT_EQ(groups[n].second.size(), ref[n].second.size());
+      for (std::size_t k = 0; k < ref[n].second.size(); ++k)
+        EXPECT_EQ(groups[n].second[k], ref[n].second[k]);
+    }
+    EXPECT_TRUE(topo.children_by_parent(0).empty());
+  }
+}
+
+TEST(Topology, PointQueriesMatchLinearScans) {
+  for (std::uint64_t seed : {11u, 12u, 13u}) {
+    Hierarchy h = make_random_hierarchy(seed, {16, 16, 16}, true, 2);
+    const OverlapTopology& topo = h.topology();
+    enzo::util::Rng rng(seed * 100 + 1);
+    // grid_at vs first-containing linear scan on integer indices.
+    for (int l = 0; l <= h.deepest_level(); ++l) {
+      const auto lv = h.grids(l);
+      const Index3 dims = h.level_dims(l);
+      for (int trial = 0; trial < 200; ++trial) {
+        Index3 p;
+        for (int d = 0; d < 3; ++d)
+          p[d] = static_cast<std::int64_t>(
+              rng.uniform(0, static_cast<double>(dims[d])));
+        const Grid* expect = nullptr;
+        for (const Grid* g : lv)
+          if (g->box().contains(p)) {
+            expect = g;
+            break;
+          }
+        EXPECT_EQ(topo.grid_at(l, p), expect);
+      }
+    }
+    // finest_owner vs deepest-first scan on positions.
+    for (int trial = 0; trial < 200; ++trial) {
+      ext::PosVec x;
+      for (int d = 0; d < 3; ++d) x[d] = ext::pos_t(rng.uniform());
+      const Grid* expect = nullptr;
+      for (int l = h.deepest_level(); l >= 0 && !expect; --l)
+        for (Grid* g : h.grids(l))
+          if (g->contains_position(x)) {
+            expect = g;
+            break;
+          }
+      EXPECT_EQ(topo.finest_owner(x), expect);
+    }
+  }
+}
+
+TEST(Topology, GenerationInvalidationAndLazyRebuild) {
+  HierarchyParams p;
+  p.root_dims = {16, 16, 16};
+  Hierarchy h(p);
+  EXPECT_FALSE(h.topology_cache_generation().has_value());
+  h.build_root(2);
+  const OverlapTopology& t1 = h.topology();
+  EXPECT_EQ(t1.generation(), h.generation());
+  ASSERT_TRUE(h.topology_cache_generation().has_value());
+  EXPECT_EQ(*h.topology_cache_generation(), h.generation());
+  // Repeated queries hit the same cache (no rebuild).
+  EXPECT_EQ(&h.topology(), &t1);
+  // A structure mutation leaves the cache stale until the next query.
+  auto g = std::make_unique<Grid>(h.make_spec(1, {{8, 8, 8}, {16, 16, 16}}),
+                                  p.fields);
+  g->set_parent(h.grids(0)[0]);
+  h.insert_grid(std::move(g));
+  ASSERT_TRUE(h.topology_cache_generation().has_value());
+  EXPECT_NE(*h.topology_cache_generation(), h.generation());
+  const OverlapTopology& t2 = h.topology();
+  EXPECT_EQ(t2.generation(), h.generation());
+  EXPECT_EQ(*h.topology_cache_generation(), h.generation());
+  EXPECT_EQ(t2.level_grids(1).size(), 1u);
+}
+
+TEST(Topology, BoundaryFillMatchesAllPairsBitwise) {
+  // Two identically constructed hierarchies, one filled through the cached
+  // links and one through the all-pairs reference path: every field byte
+  // must match (the PR-3 determinism contract).
+  auto build_and_fill = [](bool cached) {
+    set_use_overlap_topology(cached);
+    Hierarchy h = make_random_hierarchy(42, {16, 16, 16}, true, 2);
+    enzo::util::Rng rng(77);
+    for (int l = 0; l <= h.deepest_level(); ++l)
+      for (Grid* g : h.grids(l))
+        for (Field f : g->field_list())
+          for (double& v : g->field(f)) v = rng.uniform(0.5, 2.0);
+    for (int l = 0; l <= h.deepest_level(); ++l) {
+      for (Grid* g : h.grids(l)) g->store_old_fields();
+      set_boundary_values(h, l);
+    }
+    std::vector<double> bytes;
+    for (int l = 0; l <= h.deepest_level(); ++l)
+      for (const Grid* g : h.grids(l))
+        for (Field f : g->field_list())
+          for (const double v : g->field(f)) bytes.push_back(v);
+    return bytes;
+  };
+  const auto with_cache = build_and_fill(true);
+  const auto reference = build_and_fill(false);
+  set_use_overlap_topology(true);
+  ASSERT_EQ(with_cache.size(), reference.size());
+  for (std::size_t n = 0; n < reference.size(); ++n) {
+    ASSERT_EQ(with_cache[n], reference[n]) << "field byte " << n << " differs";
+  }
 }

@@ -10,8 +10,10 @@
 #                    sanitize label too, so torn-file parsing runs under asan)
 #   4. tsan        — ThreadSanitizer (OpenMP off), `ctest -L sanitize` subset
 #
-# An extra on-demand stage `io` (CI_STAGES="io") re-runs just the checkpoint
-# suite against an existing build-werror tree.
+# Extra on-demand stages re-run targeted suites against an existing
+# build-werror tree: `io` (CI_STAGES="io") covers the checkpoint suite, and
+# `topology` (CI_STAGES="topology") covers the `mesh` label — the overlap-
+# topology cache equivalence/invalidation tests and the rest of mesh_test.
 #
 # Each stage uses the corresponding CMakePresets.json preset, so a local
 # repro of any failure is one command, e.g.:
@@ -60,6 +62,17 @@ for stage in $stages; do
       fi
       ctest --test-dir build-werror -L io -j "$jobs" --output-on-failure \
         || failed+=(io)
+      ;;
+    topology)
+      banner "stage: overlap-topology suite"
+      # Targeted re-run of the `mesh` label (topology cache equivalence,
+      # invalidation, and the rest of mesh_test) against build-werror.
+      if [ ! -d build-werror ]; then
+        cmake --preset werror && cmake --build --preset werror -j "$jobs" \
+          || { failed+=(topology); continue; }
+      fi
+      ctest --test-dir build-werror -L mesh -j "$jobs" --output-on-failure \
+        || failed+=(topology)
       ;;
     werror|asan-ubsan|tsan)
       run_preset "$stage" || failed+=("$stage")
