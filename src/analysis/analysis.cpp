@@ -185,7 +185,7 @@ RadialProfile radial_profile(const mesh::Hierarchy& h, const ext::PosVec& c,
     const double r_lo = std::pow(10.0, lmin + b * dl);
     const double r_hi = std::pow(10.0, lmin + (b + 1) * dl);
     const double shell =
-        4.0 / 3.0 * M_PI * (r_hi * r_hi * r_hi - r_lo * r_lo * r_lo);
+        4.0 / 3.0 * constants::kPi * (r_hi * r_hi * r_hi - r_lo * r_lo * r_lo);
     p.dm_density[b] = dm_mass[b] / shell;
     cum += m;
     p.enclosed_gas_mass[b] = cum;

@@ -437,6 +437,7 @@ void root_totals(const mesh::Hierarchy& h, AuditReport& report) {
         for (int i = 0; i < g->nx(0); ++i) {
           const int si = g->sx(i), sj = g->sy(j), sk = g->sz(k);
           const double m = rho(si, sj, sk) * vol;
+          // enzo-lint: allow(determinism-grid-fp-accumulation) serial audit pass
           mass += m;
           if (has_e) energy += m * g->field(Field::kTotalEnergy)(si, sj, sk);
         }

@@ -8,6 +8,7 @@
 #include "perf/metrics.hpp"
 #include "perf/trace.hpp"
 #include "util/constants.hpp"
+#include "util/annotations.hpp"
 #include "util/error.hpp"
 #include "util/flops.hpp"
 
@@ -69,8 +70,8 @@ struct CellState {
 };
 
 /// Advance one cell by dt_s seconds; returns the subcycle count taken.
-int advance_cell(CellState& st, double dt_s, double rho_cgs,
-                 const ChemistryParams& prm, double t_cmb) {
+ENZO_HOT int advance_cell(CellState& st, double dt_s, double rho_cgs,
+                          const ChemistryParams& prm, double t_cmb) {
   double t = 0.0;
   int cycles = 0;
   double* n = st.n;
@@ -246,7 +247,8 @@ int advance_cell(CellState& st, double dt_s, double rho_cgs,
 
 }  // namespace
 
-ChemUnits ChemUnits::from(const cosmology::CodeUnits& u, double a) {
+ENZO_UNITS_BOUNDARY ChemUnits ChemUnits::from(
+    const cosmology::CodeUnits& u, double a) {
   ChemUnits c;
   c.rho_cgs = u.density_cgs / (a * a * a);
   c.n_factor = c.rho_cgs / constants::kHydrogenMass;

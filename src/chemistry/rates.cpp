@@ -3,13 +3,14 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/annotations.hpp"
 namespace enzo::chemistry {
 
 namespace {
 double clamp_T(double T) { return std::min(std::max(T, 1.0), 1e9); }
 }  // namespace
 
-Rates compute_rates(double T_in) {
+ENZO_HOT Rates compute_rates(double T_in) {
   const double T = clamp_T(T_in);
   const double Tev = T * 8.617385e-5;  // K → eV
   const double lnTe = std::log(Tev);
@@ -91,7 +92,7 @@ Rates compute_rates(double T_in) {
   return r;
 }
 
-double h2_cooling_rate(double T_in, double n_H2, double n_H) {
+ENZO_HOT double h2_cooling_rate(double T_in, double n_H2, double n_H) {
   // Galli & Palla (1998) low-density (n→0) H₂ cooling function, valid for
   // 13 K < T < 10⁵ K, blended with an LTE cap via a critical density so the
   // cooling time stops dropping at n ≳ n_cr (the quasi-hydrostatic phase of
@@ -107,7 +108,7 @@ double h2_cooling_rate(double T_in, double n_H2, double n_H) {
   return n_H2 * n_H * lambda_low / (1.0 + n_H / n_cr);
 }
 
-double cooling_rate(const CoolingInput& in) {
+ENZO_HOT double cooling_rate(const CoolingInput& in) {
   const double T = clamp_T(in.T);
   const double sqrtT = std::sqrt(T);
   const double T5 = std::sqrt(T / 1e5);

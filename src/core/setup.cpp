@@ -7,6 +7,7 @@
 #include "cosmology/power_spectrum.hpp"
 #include "mesh/boundary.hpp"
 #include "nbody/nbody.hpp"
+#include "util/annotations.hpp"
 #include "util/constants.hpp"
 #include "util/error.hpp"
 
@@ -20,8 +21,8 @@ namespace {
 
 /// Specific internal energy (code units) for temperature T and mean
 /// molecular weight mu.
-double eint_code(double T, double mu, double gamma,
-                 const cosmology::CodeUnits& u) {
+ENZO_UNITS_BOUNDARY double eint_code(double T, double mu, double gamma,
+                                     const cosmology::CodeUnits& u) {
   const double e_cgs =
       T * cn::kBoltzmann / ((gamma - 1.0) * mu * cn::kHydrogenMass);
   return e_cgs / (u.velocity_cgs() * u.velocity_cgs());
@@ -240,7 +241,7 @@ ProblemSetup collapse_cloud_setup(const CollapseSetupOptions& opt) {
     cosmology::CodeUnits u;
     u.length_cm = opt.box_proper_cm;
     u.density_cgs = opt.mean_density_cgs;
-    u.time_s = 1.0 / std::sqrt(4.0 * M_PI * cn::kGravity * u.density_cgs);
+    u.time_s = 1.0 / std::sqrt(cn::kFourPi * cn::kGravity * u.density_cgs);
     u.grav_const_code = 1.0;
     u.comoving = false;
     cfg.units = u;
@@ -301,6 +302,7 @@ ProblemSetup collapse_cloud_setup(const CollapseSetupOptions& opt) {
       for (int k = 0; k < g->nx(2); ++k)
         for (int j = 0; j < g->nx(1); ++j)
           for (int i = 0; i < g->nx(0); ++i) {
+            // enzo-lint: allow(determinism-grid-fp-accumulation) serial setup pass
             mean += rho(g->sx(i), g->sy(j), g->sz(k));
             ++count;
           }
@@ -336,7 +338,7 @@ ProblemSetup zeldovich_pancake_setup(const PancakeOptions& opt) {
     const double d_i = frw.growth_factor(a_i);
     const double d_c = frw.growth_factor(a_c);
     // ψ(q) = −A sin(2πq); caustic when D·A·2π = 1.
-    const double amp = 1.0 / (2.0 * M_PI * d_c);
+    const double amp = 1.0 / (cn::kTwoPi * d_c);
     const double vfac =
         cosmology::zeldovich_velocity_factor(frw, cfg.units, a_i);
     for (Grid* g : sim.hierarchy().grids(0)) {
@@ -351,10 +353,10 @@ ProblemSetup zeldovich_pancake_setup(const PancakeOptions& opt) {
         const std::int64_t n = g->spec().level_dims[0];
         const double q = (static_cast<double>(((gi % n) + n) % n) + 0.5) /
                          static_cast<double>(n);
-        const double psi = -amp * std::sin(2.0 * M_PI * q);
+        const double psi = -amp * std::sin(cn::kTwoPi * q);
         // Linear-theory Eulerian density: δ = −D dψ/dq.
         const double delta =
-            d_i * amp * 2.0 * M_PI * std::cos(2.0 * M_PI * q);
+            d_i * amp * cn::kTwoPi * std::cos(cn::kTwoPi * q);
         rho(i, 0, 0) = std::max(1.0 + delta, 0.05);
         // vfac already contains D(a_i).
         vx(i, 0, 0) = vfac * psi;

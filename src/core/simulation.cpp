@@ -9,6 +9,7 @@
 #include "chemistry/chemistry.hpp"
 #include "gravity/gravity.hpp"
 #include "hydro/hydro.hpp"
+#include "util/constants.hpp"
 #include "mesh/boundary.hpp"
 #include "mesh/project.hpp"
 #include "mesh/topology.hpp"
@@ -153,7 +154,7 @@ mesh::Hierarchy::FlagFn Simulation::flagger() {
             const double cs2 =
                 gamma * (gamma - 1.0) * std::max(eint(si, sj, sk), 0.0);
             const double lj =
-                2.0 * M_PI * std::sqrt(cs2 * a_ / (gc * std::max(r, 1e-300)));
+                constants::kTwoPi * std::sqrt(cs2 * a_ / (gc * std::max(r, 1e-300)));
             if (dx > lj / rc.jeans_number) flag = true;
           }
           if (flag)
@@ -505,12 +506,14 @@ void Simulation::step_root(double dt) {
   // overridden by a stop-time clamp) just before this; capture it now because
   // evolve_level recomputes level-0 timesteps internally.
   const hydro::DtLimiter limiter = root_dt_limiter_;
+  // enzo-lint: allow(determinism-nondeterministic-source) wall-clock telemetry
   const auto wall0 = std::chrono::steady_clock::now();
   evolve_level(0, time_ + ext::pos_t(dt));
   ++root_steps_;
   root_dt_limiter_ = limiter;
   if (diag_sink_ != nullptr) {
     const double wall =
+        // enzo-lint: allow(determinism-nondeterministic-source) telemetry
         std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
             .count();
     diag_sink_->write(make_step_record(dt, limiter, wall));
@@ -611,6 +614,7 @@ perf::StepRecord Simulation::make_step_record(double dt,
         for (int i = 0; i < g->nx(0); ++i) {
           const int si = g->sx(i), sj = g->sy(j), sk = g->sz(k);
           const double m = rho(si, sj, sk) * vol;
+          // enzo-lint: allow(determinism-grid-fp-accumulation) serial diagnostic
           mass += m;
           if (has_e) energy += m * etot(si, sj, sk);
         }

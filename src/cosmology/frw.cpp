@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/annotations.hpp"
 
 namespace enzo::cosmology {
 
@@ -94,7 +95,7 @@ double Frw::a_of_time(double t) const {
   return a;
 }
 
-double Frw::mean_matter_density(double a) const {
+ENZO_UNITS_PROPER double Frw::mean_matter_density(double a) const {
   return comoving_matter_density() / (a * a * a);
 }
 

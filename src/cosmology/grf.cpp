@@ -34,8 +34,8 @@ void mode_gaussians(std::uint64_t seed, int mx, int my, int mz, double& g1,
   const double x2 = static_cast<double>(u2 >> 11) * 0x1.0p-53;
   if (x1 <= 1e-300) x1 = 1e-300;
   const double r = std::sqrt(-2.0 * std::log(x1));
-  g1 = r * std::cos(2.0 * M_PI * x2);
-  g2 = r * std::sin(2.0 * M_PI * x2);
+  g1 = r * std::cos(constants::kTwoPi * x2);
+  g2 = r * std::sin(constants::kTwoPi * x2);
 }
 
 }  // namespace
@@ -60,7 +60,7 @@ GrfOutput InitialConditionsGenerator::realize(int n,
   const double box_mpc = box_cm_ / constants::kMpc;
   const double sub_mpc = box_mpc * width;
   const double v_sub = sub_mpc * sub_mpc * sub_mpc;
-  const double kfund = 2.0 * M_PI / sub_mpc;  // Mpc^-1
+  const double kfund = constants::kTwoPi / sub_mpc;  // Mpc^-1
 
   util::Array3<fft::cplx> dk(n, n, n);
   std::array<util::Array3<fft::cplx>, 3> pk;
@@ -127,7 +127,7 @@ double InitialConditionsGenerator::expected_sigma(int n) const {
   // σ²_cell = Σ_{k≠0} P(k)/V over the lattice mode set (width = 1).
   const double box_mpc = box_cm_ / constants::kMpc;
   const double v = box_mpc * box_mpc * box_mpc;
-  const double kfund = 2.0 * M_PI / box_mpc;
+  const double kfund = constants::kTwoPi / box_mpc;
   double sum = 0.0;
   for (int kz = 0; kz < n; ++kz) {
     const int fz = fft::freq_index(kz, n);

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "util/constants.hpp"
 #include "util/error.hpp"
 
 namespace enzo::cosmology {
@@ -54,7 +55,7 @@ double PowerSpectrum::sigma(double r) const {
     sum += coef * f;
   }
   sum *= h / 3.0;
-  return std::sqrt(sum / (2.0 * M_PI * M_PI));
+  return std::sqrt(sum / (2.0 * constants::kPi * constants::kPi));
 }
 
 }  // namespace enzo::cosmology

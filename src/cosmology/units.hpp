@@ -16,6 +16,7 @@
 
 #include "cosmology/frw.hpp"
 #include "util/constants.hpp"
+#include "util/annotations.hpp"
 
 namespace enzo::cosmology {
 
@@ -27,11 +28,11 @@ struct CodeUnits {
   bool comoving = false;     ///< true when built from a cosmology
 
   /// Cosmological units for a comoving box of size box_cm.
-  static CodeUnits cosmological(const Frw& frw, double box_comoving_cm) {
+  ENZO_UNITS_BOUNDARY static CodeUnits cosmological(const Frw& frw, double box_comoving_cm) {
     CodeUnits u;
     u.length_cm = box_comoving_cm;
     u.density_cgs = frw.comoving_matter_density();
-    u.time_s = 1.0 / std::sqrt(4.0 * M_PI * constants::kGravity *
+    u.time_s = 1.0 / std::sqrt(constants::kFourPi * constants::kGravity *
                                u.density_cgs);
     u.grav_const_code = 1.0;
     u.comoving = true;
@@ -55,7 +56,7 @@ struct CodeUnits {
 
   /// Kelvin per unit of (specific internal energy × μ) in code units:
   /// T = temperature_factor() * (γ-1) * μ * e_code.
-  double temperature_factor() const {
+  ENZO_UNITS_BOUNDARY double temperature_factor() const {
     const double v2 = velocity_cgs() * velocity_cgs();
     return constants::kHydrogenMass * v2 / constants::kBoltzmann;
   }

@@ -1,5 +1,7 @@
 #include "exec/executor.hpp"
 
+#include "util/annotations.hpp"
+
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
@@ -70,8 +72,8 @@ void LevelExecutor::for_each(const Phase& phase, std::size_t n,
 // ---------------------------------------------------------------------------
 // SerialExecutor
 
-void SerialExecutor::run_tasks(std::size_t n, const TaskFn& fn,
-                               const CostFn& /*cost*/) {
+ENZO_HOT void SerialExecutor::run_tasks(std::size_t n, const TaskFn& fn,
+                                        const CostFn& /*cost*/) {
   for (std::size_t i = 0; i < n; ++i) fn(i);
 }
 

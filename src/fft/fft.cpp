@@ -3,6 +3,7 @@
 #include <cmath>
 #include <memory>
 
+#include "util/constants.hpp"
 #include "util/error.hpp"
 #include "util/flops.hpp"
 
@@ -31,7 +32,7 @@ const Plan& plan_for(int n) {
   }
   p->w.resize(n / 2);
   for (int k = 0; k < n / 2; ++k) {
-    const double ang = -2.0 * M_PI * k / n;
+    const double ang = -constants::kTwoPi * k / n;
     p->w[k] = cplx(std::cos(ang), std::sin(ang));
   }
   cache.push_back(std::move(p));

@@ -9,6 +9,7 @@
 #include "fft/fft.hpp"
 #include "gravity/gravity.hpp"
 #include "perf/trace.hpp"
+#include "util/constants.hpp"
 #include "util/error.hpp"
 
 namespace enzo::gravity {
@@ -56,7 +57,7 @@ void solve_root_gravity(mesh::Hierarchy& h, const GravityParams& p,
         const int n[3] = {nx, ny, nz};
         for (int d = 0; d < 3; ++d) {
           if (n[d] == 1) continue;
-          const double ang = 2.0 * M_PI * f[d] / n[d];
+          const double ang = constants::kTwoPi * f[d] / n[d];
           lam += (2.0 * std::cos(ang) - 2.0) / (dx[d] * dx[d]);
         }
         spec(kx, ky, kz) *= coef / lam;

@@ -10,9 +10,11 @@
 // is always available; coarsening stops at odd or minimal extents.
 
 #include <cmath>
+
 #include <vector>
 
 #include "gravity/gravity.hpp"
+#include "util/annotations.hpp"
 #include "util/error.hpp"
 #include "util/flops.hpp"
 
@@ -30,7 +32,7 @@ struct MgLevel {
 
 int ghost(const MgLevel& lv, int d) { return lv.active[d] ? 1 : 0; }
 
-void smooth(MgLevel& lv, int sweeps) {
+ENZO_HOT void smooth(MgLevel& lv, int sweeps) {
   const double dx2 = lv.dx * lv.dx;
   int nterms = 0;
   for (int d = 0; d < 3; ++d)
@@ -61,7 +63,7 @@ void smooth(MgLevel& lv, int sweeps) {
                      2 * sweeps);
 }
 
-void residual(const MgLevel& lv, util::Array3<double>& res) {
+ENZO_HOT void residual(const MgLevel& lv, util::Array3<double>& res) {
   const double inv_dx2 = 1.0 / (lv.dx * lv.dx);
   const int gx = ghost(lv, 0), gy = ghost(lv, 1), gz = ghost(lv, 2);
   for (int k = 0; k < lv.n[2]; ++k)

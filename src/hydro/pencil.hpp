@@ -24,19 +24,31 @@ struct Pencil {
   std::vector<std::vector<double>> f_scal;
   std::vector<double> ustar;  ///< face normal velocity from the Riemann solve
 
-  void resize(int n_cells, int nghost, int nscal) {
+  /// Zero-fill to the given shape, reusing capacity.  Everything is assigned
+  /// (not merely sized), so a recycled pencil is byte-identical to a freshly
+  /// constructed one — reuse cannot perturb the determinism contract.
+  void reset(int n_cells, int nghost, int nscal) {
     n = n_cells;
     ng = nghost;
     for (auto* v : {&rho, &u, &vt1, &vt2, &etot, &eint, &p})
       v->assign(static_cast<std::size_t>(n), 0.0);
-    scal.assign(static_cast<std::size_t>(nscal),
-                std::vector<double>(static_cast<std::size_t>(n), 0.0));
+    scal.resize(static_cast<std::size_t>(nscal));
+    for (auto& s : scal) s.assign(static_cast<std::size_t>(n), 0.0);
     for (auto* v : {&f_rho, &f_mu, &f_mvt1, &f_mvt2, &f_etot, &f_eint, &ustar})
       v->assign(static_cast<std::size_t>(n) + 1, 0.0);
-    f_scal.assign(static_cast<std::size_t>(nscal),
-                  std::vector<double>(static_cast<std::size_t>(n) + 1, 0.0));
+    f_scal.resize(static_cast<std::size_t>(nscal));
+    for (auto& s : f_scal) s.assign(static_cast<std::size_t>(n) + 1, 0.0);
   }
 };
+
+/// Per-thread reusable pencil.  The sweep driver processes one pencil at a
+/// time per thread, so a single thread-local workspace removes ~14 vector
+/// allocations per pencil from the hottest loop in the code (hydro is ~2/3
+/// of wall time) while keeping pencils private to their executor thread.
+inline Pencil& pencil_scratch() {
+  thread_local Pencil pc;
+  return pc;
+}
 
 struct SweepParams {
   double gamma = 5.0 / 3.0;

@@ -12,13 +12,14 @@
 
 #include "hydro/pencil.hpp"
 #include "hydro/riemann.hpp"
+#include "util/annotations.hpp"
 
 namespace enzo::hydro {
 
 namespace {
 
 /// Monotonized central (van Leer) slope.
-double mc_slope(double qm, double q, double qp) {
+ENZO_HOT double mc_slope(double qm, double q, double qp) {
   const double dc = 0.5 * (qp - qm);
   const double dl = q - qm, dr = qp - q;
   if (dl * dr <= 0.0) return 0.0;
@@ -28,18 +29,22 @@ double mc_slope(double qm, double q, double qp) {
 
 struct Parabola {
   std::vector<double> ql, qr, dq, q6;
+  std::vector<double> slope, face;  ///< reconstruction scratch
 };
 
 /// Build the monotonized parabola for variable q; valid for i in
 /// [2, n-3] (the callers only consume faces inside that window).
-void build_parabola(const std::vector<double>& q,
-                    const std::vector<double>& flat, Parabola& par) {
+ENZO_HOT void build_parabola(const std::vector<double>& q,
+                             const std::vector<double>& flat, Parabola& par) {
   const int n = static_cast<int>(q.size());
   par.ql.assign(n, 0.0);
   par.qr.assign(n, 0.0);
   par.dq.assign(n, 0.0);
   par.q6.assign(n, 0.0);
-  std::vector<double> slope(n, 0.0), face(n, 0.0);
+  std::vector<double>& slope = par.slope;
+  std::vector<double>& face = par.face;
+  slope.assign(n, 0.0);
+  face.assign(n, 0.0);
   for (int i = 1; i + 1 < n; ++i) slope[i] = mc_slope(q[i - 1], q[i], q[i + 1]);
   // face[i] = value at interface i+1/2.
   for (int i = 1; i + 2 < n; ++i)
@@ -73,25 +78,44 @@ void build_parabola(const std::vector<double>& q,
 
 /// Average of the parabola in cell i over the rightmost fraction σ
 /// (left input state of face i+1/2).
-double avg_right(const Parabola& p, int i, double sigma) {
+ENZO_HOT double avg_right(const Parabola& p, int i, double sigma) {
   return p.qr[i] - 0.5 * sigma * (p.dq[i] - (1.0 - 2.0 * sigma / 3.0) * p.q6[i]);
 }
 /// Average over the leftmost fraction σ (right input state of face i-1/2).
-double avg_left(const Parabola& p, int i, double sigma) {
+ENZO_HOT double avg_left(const Parabola& p, int i, double sigma) {
   return p.ql[i] + 0.5 * sigma * (p.dq[i] + (1.0 - 2.0 * sigma / 3.0) * p.q6[i]);
+}
+
+/// Reusable per-thread workspace for ppm_sweep: flattening buffers plus one
+/// parabola per primitive variable.  Like hydro::pencil_scratch, every array
+/// is fully assigned before use, so recycling is observationally identical
+/// to fresh construction.
+struct PpmScratch {
+  std::vector<double> flat, f0;
+  Parabola rho, u, p, vt1, vt2, ei;
+  std::vector<Parabola> scal;
+};
+
+PpmScratch& ppm_scratch() {
+  thread_local PpmScratch ws;
+  return ws;
 }
 
 }  // namespace
 
-void ppm_sweep(Pencil& pc, double dt, double dx, const SweepParams& sp) {
+ENZO_HOT void ppm_sweep(Pencil& pc, double dt, double dx,
+                        const SweepParams& sp) {
   const int n = pc.n;
   const double gamma = sp.gamma;
   const int nscal = static_cast<int>(pc.scal.size());
+  PpmScratch& ws = ppm_scratch();
 
   // ---- flattening coefficient ------------------------------------------------
-  std::vector<double> flat(n, 0.0);
+  std::vector<double>& flat = ws.flat;
+  flat.assign(n, 0.0);
   if (sp.flattening) {
-    std::vector<double> f0(n, 0.0);
+    std::vector<double>& f0 = ws.f0;
+    f0.assign(n, 0.0);
     for (int i = 2; i + 2 < n; ++i) {
       const double dp = pc.p[i + 1] - pc.p[i - 1];
       const double dp2 = pc.p[i + 2] - pc.p[i - 2];
@@ -110,14 +134,18 @@ void ppm_sweep(Pencil& pc, double dt, double dx, const SweepParams& sp) {
   }
 
   // ---- parabolas ----------------------------------------------------------------
-  Parabola P_rho, P_u, P_p, P_vt1, P_vt2, P_ei;
+  Parabola &P_rho = ws.rho, &P_u = ws.u, &P_p = ws.p;
+  Parabola &P_vt1 = ws.vt1, &P_vt2 = ws.vt2, &P_ei = ws.ei;
   build_parabola(pc.rho, flat, P_rho);
   build_parabola(pc.u, flat, P_u);
   build_parabola(pc.p, flat, P_p);
   build_parabola(pc.vt1, flat, P_vt1);
   build_parabola(pc.vt2, flat, P_vt2);
   build_parabola(pc.eint, flat, P_ei);
-  std::vector<Parabola> P_s(static_cast<std::size_t>(nscal));
+  std::vector<Parabola>& P_s = ws.scal;
+  if (static_cast<int>(P_s.size()) < nscal)
+    // enzo-lint: allow(hotpath-heap-alloc) amortized scratch growth
+    P_s.resize(static_cast<std::size_t>(nscal));
   for (int s = 0; s < nscal; ++s) build_parabola(pc.scal[s], flat, P_s[s]);
 
   // ---- faces ----------------------------------------------------------------------

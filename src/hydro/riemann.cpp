@@ -3,13 +3,15 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/annotations.hpp"
 namespace enzo::hydro {
 
 namespace {
 
 /// Lagrangian wave speed W(p*) for one side (two-shock approximation):
 /// W² = γ p ρ [1 + (γ+1)/(2γ) (p*/p − 1)], floored for strong rarefactions.
-double wave_speed(double rho, double p, double pstar, double gamma) {
+ENZO_HOT double wave_speed(double rho, double p, double pstar,
+                           double gamma) {
   const double w2 =
       gamma * p * rho * (1.0 + (gamma + 1.0) / (2.0 * gamma) * (pstar / p - 1.0));
   const double w2_min = 1e-16 * gamma * p * rho;
@@ -18,7 +20,8 @@ double wave_speed(double rho, double p, double pstar, double gamma) {
 
 }  // namespace
 
-RiemannState riemann_two_shock(const RiemannInput& in, double gamma) {
+ENZO_HOT RiemannState riemann_two_shock(const RiemannInput& in,
+                                        double gamma) {
   const double cl = std::sqrt(gamma * in.p_l / in.rho_l);
   const double cr = std::sqrt(gamma * in.p_r / in.rho_r);
 

@@ -10,6 +10,7 @@
 #include "hydro/pencil.hpp"
 #include "perf/metrics.hpp"
 #include "perf/trace.hpp"
+#include "util/annotations.hpp"
 #include "util/error.hpp"
 #include "util/flops.hpp"
 
@@ -32,8 +33,8 @@ std::vector<Field> species_fields(const Grid& g) {
 
 /// ZEUS grid-wide source step: pressure gradient, artificial viscosity and
 /// compression heating, using ghost data for the one-cell stencils.
-void zeus_source_step(Grid& g, double dt, const HydroParams& hp,
-                      const cosmology::Expansion& exp) {
+ENZO_HOT void zeus_source_step(Grid& g, double dt, const HydroParams& hp,
+                               const cosmology::Expansion& exp) {
   const double gamma = hp.gamma;
   auto& rho = g.field(Field::kDensity);
   auto& eint = g.field(Field::kInternalEnergy);
@@ -91,9 +92,10 @@ void zeus_source_step(Grid& g, double dt, const HydroParams& hp,
 }
 
 /// Run the directional sweeps and apply the conservative updates.
-void sweep_all_axes(Grid& g, double dt, const HydroParams& hp,
-                    const cosmology::Expansion& exp,
-                    exec::LevelExecutor* ex) {
+ENZO_HOT void sweep_all_axes(Grid& g, double dt, const HydroParams& hp,
+                             const cosmology::Expansion& exp,
+                             exec::LevelExecutor* ex) {
+  // enzo-lint: allow(hotpath-heap-alloc) once per grid call, not per pencil
   const std::vector<Field> species = species_fields(g);
   const int nscal = static_cast<int>(species.size());
   const SweepParams sp{hp.gamma, hp.flattening, hp.zeus_viscosity};
@@ -138,8 +140,8 @@ void sweep_all_axes(Grid& g, double dt, const HydroParams& hp,
       for (std::size_t pidx = pencil_begin; pidx < pencil_end; ++pidx) {
         const int j2 = static_cast<int>(pidx / static_cast<std::size_t>(n1));
         const int j1 = static_cast<int>(pidx % static_cast<std::size_t>(n1));
-        Pencil pc;
-        pc.resize(np, g.ng(d), nscal);
+        Pencil& pc = pencil_scratch();
+        pc.reset(np, g.ng(d), nscal);
         auto sidx = [&](int i) {
           int s[3];
           s[d] = i;
@@ -263,8 +265,9 @@ double cn_decay(double k, double dt) {
   return (1.0 - x) / (1.0 + x);
 }
 
-void apply_expansion_sources(Grid& g, double dt, const HydroParams& hp,
-                             const cosmology::Expansion& exp) {
+ENZO_HOT void apply_expansion_sources(Grid& g, double dt,
+                                      const HydroParams& hp,
+                                      const cosmology::Expansion& exp) {
   if (exp.adot_over_a == 0.0) return;
   const double fv = cn_decay(exp.adot_over_a, dt);
   const double fe = cn_decay(3.0 * (hp.gamma - 1.0) * exp.adot_over_a, dt);
@@ -291,7 +294,7 @@ void apply_expansion_sources(Grid& g, double dt, const HydroParams& hp,
       }
 }
 
-void dual_energy_sync(Grid& g, const HydroParams& hp) {
+ENZO_HOT void dual_energy_sync(Grid& g, const HydroParams& hp) {
   auto& vx = g.field(Field::kVelocityX);
   auto& vy = g.field(Field::kVelocityY);
   auto& vz = g.field(Field::kVelocityZ);
@@ -339,8 +342,9 @@ const char* dt_limiter_name(DtLimiter lim) {
   return "none";
 }
 
-TimestepInfo compute_timestep_info(const Grid& g, const HydroParams& params,
-                                   const cosmology::Expansion& exp) {
+ENZO_HOT TimestepInfo compute_timestep_info(const Grid& g,
+                                            const HydroParams& params,
+                                            const cosmology::Expansion& exp) {
   TimestepInfo info;
   double dt = std::numeric_limits<double>::max();
   const auto& rho = g.field(Field::kDensity);
@@ -410,7 +414,8 @@ void solve_hydro_step(Grid& g, double dt, const HydroParams& params,
   cells_updated.add(static_cast<std::uint64_t>(g.nx(0)) * g.nx(1) * g.nx(2));
 }
 
-void apply_gravity_sources(Grid& g, double dt, const HydroParams& params) {
+ENZO_HOT void apply_gravity_sources(Grid& g, double dt,
+                                    const HydroParams& params) {
   if (!g.has_gravity()) return;
   auto& vx = g.field(Field::kVelocityX);
   auto& vy = g.field(Field::kVelocityY);

@@ -12,11 +12,12 @@
 #include <cmath>
 
 #include "hydro/pencil.hpp"
+#include "util/annotations.hpp"
 
 namespace enzo::hydro {
 
-void zeus_sweep(Pencil& pc, double /*dt*/, double /*dx*/,
-                const SweepParams& sp) {
+ENZO_HOT void zeus_sweep(Pencil& pc, double /*dt*/, double /*dx*/,
+                         const SweepParams& sp) {
   const int n = pc.n;
   const int nscal = static_cast<int>(pc.scal.size());
   const double gamma = sp.gamma;

@@ -19,7 +19,8 @@ namespace enzo::io {
 
 /// CRC-32 (IEEE 802.3, reflected).  Incremental: crc32(b, n2, crc32(a, n1))
 /// equals the CRC of the concatenation a‖b; pass 0 to start a new stream.
-std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed = 0);
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t n,
+                                  std::uint32_t seed = 0);
 
 /// Byte-shuffle with stride 8: out[p*n/8 + w] = in[w*8 + p].  `n` must be a
 /// multiple of 8 (payloads are sequences of 64-bit words).
@@ -29,17 +30,19 @@ void unshuffle8(const std::uint8_t* in, std::size_t n, std::uint8_t* out);
 /// PackBits-style RLE.  Control byte 0x00–0x7F: copy c+1 literal bytes;
 /// 0x80–0xFF: repeat the next byte c-0x80+3 times (runs shorter than 3 ride
 /// in literal blocks).
-std::vector<std::uint8_t> rle_encode(const std::uint8_t* in, std::size_t n);
+[[nodiscard]] std::vector<std::uint8_t> rle_encode(const std::uint8_t* in,
+                                                    std::size_t n);
 /// Decode exactly `expect_n` bytes; throws enzo::Error on malformed input
 /// (never reads or writes out of bounds, even on corrupted data).
-std::vector<std::uint8_t> rle_decode(const std::uint8_t* in, std::size_t n,
-                                     std::size_t expect_n);
+[[nodiscard]] std::vector<std::uint8_t> rle_decode(const std::uint8_t* in,
+                                                    std::size_t n,
+                                                    std::size_t expect_n);
 
 /// shuffle8 + rle_encode.  `n` must be a multiple of 8.
-std::vector<std::uint8_t> compress_block(const std::uint8_t* in,
-                                         std::size_t n);
+[[nodiscard]] std::vector<std::uint8_t> compress_block(
+    const std::uint8_t* in, std::size_t n);
 /// Inverse of compress_block; `raw_n` is the expected decompressed size.
-std::vector<std::uint8_t> decompress_block(const std::uint8_t* in,
-                                           std::size_t n, std::size_t raw_n);
+[[nodiscard]] std::vector<std::uint8_t> decompress_block(
+    const std::uint8_t* in, std::size_t n, std::size_t raw_n);
 
 }  // namespace enzo::io

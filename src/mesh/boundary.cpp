@@ -74,6 +74,7 @@ void set_boundary_values(Hierarchy& h, int level, exec::LevelExecutor* ex) {
           }
         } else {
           const auto shifts = periodic_image_shifts(dims, periodic);
+          // enzo-lint: allow(topology-allpairs) reference cross-check path
           for (Grid* s : level_grids) {
             for (std::int64_t kz : shifts[2])
               for (std::int64_t ky : shifts[1])

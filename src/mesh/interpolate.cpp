@@ -1,5 +1,7 @@
 #include "mesh/interpolate.hpp"
 
+#include "util/annotations.hpp"
+
 #include <cmath>
 
 #include "util/error.hpp"
@@ -9,7 +11,7 @@ namespace enzo::mesh {
 
 namespace {
 
-double minmod(double a, double b) {
+ENZO_HOT double minmod(double a, double b) {
   if (a * b <= 0.0) return 0.0;
   return std::abs(a) < std::abs(b) ? a : b;
 }
@@ -21,7 +23,8 @@ struct AxisMap {
 
 /// Interpolate one field array at parent storage cell (psi,psj,psk) with
 /// sub-cell offsets f[3] (each in (-0.5, 0.5)) using minmod-limited slopes.
-double sample(const util::Array3<double>& p, int psi, int psj, int psk,
+ENZO_HOT double sample(const util::Array3<double>& p, int psi, int psj,
+                       int psk,
               const double f[3]) {
   const double v = p(psi, psj, psk);
   double out = v;
@@ -51,8 +54,9 @@ double sample(const util::Array3<double>& p, int psi, int psj, int psk,
 /// Interpolate `child`'s cells within the half-open *local storage* region
 /// [slo, shi) (storage indices into the child's arrays) from the parent.
 /// time_weight in [0,1] blends parent old (0) → new (1) states.
-void interpolate_region(Grid& child, const Grid& parent, const int slo[3],
-                        const int shi[3], double time_weight) {
+ENZO_HOT void interpolate_region(Grid& child, const Grid& parent,
+                                 const int slo[3], const int shi[3],
+                                 double time_weight) {
   AxisMap ax[3];
   for (int d = 0; d < 3; ++d) {
     ENZO_REQUIRE(child.spec().level_dims[d] % parent.spec().level_dims[d] == 0,

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "util/annotations.hpp"
 #include "util/error.hpp"
 #include "util/flops.hpp"
 
@@ -28,7 +29,7 @@ IndexBox coarsen_per_axis(const IndexBox& b, const int rd[3]) {
 }
 }  // namespace
 
-std::int64_t project_to_parent(const Grid& child, Grid& parent) {
+ENZO_HOT std::int64_t project_to_parent(const Grid& child, Grid& parent) {
   ENZO_REQUIRE(child.level() == parent.level() + 1,
                "projection requires a direct parent");
   int rd[3];

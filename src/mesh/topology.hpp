@@ -55,7 +55,7 @@ class Hierarchy;
 /// unifying on this guard is behaviour-preserving.  The enumeration order
 /// {0, +dims, -dims} is part of the determinism contract: consumers copy
 /// overlaps in shift order and later copies overwrite earlier ones.
-std::array<std::vector<std::int64_t>, 3> periodic_image_shifts(
+[[nodiscard]] std::array<std::vector<std::int64_t>, 3> periodic_image_shifts(
     const Index3& dims, bool periodic);
 
 /// Process-wide switch for the cached-topology fast paths.  The all-pairs
@@ -63,7 +63,7 @@ std::array<std::vector<std::int64_t>, 3> periodic_image_shifts(
 /// tests and the BENCH_overlap_topology comparison; production code never
 /// turns it off.
 void set_use_overlap_topology(bool on);
-bool use_overlap_topology();
+[[nodiscard]] bool use_overlap_topology();
 
 /// One cached sibling overlap: grid `src` (ordinal into the level's grid
 /// list), shifted by `shift`, intersects the destination grid's
@@ -86,13 +86,15 @@ class OverlapTopology {
   explicit OverlapTopology(const Hierarchy& h);
 
   /// Hierarchy::generation() value this topology was built for.
-  std::uint64_t generation() const { return generation_; }
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
 
-  int num_levels() const { return static_cast<int>(levels_.size()); }
+  [[nodiscard]] int num_levels() const {
+    return static_cast<int>(levels_.size());
+  }
 
   /// The level's grids in hierarchy order (the ordinal space of SiblingLink
   /// and of siblings()).  Empty for out-of-range levels.
-  const std::vector<Grid*>& level_grids(int level) const;
+  [[nodiscard]] const std::vector<Grid*>& level_grids(int level) const;
 
   /// Iterable view over one grid's sibling links.
   struct SiblingRange {
@@ -102,29 +104,30 @@ class OverlapTopology {
     const SiblingLink* end() const { return last; }
     std::size_t size() const { return static_cast<std::size_t>(last - first); }
   };
-  SiblingRange siblings(int level, std::size_t ordinal) const;
+  [[nodiscard]] SiblingRange siblings(int level, std::size_t ordinal) const;
 
   /// This level's grids grouped by their parent (empty for level 0 and
   /// out-of-range levels).  A corrupt hierarchy may yield a nullptr parent
   /// group; consumers that require parents keep their own checks.
-  const std::vector<ParentGroup>& children_by_parent(int level) const;
+  [[nodiscard]] const std::vector<ParentGroup>& children_by_parent(
+      int level) const;
 
   /// The grid of `level` whose active box contains global index p (already
   /// periodic-wrapped into the domain), or nullptr.  Grids of a level are
   /// disjoint, so the owner is unique; on a corrupt (overlapping) hierarchy
   /// this returns the first owner in grid order, matching a linear scan.
-  Grid* grid_at(int level, const Index3& p) const;
+  [[nodiscard]] Grid* grid_at(int level, const Index3& p) const;
 
   /// The deepest grid of any level containing position x, or nullptr when x
   /// lies outside every grid (matches the deepest-first linear search used
   /// by particle re-homing, via the same index arithmetic as
   /// Grid::contains_position).
-  Grid* finest_owner(const ext::PosVec& x) const;
+  [[nodiscard]] Grid* finest_owner(const ext::PosVec& x) const;
 
   /// Total sibling links cached across all levels.
-  std::size_t total_links() const;
+  [[nodiscard]] std::size_t total_links() const;
   /// Wall seconds the build took (also published as a topology.* gauge).
-  double build_seconds() const { return build_seconds_; }
+  [[nodiscard]] double build_seconds() const { return build_seconds_; }
 
  private:
   struct LevelTopology {

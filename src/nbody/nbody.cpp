@@ -198,6 +198,7 @@ void redistribute_particles(mesh::Hierarchy& h) {
         bool stays = g->contains_position(p.x);
         if (stays) {
           for (int fl = l + 1; fl <= h.deepest_level() && stays; ++fl)
+            // enzo-lint: allow(topology-allpairs) reference finest-owner scan
             for (Grid* fg : h.grids(fl))
               if (fg->contains_position(p.x)) {
                 stays = false;

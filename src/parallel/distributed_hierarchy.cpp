@@ -39,6 +39,7 @@ std::vector<ExchangeBlock> plan_sibling_exchange(const mesh::Hierarchy& h,
       total.lo[d] -= g->ng(d);
       total.hi[d] += g->ng(d);
     }
+    // enzo-lint: allow(topology-allpairs) reference exchange-plan builder
     for (const Grid* s : grids) {
       for (std::int64_t kz : shifts[2])
         for (std::int64_t ky : shifts[1])

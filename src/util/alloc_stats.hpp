@@ -36,11 +36,11 @@ class AllocStats {
     live_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
   }
 
-  std::uint64_t allocations() const { return allocations_.load(); }
-  std::uint64_t frees() const { return frees_.load(); }
-  std::uint64_t live_bytes() const { return live_bytes_.load(); }
-  std::uint64_t peak_bytes() const { return peak_bytes_.load(); }
-  std::uint64_t total_bytes() const { return total_bytes_.load(); }
+  [[nodiscard]] std::uint64_t allocations() const { return allocations_.load(); }
+  [[nodiscard]] std::uint64_t frees() const { return frees_.load(); }
+  [[nodiscard]] std::uint64_t live_bytes() const { return live_bytes_.load(); }
+  [[nodiscard]] std::uint64_t peak_bytes() const { return peak_bytes_.load(); }
+  [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_.load(); }
 
   void reset() {
     allocations_ = 0;

@@ -32,16 +32,16 @@ class Array3 {
     data_.assign(static_cast<std::size_t>(nx) * ny * nz, fill);
   }
 
-  int nx() const { return nx_; }
-  int ny() const { return ny_; }
-  int nz() const { return nz_; }
-  std::size_t size() const { return data_.size(); }
-  bool empty() const { return data_.empty(); }
+  [[nodiscard]] int nx() const { return nx_; }
+  [[nodiscard]] int ny() const { return ny_; }
+  [[nodiscard]] int nz() const { return nz_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
 
   /// Computed in signed 64-bit so a negative index yields a negative offset
   /// (caught by at()/ENZO_BOUNDS_CHECK) instead of silently wrapping through
   /// size_t into a huge in-range-looking value.
-  std::size_t index(int i, int j, int k) const {
+  [[nodiscard]] std::size_t index(int i, int j, int k) const {
     const std::int64_t off =
         static_cast<std::int64_t>(i) +
         static_cast<std::int64_t>(nx_) *
@@ -70,7 +70,7 @@ class Array3 {
     return data_[index(i, j, k)];
   }
 
-  bool contains(int i, int j, int k) const {
+  [[nodiscard]] bool contains(int i, int j, int k) const {
     return i >= 0 && i < nx_ && j >= 0 && j < ny_ && k >= 0 && k < nz_;
   }
 
@@ -85,7 +85,7 @@ class Array3 {
     for (std::size_t n = 0; n < data_.size(); ++n) data_[n] += scale * other.data_[n];
   }
 
-  bool same_shape(const Array3& o) const {
+  [[nodiscard]] bool same_shape(const Array3& o) const {
     return nx_ == o.nx_ && ny_ == o.ny_ && nz_ == o.nz_;
   }
 

@@ -5,6 +5,12 @@
 
 namespace enzo::constants {
 
+// pi and friends, so code never reaches for the POSIX M_PI extension
+// (enzo-lint: banned-pi-literal enforces this outside this header).
+inline constexpr double kPi = 3.14159265358979323846;
+inline constexpr double kTwoPi = 2.0 * kPi;
+inline constexpr double kFourPi = 4.0 * kPi;
+
 inline constexpr double kBoltzmann = 1.380649e-16;       ///< erg / K
 inline constexpr double kGravity = 6.67430e-8;           ///< cm^3 g^-1 s^-2
 inline constexpr double kProtonMass = 1.67262192e-24;    ///< g
@@ -31,7 +37,7 @@ inline constexpr double kHubble100 = 3.2407792894443648e-18;
 
 /// Critical density today for h = 1 (g/cm^3): 3 H100^2 / (8 pi G).
 inline constexpr double kRhoCrit0 =
-    3.0 * kHubble100 * kHubble100 / (8.0 * 3.14159265358979323846 * kGravity);
+    3.0 * kHubble100 * kHubble100 / (8.0 * kPi * kGravity);
 
 /// Primordial hydrogen mass fraction used throughout (paper: ~76 % H, 24 % He).
 inline constexpr double kHydrogenFraction = 0.76;

@@ -21,8 +21,8 @@ namespace enzo::util {
 class FlopCounter {
  public:
   void add(const std::string& component, std::uint64_t flops);
-  std::uint64_t total() const;
-  std::uint64_t component(const std::string& name) const;
+  [[nodiscard]] std::uint64_t total() const;
+  [[nodiscard]] std::uint64_t component(const std::string& name) const;
   std::vector<std::pair<std::string, std::uint64_t>> rows() const;
   void reset();
 

@@ -9,6 +9,8 @@
 #include <cmath>
 #include <cstdint>
 
+#include "util/constants.hpp"
+
 namespace enzo::util {
 
 class Rng {
@@ -27,7 +29,7 @@ class Rng {
     have_gauss_ = false;
   }
 
-  std::uint64_t next_u64() {
+  [[nodiscard]] std::uint64_t next_u64() {
     auto rotl = [](std::uint64_t x, int k) {
       return (x << k) | (x >> (64 - k));
     };
@@ -43,15 +45,15 @@ class Rng {
   }
 
   /// Uniform in [0, 1).
-  double uniform() {
+  [[nodiscard]] double uniform() {
     return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
   }
 
   /// Uniform in [lo, hi).
-  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+  [[nodiscard]] double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
 
   /// Standard normal via Box–Muller (cached pair).
-  double gaussian() {
+  [[nodiscard]] double gaussian() {
     if (have_gauss_) {
       have_gauss_ = false;
       return cached_;
@@ -60,9 +62,9 @@ class Rng {
     while (u1 <= 1e-300) u1 = uniform();
     const double u2 = uniform();
     const double r = std::sqrt(-2.0 * std::log(u1));
-    cached_ = r * std::sin(2.0 * M_PI * u2);
+    cached_ = r * std::sin(constants::kTwoPi * u2);
     have_gauss_ = true;
-    return r * std::cos(2.0 * M_PI * u2);
+    return r * std::cos(constants::kTwoPi * u2);
   }
 
  private:

@@ -42,10 +42,10 @@ class ComponentTimers {
   void add(const std::string& name, double seconds) {
     rec_->accumulate(name, name, -1, seconds, seconds, 1);
   }
-  double seconds(const std::string& name) const {
+  [[nodiscard]] double seconds(const std::string& name) const {
     return rec_->component_seconds(name);
   }
-  double total() const { return rec_->total_seconds(); }
+  [[nodiscard]] double total() const { return rec_->total_seconds(); }
 
   void reset() { rec_->reset(); }
 
@@ -96,7 +96,7 @@ class ScopedTimer {
 class Stopwatch {
  public:
   Stopwatch() : start_(std::chrono::steady_clock::now()) {}
-  double seconds() const {
+  [[nodiscard]] double seconds() const {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                          start_).count();
   }

@@ -107,6 +107,30 @@ TEST(Checkpoint, RoundTripPreservesEverything) {
   std::filesystem::remove(path);
 }
 
+TEST(Checkpoint, RepeatedWritesAreByteIdentical) {
+  // Serialization must be a pure function of simulation state: no iteration
+  // order from unordered containers, timestamps, or pointer values may leak
+  // into the bytes (the enzo-lint determinism contract).  Encode the same
+  // state twice and after a read round-trip; all three must match exactly.
+  core::Simulation a(collapse_cfg());
+  make_blob(a);
+  a.advance_root_step();
+  a.advance_root_step();
+
+  const std::vector<std::uint8_t> enc1 = io::encode_checkpoint(a);
+  const std::vector<std::uint8_t> enc2 = io::encode_checkpoint(a);
+  ASSERT_EQ(enc1.size(), enc2.size());
+  EXPECT_EQ(enc1, enc2);
+
+  const std::string path = temp_path("ck_byteident.enzo");
+  io::write_checkpoint(a, path);
+  core::Simulation b(collapse_cfg());
+  io::read_checkpoint(b, path);
+  const std::vector<std::uint8_t> enc3 = io::encode_checkpoint(b);
+  EXPECT_EQ(enc1, enc3);
+  std::remove(path.c_str());
+}
+
 TEST(Checkpoint, RestartContinuesIdentically) {
   const std::string path = temp_path("enzo_ckpt_continue.bin");
   // Reference: run 4 steps straight through.

@@ -4,11 +4,13 @@
 #   1. werror      — -Wall -Wextra -Werror, full test suite (includes the
 #                    `io` label: checkpoint round-trips, restart determinism,
 #                    and the ckpt_faultinject corruption/torn-write sweep)
-#   2. clang-tidy  — tools/run_tidy diff gate (skips if clang-tidy missing)
-#   3. asan-ubsan  — AddressSanitizer + UBSan + ENZO_BOUNDS_CHECK,
+#   2. lint        — tools/run_lint --all: the project linter (enzo-lint)
+#                    whole-repo gate against tools/enzo_lint/baseline.txt
+#   3. clang-tidy  — tools/run_tidy diff gate (skips if clang-tidy missing)
+#   4. asan-ubsan  — AddressSanitizer + UBSan + ENZO_BOUNDS_CHECK,
 #                    `ctest -L sanitize` subset (the fault sweep carries the
 #                    sanitize label too, so torn-file parsing runs under asan)
-#   4. tsan        — ThreadSanitizer (OpenMP off), `ctest -L sanitize` subset
+#   5. tsan        — ThreadSanitizer (OpenMP off), `ctest -L sanitize` subset
 #
 # Extra on-demand stages re-run targeted suites against an existing
 # build-werror tree: `io` (CI_STAGES="io") covers the checkpoint suite, and
@@ -22,7 +24,7 @@
 #
 # Environment:
 #   CI_JOBS     parallel build/test jobs (default: nproc)
-#   CI_STAGES   space-separated subset to run (default: "werror tidy
+#   CI_STAGES   space-separated subset to run (default: "werror lint tidy
 #               asan-ubsan tsan")
 
 set -u -o pipefail
@@ -31,7 +33,7 @@ repo_root=$(cd "$(dirname "$0")/.." && pwd)
 cd "$repo_root" || exit 2
 
 jobs="${CI_JOBS:-$(nproc)}"
-stages="${CI_STAGES:-werror tidy asan-ubsan tsan}"
+stages="${CI_STAGES:-werror lint tidy asan-ubsan tsan}"
 failed=()
 
 banner() { printf '\n==== %s ====\n' "$*"; }
@@ -46,6 +48,16 @@ run_preset() {
 
 for stage in $stages; do
   case "$stage" in
+    lint)
+      banner "stage: enzo-lint gate"
+      # Whole-repo run of the project linter; new findings (anything not in
+      # tools/enzo_lint/baseline.txt) fail the stage.  Uses build-werror's
+      # compile database, configuring it if this stage runs first.
+      if [ ! -f build-werror/compile_commands.json ]; then
+        cmake --preset werror || { failed+=(lint); continue; }
+      fi
+      tools/run_lint -b build-werror --all || failed+=(lint)
+      ;;
     tidy)
       banner "stage: clang-tidy gate"
       # Gate against the merge base when on a branch, else all of HEAD's

@@ -1,0 +1,125 @@
+// Baseline machinery and compile-database source collection for enzo-lint.
+//
+// The baseline keys findings by (rule, file, normalized line text) — not
+// line numbers — so unrelated edits never invalidate it.  Each line in the
+// baseline tolerates exactly one occurrence; debt is visible (reported as a
+// suppressed count) but never fails the gate until new instances appear.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "lint.hpp"
+#include "perf/json.hpp"
+
+namespace enzo::lint {
+
+std::string baseline_key(const Finding& fi) {
+  return fi.rule + "|" + fi.rel + "|" + fi.norm;
+}
+
+bool Baseline::load(const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error) *error = "cannot open baseline " + path;
+    return false;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    entries.insert(line);
+  }
+  return true;
+}
+
+std::vector<Finding> Baseline::filter(const std::vector<Finding>& all,
+                                      std::size_t* suppressed) const {
+  std::multiset<std::string> budget = entries;
+  std::vector<Finding> fresh;
+  if (suppressed) *suppressed = 0;
+  for (const Finding& fi : all) {
+    auto it = budget.find(baseline_key(fi));
+    if (it != budget.end()) {
+      budget.erase(it);
+      if (suppressed) ++*suppressed;
+    } else {
+      fresh.push_back(fi);
+    }
+  }
+  return fresh;
+}
+
+std::string to_baseline(const std::vector<Finding>& all) {
+  std::vector<std::string> keys;
+  keys.reserve(all.size());
+  for (const Finding& fi : all) keys.push_back(baseline_key(fi));
+  std::sort(keys.begin(), keys.end());
+  std::ostringstream out;
+  out << "# enzo-lint findings baseline: tolerated pre-existing debt.\n"
+      << "# One line per occurrence: rule|path|normalized-line-text.\n"
+      << "# Regenerate with: enzo-lint --compdb <db> --write-baseline\n";
+  for (const std::string& k : keys) out << k << "\n";
+  return out.str();
+}
+
+std::string relativize(const std::string& path, const std::string& root) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path p = fs::weakly_canonical(fs::path(path), ec);
+  const fs::path r = fs::weakly_canonical(fs::path(root), ec);
+  const fs::path rel = p.lexically_relative(r);
+  std::string s = rel.generic_string();
+  if (s.empty() || s == "." || s.compare(0, 2, "..") == 0) return "";
+  return s;
+}
+
+std::vector<std::string> collect_sources(const std::string& compdb_path,
+                                         const std::string& root,
+                                         std::string* error) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> out;
+  std::ifstream in(compdb_path);
+  if (!in) {
+    if (error) *error = "cannot open compile database " + compdb_path;
+    return out;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  perf::JsonValue db;
+  std::string jerr;
+  if (!perf::json_parse(ss.str(), &db, &jerr) || !db.is_array()) {
+    if (error) *error = "malformed compile database: " + jerr;
+    return out;
+  }
+  std::set<std::string> seen;
+  for (const perf::JsonValue& entry : db.array()) {
+    const perf::JsonValue* file = entry.find("file");
+    if (file == nullptr || !file->is_string()) continue;
+    fs::path p(file->str());
+    if (p.is_relative()) {
+      const perf::JsonValue* dir = entry.find("directory");
+      if (dir != nullptr && dir->is_string()) p = fs::path(dir->str()) / p;
+    }
+    const std::string rel = relativize(p.string(), root);
+    // The contracts govern library code: lint src/** only (tests, benches,
+    // and examples are exercised by their own suites and may e.g. printf).
+    if (rel.compare(0, 4, "src/") != 0) continue;
+    if (seen.insert(rel).second) out.push_back(p.string());
+  }
+  // Headers never appear in a compile database; walk src/ for them.
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(fs::path(root) / "src", ec), end;
+       !ec && it != end; it.increment(ec)) {
+    if (!it->is_regular_file(ec)) continue;
+    const fs::path& p = it->path();
+    if (p.extension() != ".hpp" && p.extension() != ".h") continue;
+    const std::string rel = relativize(p.string(), root);
+    if (!rel.empty() && seen.insert(rel).second) out.push_back(p.string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace enzo::lint

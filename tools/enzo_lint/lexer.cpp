@@ -1,0 +1,209 @@
+// Token-level C++ lexer for enzo-lint.  Good enough for rule matching:
+// identifiers, numbers, string/char literals (bodies dropped), the two- and
+// three-character operators the rules care about, comment-borne directives.
+
+#include "lint.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace enzo::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Parse `enzo-lint: allow(rule-a, rule-b)` / `allow-file(...)` from a
+/// comment's text; record under `line` (0 for file-wide).
+void parse_directive(const std::string& comment, int line, SourceFile* f) {
+  const auto tag = comment.find("enzo-lint:");
+  if (tag == std::string::npos) return;
+  std::size_t p = tag + 10;
+  while (p < comment.size() && comment[p] == ' ') ++p;
+  bool file_wide = false;
+  if (comment.compare(p, 10, "allow-file") == 0) {
+    file_wide = true;
+    p += 10;
+  } else if (comment.compare(p, 5, "allow") == 0) {
+    p += 5;
+  } else {
+    return;
+  }
+  const auto open = comment.find('(', p);
+  if (open == std::string::npos) return;
+  const auto close = comment.find(')', open);
+  if (close == std::string::npos) return;
+  std::string rules = comment.substr(open + 1, close - open - 1);
+  std::stringstream ss(rules);
+  std::string r;
+  while (std::getline(ss, r, ',')) {
+    std::size_t b = r.find_first_not_of(" \t");
+    std::size_t e = r.find_last_not_of(" \t");
+    if (b == std::string::npos) continue;
+    (*f).allows[file_wide ? 0 : line].insert(r.substr(b, e - b + 1));
+  }
+}
+
+const char* kTwoCharOps[] = {"->", "::", "+=", "-=", "*=", "/=", "==", "!=",
+                             "<=", ">=", "&&", "||", "<<", ">>", "++", "--"};
+
+}  // namespace
+
+void lex(const std::string& text, SourceFile* f) {
+  // Split lines (for normalized baseline keys and directive anchoring).
+  f->lines.clear();
+  {
+    std::string cur;
+    for (char c : text) {
+      if (c == '\n') {
+        f->lines.push_back(cur);
+        cur.clear();
+      } else {
+        cur += c;
+      }
+    }
+    if (!cur.empty()) f->lines.push_back(cur);
+  }
+
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  int line = 1;
+  bool at_line_start = true;  // only whitespace seen since the last newline
+
+  auto push = [&](TokKind k, std::string t) {
+    f->tokens.push_back(Token{k, std::move(t), line});
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\f' || c == '\v') {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: drop the whole (continued) line.
+    if (c == '#' && at_line_start) {
+      while (i < n) {
+        if (text[i] == '\\' && i + 1 < n && text[i + 1] == '\n') {
+          i += 2;
+          ++line;
+          continue;
+        }
+        if (text[i] == '\n') break;
+        ++i;
+      }
+      continue;
+    }
+    at_line_start = false;
+    // Comments (with directive extraction).
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      std::size_t e = i + 2;
+      while (e < n && text[e] != '\n') ++e;
+      parse_directive(text.substr(i + 2, e - i - 2), line, f);
+      i = e;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      std::size_t e = i + 2;
+      int start_line = line;
+      while (e + 1 < n && !(text[e] == '*' && text[e + 1] == '/')) {
+        if (text[e] == '\n') ++line;
+        ++e;
+      }
+      parse_directive(text.substr(i + 2, e - i - 2), start_line, f);
+      i = (e + 1 < n) ? e + 2 : n;
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
+      std::size_t d = i + 2;
+      while (d < n && text[d] != '(') ++d;
+      const std::string delim = ")" + text.substr(i + 2, d - i - 2) + "\"";
+      std::size_t e = text.find(delim, d);
+      e = (e == std::string::npos) ? n : e + delim.size();
+      for (std::size_t k = i; k < e && k < n; ++k)
+        if (text[k] == '\n') ++line;
+      push(TokKind::kString, "\"\"");
+      i = e;
+      continue;
+    }
+    // String / char literals (bodies dropped; escapes honoured).
+    if (c == '"' || c == '\'') {
+      std::size_t e = i + 1;
+      while (e < n && text[e] != c) {
+        if (text[e] == '\\' && e + 1 < n) ++e;
+        if (text[e] == '\n') ++line;  // unterminated; keep line count sane
+        ++e;
+      }
+      push(c == '"' ? TokKind::kString : TokKind::kChar,
+           c == '"' ? "\"\"" : "''");
+      i = (e < n) ? e + 1 : n;
+      continue;
+    }
+    // Identifier / keyword.
+    if (ident_start(c)) {
+      std::size_t e = i + 1;
+      while (e < n && ident_char(text[e])) ++e;
+      push(TokKind::kIdent, text.substr(i, e - i));
+      i = e;
+      continue;
+    }
+    // Number (incl. 1.0e-3, hex, digit separators).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      std::size_t e = i + 1;
+      while (e < n && (ident_char(text[e]) || text[e] == '.' || text[e] == '\'' ||
+                       ((text[e] == '+' || text[e] == '-') &&
+                        (text[e - 1] == 'e' || text[e - 1] == 'E' ||
+                         text[e - 1] == 'p' || text[e - 1] == 'P'))))
+        ++e;
+      push(TokKind::kNumber, text.substr(i, e - i));
+      i = e;
+      continue;
+    }
+    // Operators / punctuation.
+    if (i + 1 < n) {
+      const std::string two = text.substr(i, 2);
+      bool matched = false;
+      for (const char* op : kTwoCharOps) {
+        if (two == op) {
+          push(TokKind::kPunct, two);
+          i += 2;
+          matched = true;
+          break;
+        }
+      }
+      if (matched) continue;
+    }
+    push(TokKind::kPunct, std::string(1, c));
+    ++i;
+  }
+}
+
+bool load_file(const std::string& path, const std::string& rel,
+               SourceFile* f) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  f->path = path;
+  f->rel = rel;
+  f->tokens.clear();
+  f->allows.clear();
+  lex(ss.str(), f);
+  return true;
+}
+
+}  // namespace enzo::lint

@@ -1,0 +1,116 @@
+#pragma once
+// enzo-lint: project-specific static analysis enforcing the determinism,
+// hot-path, topology-routing, unit-frame, and banned-API contracts
+// (DESIGN.md §11).
+//
+// Deliberately NOT built on LibTooling: a hand-rolled C++ lexer plus a
+// lightweight function/loop scanner is enough for every contract we check,
+// and it builds everywhere the project does (this container ships gcc
+// only).  The rules are token-level heuristics — sound for the project's
+// own style, escaped per-site with `// enzo-lint: allow(rule)` directives
+// and per-repo with the findings baseline (pre-existing debt is tracked,
+// not silenced).
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace enzo::lint {
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+enum class TokKind { kIdent, kNumber, kString, kChar, kPunct };
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;
+};
+
+struct SourceFile {
+  std::string path;  ///< path as opened (diagnostics)
+  std::string rel;   ///< repo-relative, forward slashes (allowlists, baseline)
+  std::vector<std::string> lines;  ///< raw text, lines[0] is line 1
+  std::vector<Token> tokens;       ///< comments/preprocessor lines stripped
+  /// `// enzo-lint: allow(rule, ...)` directives: line → rule names.
+  /// Line 0 holds file-wide `allow-file(...)` directives.
+  std::map<int, std::set<std::string>> allows;
+};
+
+/// Tokenize `text` into f (fills lines/tokens/allows).  Comments, string
+/// bodies, and preprocessor directive lines produce no tokens; enzo-lint
+/// directives inside comments are parsed into f.allows.
+void lex(const std::string& text, SourceFile* f);
+
+/// Read + lex a file; false when unreadable.
+bool load_file(const std::string& path, const std::string& rel, SourceFile* f);
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+struct Finding {
+  std::string rule;
+  std::string rel;
+  int line = 0;
+  std::string message;
+  std::string norm;  ///< whitespace-normalized source line (baseline key)
+};
+
+struct RuleInfo {
+  const char* name;
+  const char* summary;
+};
+
+/// The shipped rule catalog, in report order.
+const std::vector<RuleInfo>& rule_catalog();
+
+/// Run every rule over one file.  `f.rel` drives the built-in allowlists
+/// (e.g. src/perf/log.cpp may call vfprintf; src/mesh/topology.cpp may run
+/// all-pairs scans).  Findings on allow-directive lines are dropped here.
+std::vector<Finding> run_rules(const SourceFile& f);
+
+// ---------------------------------------------------------------------------
+// Baseline
+// ---------------------------------------------------------------------------
+//
+// One line per tolerated finding: `rule|path|normalized-line-text`.
+// Keys use the normalized text of the offending line, not its number, so
+// unrelated edits do not invalidate the baseline.  Duplicate keys tolerate
+// that many occurrences; extra occurrences are fresh findings.
+
+std::string baseline_key(const Finding& fi);
+
+struct Baseline {
+  std::multiset<std::string> entries;
+
+  bool load(const std::string& path, std::string* error);
+  /// Partition: returns the findings NOT covered by the baseline; covered
+  /// ones are counted into *suppressed.
+  std::vector<Finding> filter(const std::vector<Finding>& all,
+                              std::size_t* suppressed) const;
+};
+
+/// Serialize findings as baseline lines (sorted, stable).
+std::string to_baseline(const std::vector<Finding>& all);
+
+// ---------------------------------------------------------------------------
+// Driver helpers
+// ---------------------------------------------------------------------------
+
+/// Parse compile_commands.json and return the referenced source files,
+/// deduplicated, restricted to `root`/src (library code is what the
+/// contracts govern).  Headers under root/src are appended by scanning the
+/// tree, since a compile database only lists translation units.
+std::vector<std::string> collect_sources(const std::string& compdb_path,
+                                         const std::string& root,
+                                         std::string* error);
+
+/// `path` relative to `root` with forward slashes ("" when outside root).
+std::string relativize(const std::string& path, const std::string& root);
+
+}  // namespace enzo::lint

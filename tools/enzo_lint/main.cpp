@@ -1,0 +1,157 @@
+// enzo-lint driver.
+//
+//   enzo-lint --compdb build/compile_commands.json [--root DIR]
+//             [--baseline tools/enzo_lint/baseline.txt] [--write-baseline]
+//             [--files rel1 rel2 ...] [--list-rules] [paths...]
+//
+// With --compdb the tool lints every src/** translation unit named by the
+// compile database plus every header under src/.  Explicit paths (positional)
+// lint just those files.  --files restricts the compdb set to the given
+// repo-relative paths — tools/run_lint uses it for changed-files-only runs.
+//
+// Exit status: 0 clean (baselined debt allowed), 1 findings, 2 usage error.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+int usage(const char* msg) {
+  if (msg != nullptr) std::fprintf(stderr, "enzo-lint: %s\n", msg);
+  std::fprintf(stderr,
+               "usage: enzo-lint [--compdb FILE] [--root DIR] "
+               "[--baseline FILE] [--write-baseline] [--list-rules] "
+               "[--files rel...] [paths...]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace enzo::lint;
+  namespace fs = std::filesystem;
+
+  std::string compdb, root, baseline_path;
+  bool write_baseline = false, list_rules = false;
+  std::vector<std::string> restrict_files, explicit_paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        usage((std::string(flag) + " requires an argument").c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--compdb") {
+      compdb = next("--compdb");
+    } else if (a == "--root") {
+      root = next("--root");
+    } else if (a == "--baseline") {
+      baseline_path = next("--baseline");
+    } else if (a == "--write-baseline") {
+      write_baseline = true;
+    } else if (a == "--list-rules") {
+      list_rules = true;
+    } else if (a == "--files") {
+      while (i + 1 < argc && argv[i + 1][0] != '-')
+        restrict_files.push_back(argv[++i]);
+    } else if (a == "--help" || a == "-h") {
+      usage(nullptr);
+      return 0;
+    } else if (!a.empty() && a[0] == '-') {
+      return usage(("unknown option " + a).c_str());
+    } else {
+      explicit_paths.push_back(a);
+    }
+  }
+
+  if (list_rules) {
+    for (const RuleInfo& r : rule_catalog())
+      std::printf("%-36s %s\n", r.name, r.summary);
+    return 0;
+  }
+
+  if (root.empty()) {
+    // Default root: the repo containing the compile database's sources, or
+    // the current directory for explicit-path runs.
+    root = fs::current_path().string();
+    if (!compdb.empty()) {
+      // compile_commands.json lives in <root>/build*/; its parent's parent
+      // is the repo when laid out that way, else fall back to cwd.
+      const fs::path parent = fs::path(compdb).parent_path().parent_path();
+      if (!parent.empty() && fs::exists(parent / "src")) root = parent.string();
+    }
+  }
+
+  std::vector<std::string> paths;
+  std::string err;
+  if (!explicit_paths.empty()) {
+    paths = explicit_paths;
+  } else if (!compdb.empty()) {
+    paths = collect_sources(compdb, root, &err);
+    if (!err.empty()) return usage(err.c_str());
+  } else {
+    return usage("need --compdb or explicit paths");
+  }
+
+  if (!restrict_files.empty()) {
+    const std::set<std::string> keep(restrict_files.begin(),
+                                     restrict_files.end());
+    std::vector<std::string> filtered;
+    for (const std::string& p : paths)
+      if (keep.count(relativize(p, root)) || keep.count(p))
+        filtered.push_back(p);
+    paths.swap(filtered);
+  }
+
+  std::vector<Finding> all;
+  std::size_t nfiles = 0;
+  for (const std::string& p : paths) {
+    std::string rel = relativize(p, root);
+    if (rel.empty()) rel = p;
+    SourceFile f;
+    if (!load_file(p, rel, &f)) {
+      std::fprintf(stderr, "enzo-lint: cannot read %s\n", p.c_str());
+      continue;
+    }
+    ++nfiles;
+    for (Finding& fi : run_rules(f)) all.push_back(std::move(fi));
+  }
+
+  if (write_baseline) {
+    const std::string text = to_baseline(all);
+    if (baseline_path.empty()) {
+      std::fputs(text.c_str(), stdout);
+    } else {
+      std::ofstream out(baseline_path);
+      if (!out) return usage(("cannot write " + baseline_path).c_str());
+      out << text;
+      std::printf("enzo-lint: wrote %zu baseline entr%s to %s\n", all.size(),
+                  all.size() == 1 ? "y" : "ies", baseline_path.c_str());
+    }
+    return 0;
+  }
+
+  std::size_t suppressed = 0;
+  std::vector<Finding> fresh = all;
+  if (!baseline_path.empty()) {
+    Baseline bl;
+    if (!bl.load(baseline_path, &err)) return usage(err.c_str());
+    fresh = bl.filter(all, &suppressed);
+  }
+
+  for (const Finding& fi : fresh)
+    std::printf("%s:%d: [%s] %s\n", fi.rel.c_str(), fi.line, fi.rule.c_str(),
+                fi.message.c_str());
+  std::printf(
+      "enzo-lint: %zu file(s), %zu finding(s), %zu baselined\n", nfiles,
+      fresh.size(), suppressed);
+  return fresh.empty() ? 0 : 1;
+}
