@@ -33,7 +33,7 @@ int main() {
     for (Field f : root->field_list()) root->field(f).fill(0.0);
     root->field(Field::kInternalEnergy).fill(1.0);
     root->field(Field::kTotalEnergy).fill(1.0);
-    auto& rho = root->field(Field::kDensity);
+    const auto rho = root->field(Field::kDensity);
     for (int j = 0; j < 32; ++j)
       for (int i = 0; i < 32; ++i) {
         const double x = (i + 0.5) / 32, y = (j + 0.5) / 32;

@@ -91,7 +91,7 @@ void BM_MultigridSolve(benchmark::State& state) {
   gravity::GravityParams p;
   for (auto _ : state) {
     util::Array3<double> phi(n + 2, n + 2, n + 2, 0.0);
-    gravity::multigrid_solve(phi, rhs, 1.0 / n, p);
+    gravity::multigrid_solve(phi.view(), rhs.view(), 1.0 / n, p);
   }
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }

@@ -91,10 +91,10 @@ int main() {
 
   // Reference first: the all-pairs scans never consult the cache, so the
   // order of the two sweeps cannot contaminate the comparison.
-  mesh::set_use_overlap_topology(false);
+  h.set_use_topology(false);
   const ConsumerTimes ref = time_consumers(sim);
 
-  mesh::set_use_overlap_topology(true);
+  h.set_use_topology(true);
   // Warm the cache outside the timed region and record its one-off cost;
   // per-step consumers amortize this over every sweep between rebuilds.
   util::Stopwatch build_sw;

@@ -1,0 +1,153 @@
+// Regrid-storm bench (§5): the hierarchy is rebuilt thousands of times per
+// run, so rebuild cost — and the "extremely large number of memory
+// allocations and frees" it generates — is a first-order concern.  Drives
+// steady-state rebuilds of a refined hierarchy under the three storage
+// strategies (plain heap / pooled blocks / pooled + incremental keep) and
+// reports wall time per rebuild, AllocStats heap allocations per rebuild,
+// the arena pool hit rate, and kept-grid counts.  Emits BENCH_regrid.json
+// for regression tracking.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "mesh/field_storage.hpp"
+#include "mesh/hierarchy.hpp"
+#include "perf/json.hpp"
+#include "perf/metrics.hpp"
+#include "util/alloc_stats.hpp"
+#include "util/timer.hpp"
+
+using namespace enzo;
+using mesh::Grid;
+using mesh::Hierarchy;
+using mesh::Index3;
+
+namespace {
+
+constexpr int kWarmups = 3;   // reach the nesting steady state + prime pools
+constexpr int kRebuilds = 20;
+
+/// Flag a fixed global sphere of parent cells: position-based, so every
+/// rebuild reproduces the same boxes — the steady state of a long run
+/// between bursts of structural change.
+Hierarchy::FlagFn sphere_flagger() {
+  return [](const Grid& g, std::vector<Index3>& flags) {
+    const Index3 dims = g.spec().level_dims;
+    for (std::int64_t k = g.box().lo[2]; k < g.box().hi[2]; ++k)
+      for (std::int64_t j = g.box().lo[1]; j < g.box().hi[1]; ++j)
+        for (std::int64_t i = g.box().lo[0]; i < g.box().hi[0]; ++i) {
+          const double x = (static_cast<double>(i) + 0.5) / dims[0] - 0.5;
+          const double y = (static_cast<double>(j) + 0.5) / dims[1] - 0.5;
+          const double z = (static_cast<double>(k) + 0.5) / dims[2] - 0.5;
+          if (x * x + y * y + z * z < 0.2 * 0.2) flags.push_back({i, j, k});
+        }
+  };
+}
+
+struct ModeResult {
+  std::string mode;
+  double rebuild_seconds = 0.0;
+  double heap_allocs_per_rebuild = 0.0;
+  double arena_hit_rate = 0.0;
+  double kept_grids_per_rebuild = 0.0;
+  std::size_t grids = 0;
+};
+
+ModeResult run_mode(const std::string& name, const mesh::ArenaOptions& opt) {
+  mesh::HierarchyParams p;
+  p.root_dims = {32, 32, 32};
+  p.max_level = 2;
+  p.arena = opt;
+  Hierarchy h(p);
+  h.build_root();
+  for (Grid* g : h.grids(0)) {
+    for (mesh::Field f : g->field_list()) g->field(f).fill(1.0);
+    g->store_old_fields();
+  }
+  const Hierarchy::FlagFn flag = sphere_flagger();
+  for (int i = 0; i < kWarmups; ++i) h.rebuild(1, flag);
+
+  perf::Registry& reg = perf::Registry::global();
+  const std::uint64_t allocs0 = util::AllocStats::global().allocations();
+  const std::uint64_t hits0 = reg.counter("arena.pool_hits").value();
+  const std::uint64_t miss0 = reg.counter("arena.pool_misses").value();
+  const std::uint64_t kept0 = reg.counter("arena.regrid_kept_grids").value();
+  util::Stopwatch sw;
+  for (int i = 0; i < kRebuilds; ++i) h.rebuild(1, flag);
+  ModeResult r;
+  r.mode = name;
+  r.rebuild_seconds = sw.seconds() / kRebuilds;
+  r.heap_allocs_per_rebuild =
+      static_cast<double>(util::AllocStats::global().allocations() - allocs0) /
+      kRebuilds;
+  const std::uint64_t hits = reg.counter("arena.pool_hits").value() - hits0;
+  const std::uint64_t misses =
+      reg.counter("arena.pool_misses").value() - miss0;
+  r.arena_hit_rate =
+      hits + misses > 0
+          ? static_cast<double>(hits) / static_cast<double>(hits + misses)
+          : 0.0;
+  r.kept_grids_per_rebuild =
+      static_cast<double>(reg.counter("arena.regrid_kept_grids").value() -
+                          kept0) /
+      kRebuilds;
+  r.grids = h.total_grids();
+  h.check_invariants();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  mesh::ArenaOptions heap;
+  heap.pool = false;
+  heap.incremental = false;
+  mesh::ArenaOptions pool_only;
+  pool_only.incremental = false;
+  const ModeResult modes[] = {
+      run_mode("heap_full", heap),
+      run_mode("pool_full", pool_only),
+      run_mode("pool_incremental", mesh::ArenaOptions{}),
+  };
+
+  std::printf("steady-state regrid storm, %d rebuilds per mode\n\n",
+              kRebuilds);
+  std::printf("%-18s %14s %16s %10s %12s\n", "mode", "rebuild [s]",
+              "allocs/rebuild", "hit rate", "kept/rebuild");
+  for (const ModeResult& m : modes)
+    std::printf("%-18s %14.6f %16.1f %10.3f %12.1f\n", m.mode.c_str(),
+                m.rebuild_seconds, m.heap_allocs_per_rebuild,
+                m.arena_hit_rate, m.kept_grids_per_rebuild);
+  const double base = modes[0].rebuild_seconds;
+  if (modes[2].rebuild_seconds > 0.0)
+    std::printf("\nincremental speedup over heap_full: %.2fx\n",
+                base / modes[2].rebuild_seconds);
+
+  const char* out_path = "BENCH_regrid.json";
+  std::string json = "{\"bench\":\"regrid_arena\",\"rebuilds\":" +
+                     std::to_string(kRebuilds) + ",\"modes\":[";
+  bool first = true;
+  for (const ModeResult& m : modes) {
+    if (!first) json += ",";
+    first = false;
+    json += "{\"mode\":\"" + perf::json_escape(m.mode) +
+            "\",\"grids\":" + std::to_string(m.grids) +
+            ",\"rebuild_seconds\":" + perf::json_number(m.rebuild_seconds) +
+            ",\"heap_allocs_per_rebuild\":" +
+            perf::json_number(m.heap_allocs_per_rebuild) +
+            ",\"arena_hit_rate\":" + perf::json_number(m.arena_hit_rate) +
+            ",\"kept_grids_per_rebuild\":" +
+            perf::json_number(m.kept_grids_per_rebuild) + "}";
+  }
+  json += "]}\n";
+  if (std::FILE* f = std::fopen(out_path, "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", out_path);
+  } else {
+    std::fprintf(stderr, "failed to write %s\n", out_path);
+    return 1;
+  }
+  return 0;
+}

@@ -212,7 +212,7 @@ void check_ghosts(const mesh::Hierarchy& h, AuditContext& ctx) {
   // as the linear scan (check_topology already ran, so refreshing here is
   // safe).
   const mesh::OverlapTopology* topo =
-      mesh::use_overlap_topology() ? &h.topology() : nullptr;
+      h.use_topology() ? &h.topology() : nullptr;
   for (int l = 0; l <= h.deepest_level(); ++l) {
     const Index3 dims = h.level_dims(l);
     const auto lv = h.grids(l);

@@ -263,9 +263,9 @@ void solve_chemistry_step(Grid& g, double dt, const ChemistryParams& params,
   ENZO_REQUIRE(g.has_field(Field::kH2I), "chemistry fields not allocated");
   perf::TraceScope scope("network", perf::component::kChemistry, g.level());
   const double dt_s = dt * units.time_s;
-  auto& rho = g.field(Field::kDensity);
-  auto& eint = g.field(Field::kInternalEnergy);
-  auto& etot = g.field(Field::kTotalEnergy);
+  const mesh::ConstFieldView rho = g.field(Field::kDensity);
+  const mesh::FieldView eint = g.field(Field::kInternalEnergy);
+  const mesh::FieldView etot = g.field(Field::kTotalEnergy);
   // Cells are independent; rows of cells are chunked through the executor
   // (replacing the old OpenMP pragma).  The subcycle tally is an integer sum
   // — commutative, so the atomic accumulation stays deterministic at any
@@ -331,7 +331,7 @@ double cell_temperature(const Grid& g, int si, int sj, int sk,
 
 void initialize_primordial_composition(Grid& g, const ChemistryParams& params,
                                        double x_e, double f_h2) {
-  const auto& rho = g.field(Field::kDensity);
+  const mesh::ConstFieldView rho = g.field(Field::kDensity);
   const double X = params.hydrogen_fraction;
   const double Y = 1.0 - X;
   const double fD = params.deuterium_fraction;

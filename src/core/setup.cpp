@@ -33,12 +33,12 @@ ENZO_UNITS_BOUNDARY double eint_code(double T, double mu, double gamma,
 void fill_gas_from_realization(Grid& g, const cosmology::GrfOutput& real,
                                double growth, double vfac, double rho_mean,
                                double eint) {
-  auto& rho = g.field(Field::kDensity);
-  auto& et = g.field(Field::kTotalEnergy);
-  auto& ei = g.field(Field::kInternalEnergy);
-  util::Array3<double>* vel[3] = {&g.field(Field::kVelocityX),
-                                  &g.field(Field::kVelocityY),
-                                  &g.field(Field::kVelocityZ)};
+  const mesh::FieldView rho = g.field(Field::kDensity);
+  const mesh::FieldView et = g.field(Field::kTotalEnergy);
+  const mesh::FieldView ei = g.field(Field::kInternalEnergy);
+  const mesh::FieldView vel[3] = {g.field(Field::kVelocityX),
+                                  g.field(Field::kVelocityY),
+                                  g.field(Field::kVelocityZ)};
   const int n = real.delta.nx();
   for (int k = 0; k < g.nt(2); ++k)
     for (int j = 0; j < g.nt(1); ++j)
@@ -57,10 +57,10 @@ void fill_gas_from_realization(Grid& g, const cosmology::GrfOutput& real,
         const double d = growth * real.delta(gi, gj, gk);
         rho(i, j, k) = rho_mean * std::max(1.0 + d, 0.05);
         for (int c = 0; c < 3; ++c)
-          (*vel[c])(i, j, k) = vfac * real.psi[c](gi, gj, gk);
+          vel[c](i, j, k) = vfac * real.psi[c](gi, gj, gk);
         double v2 = 0;
         for (int c = 0; c < 3; ++c)
-          v2 += (*vel[c])(i, j, k) * (*vel[c])(i, j, k);
+          v2 += vel[c](i, j, k) * vel[c](i, j, k);
         ei(i, j, k) = eint;
         et(i, j, k) = eint + 0.5 * v2;
       }
@@ -86,10 +86,6 @@ ProblemSetup uniform_setup(double rho, double eint) {
   return setup;
 }
 
-void setup_uniform(Simulation& sim, double rho, double eint) {
-  sim.initialize(uniform_setup(rho, eint));
-}
-
 ProblemSetup sod_tube_setup() {
   ProblemSetup setup;
   setup.configure([](SimulationConfig& cfg) {
@@ -104,10 +100,10 @@ ProblemSetup sod_tube_setup() {
   setup.fill([](Simulation& sim) {
     const double gamma = sim.config().hydro.gamma;
     for (Grid* g : sim.hierarchy().grids(0)) {
-      auto& rho = g->field(Field::kDensity);
-      auto& vx = g->field(Field::kVelocityX);
-      auto& et = g->field(Field::kTotalEnergy);
-      auto& ei = g->field(Field::kInternalEnergy);
+      const mesh::FieldView rho = g->field(Field::kDensity);
+      const mesh::FieldView vx = g->field(Field::kVelocityX);
+      const mesh::FieldView et = g->field(Field::kTotalEnergy);
+      const mesh::FieldView ei = g->field(Field::kInternalEnergy);
       g->field(Field::kVelocityY).fill(0.0);
       g->field(Field::kVelocityZ).fill(0.0);
       for (int i = 0; i < g->nx(0); ++i) {
@@ -125,8 +121,6 @@ ProblemSetup sod_tube_setup() {
   });
   return setup;
 }
-
-void setup_sod_tube(Simulation& sim) { sim.initialize(sod_tube_setup()); }
 
 ProblemSetup cosmological_setup(const CosmologySetupOptions& opt) {
   ProblemSetup setup;
@@ -226,10 +220,6 @@ ProblemSetup cosmological_setup(const CosmologySetupOptions& opt) {
   return setup;
 }
 
-void setup_cosmological(Simulation& sim, const CosmologySetupOptions& opt) {
-  sim.initialize(cosmological_setup(opt));
-}
-
 ProblemSetup collapse_cloud_setup(const CollapseSetupOptions& opt) {
   ProblemSetup setup;
   setup.configure([opt](SimulationConfig& cfg) {
@@ -258,7 +248,7 @@ ProblemSetup collapse_cloud_setup(const CollapseSetupOptions& opt) {
     double mean = 0.0;
     std::int64_t count = 0;
     for (Grid* g : sim.hierarchy().grids(0)) {
-      auto& rho = g->field(Field::kDensity);
+      const mesh::FieldView rho = g->field(Field::kDensity);
       for (int k = 0; k < g->nt(2); ++k)
         for (int j = 0; j < g->nt(1); ++j)
           for (int i = 0; i < g->nt(0); ++i) {
@@ -312,10 +302,6 @@ ProblemSetup collapse_cloud_setup(const CollapseSetupOptions& opt) {
   return setup;
 }
 
-void setup_collapse_cloud(Simulation& sim, const CollapseSetupOptions& opt) {
-  sim.initialize(collapse_cloud_setup(opt));
-}
-
 ProblemSetup zeldovich_pancake_setup(const PancakeOptions& opt) {
   ProblemSetup setup;
   setup.configure([opt](SimulationConfig& cfg) {
@@ -342,10 +328,10 @@ ProblemSetup zeldovich_pancake_setup(const PancakeOptions& opt) {
     const double vfac =
         cosmology::zeldovich_velocity_factor(frw, cfg.units, a_i);
     for (Grid* g : sim.hierarchy().grids(0)) {
-      auto& rho = g->field(Field::kDensity);
-      auto& vx = g->field(Field::kVelocityX);
-      auto& ei = g->field(Field::kInternalEnergy);
-      auto& et = g->field(Field::kTotalEnergy);
+      const mesh::FieldView rho = g->field(Field::kDensity);
+      const mesh::FieldView vx = g->field(Field::kVelocityX);
+      const mesh::FieldView ei = g->field(Field::kInternalEnergy);
+      const mesh::FieldView et = g->field(Field::kTotalEnergy);
       g->field(Field::kVelocityY).fill(0.0);
       g->field(Field::kVelocityZ).fill(0.0);
       for (int i = 0; i < g->nt(0); ++i) {
@@ -369,10 +355,6 @@ ProblemSetup zeldovich_pancake_setup(const PancakeOptions& opt) {
     }
   });
   return setup;
-}
-
-void setup_zeldovich_pancake(Simulation& sim, const PancakeOptions& opt) {
-  sim.initialize(zeldovich_pancake_setup(opt));
 }
 
 }  // namespace enzo::core

@@ -15,11 +15,9 @@
 //
 // The remaining setups are standard verification problems.
 //
-// Each problem is exposed two ways:
-//   - a *_setup(...) factory returning a ProblemSetup, composable with extra
-//     hooks and run via Simulation::initialize() — the preferred API;
-//   - a legacy setup_*(sim, ...) function, now a one-line shim over the
-//     factory.
+// Each problem is a *_setup(...) factory returning a ProblemSetup,
+// composable with extra hooks and run via Simulation::initialize().  (The
+// legacy setup_*(Simulation&) shims that wrapped these factories are gone.)
 
 #include "core/problem_setup.hpp"
 #include "core/simulation.hpp"
@@ -42,7 +40,6 @@ struct CosmologySetupOptions {
 /// fields and particles, and (if requested) the nested static levels with
 /// mode-consistent small-scale power.
 ProblemSetup cosmological_setup(const CosmologySetupOptions& opt);
-void setup_cosmological(Simulation& sim, const CosmologySetupOptions& opt);
 
 struct CollapseSetupOptions {
   double box_proper_cm = 2.0 * 3.0857e18;  ///< 2 pc box
@@ -59,11 +56,9 @@ struct CollapseSetupOptions {
 /// chemistry).  Sets cfg.units to a self-consistent simple system in which
 /// G_code = 4πG·ρ_unit·t_unit² with t_unit the background free-fall scale.
 ProblemSetup collapse_cloud_setup(const CollapseSetupOptions& opt);
-void setup_collapse_cloud(Simulation& sim, const CollapseSetupOptions& opt);
 
 /// Sod shock tube along x (n×1×1, outflow boundaries).
 ProblemSetup sod_tube_setup();
-void setup_sod_tube(Simulation& sim);
 
 /// Zel'dovich pancake: single sinusoidal perturbation collapsing to a
 /// caustic at a_caustic (1-d comoving problem, the classic cosmology-hydro
@@ -74,10 +69,8 @@ struct PancakeOptions {
   double initial_temperature = 100.0;         ///< K
 };
 ProblemSetup zeldovich_pancake_setup(const PancakeOptions& opt);
-void setup_zeldovich_pancake(Simulation& sim, const PancakeOptions& opt);
 
 /// Uniform medium (smoke tests).
 ProblemSetup uniform_setup(double rho, double eint);
-void setup_uniform(Simulation& sim, double rho, double eint);
 
 }  // namespace enzo::core

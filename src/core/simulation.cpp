@@ -450,7 +450,7 @@ void Simulation::evolve_level(int level, ext::pos_t parent_time) {
       auto children = hierarchy_.grids(level + 1);
       std::vector<mesh::ParentGroup> local;
       const std::vector<mesh::ParentGroup>* groups = &local;
-      if (mesh::use_overlap_topology() && !children.empty()) {
+      if (hierarchy_.use_topology() && !children.empty()) {
         // Same first-seen-order grouping, precomputed at rebuild time.
         groups = &hierarchy_.topology().children_by_parent(level + 1);
       } else {

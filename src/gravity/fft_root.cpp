@@ -68,7 +68,7 @@ void solve_root_gravity(mesh::Hierarchy& h, const GravityParams& p,
   // ---- scatter back with periodic ghosts ------------------------------------
   for (mesh::Grid* g : roots) {
     auto glo = [&](int d) { return g->spec().level_dims[d] > 1 ? 1 : 0; };
-    auto& pot = g->potential();
+    const mesh::FieldView pot = g->potential();
     for (int k = -glo(2); k < g->nx(2) + glo(2); ++k)
       for (int j = -glo(1); j < g->nx(1) + glo(1); ++j)
         for (int i = -glo(0); i < g->nx(0) + glo(0); ++i) {

@@ -82,7 +82,7 @@ double parent_potential_at(const Grid& child, const Grid& parent,
 
 /// Fill a subgrid's potential ghost layer from its parent.
 void fill_potential_bc_from_parent(Grid& g, const Grid& parent) {
-  auto& pot = g.potential();
+  const mesh::FieldView pot = g.potential();
   const int gx = pot_ghost(g, 0), gy = pot_ghost(g, 1), gz = pot_ghost(g, 2);
   for (int k = -gz; k < g.nx(2) + gz; ++k)
     for (int j = -gy; j < g.nx(1) + gy; ++j)
@@ -101,7 +101,8 @@ void fill_potential_bc_from_parent(Grid& g, const Grid& parent) {
 void copy_potential_overlap(Grid& g, const Grid& s, const mesh::IndexBox& ov,
                             std::int64_t kx, std::int64_t ky,
                             std::int64_t kz) {
-  auto& pot = g.potential();
+  const mesh::FieldView pot = g.potential();
+  const mesh::ConstFieldView spot = s.potential();
   const int gx = pot_ghost(g, 0), gy = pot_ghost(g, 1), gz = pot_ghost(g, 2);
   const int sgx = pot_ghost(s, 0), sgy = pot_ghost(s, 1),
             sgz = pot_ghost(s, 2);
@@ -114,7 +115,7 @@ void copy_potential_overlap(Grid& g, const Grid& s, const mesh::IndexBox& ov,
         const int si = static_cast<int>(zi - kx - s.box().lo[0]) + sgx;
         const int sj = static_cast<int>(zj - ky - s.box().lo[1]) + sgy;
         const int sk = static_cast<int>(zk - kz - s.box().lo[2]) + sgz;
-        pot(di, dj, dk) = s.potential()(si, sj, sk);
+        pot(di, dj, dk) = spot(si, sj, sk);
       }
 }
 
@@ -175,8 +176,8 @@ void restrict_child_mass(const Grid& g, Grid& parent) {
   const int gx = pot_ghost(g, 0), gy = pot_ghost(g, 1), gz = pot_ghost(g, 2);
   const int pgx = pot_ghost(parent, 0), pgy = pot_ghost(parent, 1),
             pgz = pot_ghost(parent, 2);
-  auto& pgm = parent.gravitating_mass();
-  const auto& cgm = g.gravitating_mass();
+  const mesh::FieldView pgm = parent.gravitating_mass();
+  const mesh::ConstFieldView cgm = g.gravitating_mass();
   const double inv_nf = 1.0 / (static_cast<double>(rd[0]) * rd[1] * rd[2]);
   for (std::int64_t pk = g.box().lo[2] / rd[2]; pk < g.box().hi[2] / rd[2];
        ++pk)
@@ -209,9 +210,9 @@ void begin_gravitating_mass(mesh::Hierarchy& h, int level,
       [&](std::size_t n) {
         Grid* g = grids[n];
         g->allocate_gravity();
-        auto& gm = g->gravitating_mass();
+        const mesh::FieldView gm = g->gravitating_mass();
         gm.fill(0.0);
-        const auto& rho = g->field(mesh::Field::kDensity);
+        const mesh::ConstFieldView rho = g->field(mesh::Field::kDensity);
         const int gx = pot_ghost(*g, 0), gy = pot_ghost(*g, 1),
                   gz = pot_ghost(*g, 2);
         for (int k = 0; k < g->nx(2); ++k)
@@ -231,7 +232,7 @@ void restrict_gravitating_mass(mesh::Hierarchy& h, exec::LevelExecutor* ex) {
     // cache holds the same first-seen-order grouping precomputed.
     std::vector<mesh::ParentGroup> local;
     const std::vector<mesh::ParentGroup>* groups = &local;
-    if (mesh::use_overlap_topology() && !children.empty()) {
+    if (h.use_topology() && !children.empty()) {
       groups = &h.topology().children_by_parent(l);
       for (const mesh::ParentGroup& gp : *groups)
         ENZO_REQUIRE(gp.first != nullptr,
@@ -280,8 +281,8 @@ void solve_subgrid_gravity(mesh::Hierarchy& h, int level,
   const double coef = p.grav_const_code / a;
   // Fetch the cached neighbor lists before the first phase (the hierarchy is
   // frozen inside phases, so the reference stays valid for all of them).
-  const mesh::OverlapTopology* topo =
-      mesh::use_overlap_topology() ? &h.topology() : nullptr;
+  const mesh::OverlapTopology* topo = h.use_topology() ? &h.topology()
+                                                       : nullptr;
 
   // Per-grid RHS and initial guess (interpolated parent potential
   // everywhere, which also sets the Dirichlet ghosts).  Each task writes
@@ -296,7 +297,7 @@ void solve_subgrid_gravity(mesh::Hierarchy& h, int level,
         Grid* parent = g->parent();
         ENZO_REQUIRE(parent && parent->has_gravity(),
                      "parent potential missing for subgrid gravity");
-        auto& pot = g->potential();
+        const mesh::FieldView pot = g->potential();
         const int gx = pot_ghost(*g, 0), gy = pot_ghost(*g, 1),
                   gz = pot_ghost(*g, 2);
         for (int k = -gz; k < g->nx(2) + gz; ++k)
@@ -306,7 +307,7 @@ void solve_subgrid_gravity(mesh::Hierarchy& h, int level,
                   parent_potential_at(*g, *parent, g->box().lo[0] + i,
                                       g->box().lo[1] + j, g->box().lo[2] + k);
         rhs[n].resize(pot.nx(), pot.ny(), pot.nz(), 0.0);
-        const auto& gm = g->gravitating_mass();
+        const mesh::ConstFieldView gm = g->gravitating_mass();
         for (int k = 0; k < g->nx(2); ++k)
           for (int j = 0; j < g->nx(1); ++j)
             for (int i = 0; i < g->nx(0); ++i)
@@ -325,7 +326,8 @@ void solve_subgrid_gravity(mesh::Hierarchy& h, int level,
         level_grids.size(),
         [&](std::size_t n) {
           Grid* g = level_grids[n];
-          multigrid_solve(g->potential(), rhs[n], g->cell_width_d(0), p);
+          multigrid_solve(g->potential(), rhs[n].view(), g->cell_width_d(0),
+                          p);
         },
         grid_cost);
     if (pass < p.sibling_iterations) {
@@ -344,10 +346,10 @@ void solve_subgrid_gravity(mesh::Hierarchy& h, int level,
 
 void compute_accelerations(Grid& g, double a) {
   ENZO_REQUIRE(g.has_gravity(), "accelerations require a solved potential");
-  const auto& pot = g.potential();
+  const mesh::ConstFieldView pot = g.potential();
   const int gx = pot_ghost(g, 0), gy = pot_ghost(g, 1), gz = pot_ghost(g, 2);
   for (int d = 0; d < 3; ++d) {
-    auto& acc = g.acceleration(d);
+    const mesh::FieldView acc = g.acceleration(d);
     if (g.spec().level_dims[d] == 1) {
       acc.fill(0.0);
       continue;

@@ -65,11 +65,10 @@ void solve_subgrid_gravity(mesh::Hierarchy& h, int level,
 void compute_accelerations(mesh::Grid& g, double a);
 
 /// Multigrid building block, exposed for testing: solve ∇²φ = rhs on the
-/// active region of `phi` (arrays with one ghost layer holding fixed
-/// Dirichlet values; rhs same shape, ghosts ignored) with cell width dx.
-/// Returns the final relative residual.
-double multigrid_solve(util::Array3<double>& phi,
-                       const util::Array3<double>& rhs, double dx,
-                       const GravityParams& p);
+/// active region of `phi` (views over arrays with one ghost layer holding
+/// fixed Dirichlet values; rhs same shape, ghosts ignored) with cell width
+/// dx.  Returns the final relative residual.
+double multigrid_solve(mesh::FieldView phi, mesh::ConstFieldView rhs,
+                       double dx, const GravityParams& p);
 
 }  // namespace enzo::gravity

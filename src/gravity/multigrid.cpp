@@ -9,6 +9,7 @@
 // parent cells × the integer refinement factor), so at least one coarsening
 // is always available; coarsening stops at odd or minimal extents.
 
+#include <algorithm>
 #include <cmath>
 
 #include <vector>
@@ -171,12 +172,11 @@ double norm2(const MgLevel& lv, const util::Array3<double>& a) {
 
 }  // namespace
 
-double multigrid_solve(util::Array3<double>& phi,
-                       const util::Array3<double>& rhs, double dx,
-                       const GravityParams& p) {
-  ENZO_REQUIRE(phi.same_shape(const_cast<util::Array3<double>&>(rhs)),
-               "multigrid: phi/rhs shape mismatch");
-  // Build the level stack.
+double multigrid_solve(mesh::FieldView phi, mesh::ConstFieldView rhs,
+                       double dx, const GravityParams& p) {
+  ENZO_REQUIRE(phi.same_shape(rhs), "multigrid: phi/rhs shape mismatch");
+  // Build the level stack (the fine level works on private copies; the
+  // caller's view is written back once the cycles converge).
   std::vector<MgLevel> levels;
   MgLevel fine;
   fine.dx = dx;
@@ -186,8 +186,10 @@ double multigrid_solve(util::Array3<double>& phi,
     fine.n[d] = fine.active[d] ? tot - 2 : 1;
     ENZO_REQUIRE(fine.n[d] >= 1, "multigrid: degenerate extent");
   }
-  fine.phi = phi;
-  fine.rhs = rhs;
+  fine.phi.resize(phi.nx(), phi.ny(), phi.nz());
+  std::copy(phi.begin(), phi.end(), fine.phi.begin());
+  fine.rhs.resize(rhs.nx(), rhs.ny(), rhs.nz());
+  std::copy(rhs.begin(), rhs.end(), fine.rhs.begin());
   levels.push_back(std::move(fine));
   while (can_coarsen(levels.back()) &&
          levels.size() < 12) {
@@ -215,7 +217,7 @@ double multigrid_solve(util::Array3<double>& phi,
     rel = rhs_norm > 0 ? rn / rhs_norm : rn;
     if (rel < p.mg_tolerance) break;
   }
-  phi = levels[0].phi;
+  std::copy(levels[0].phi.begin(), levels[0].phi.end(), phi.begin());
   return rel;
 }
 

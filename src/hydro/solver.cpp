@@ -11,12 +11,15 @@
 #include "perf/metrics.hpp"
 #include "perf/trace.hpp"
 #include "util/annotations.hpp"
+#include "util/arena.hpp"
 #include "util/error.hpp"
 #include "util/flops.hpp"
 
 namespace enzo::hydro {
 
+using mesh::ConstFieldView;
 using mesh::Field;
+using mesh::FieldView;
 using mesh::Grid;
 
 namespace {
@@ -31,25 +34,60 @@ std::vector<Field> species_fields(const Grid& g) {
   return out;
 }
 
+/// Thread-local, arena-backed scratch for the ZEUS source step: the viscous
+/// pressures q[3] and the gas pressure p.  Blocks come from the process-wide
+/// solver scratch arena, so repeated calls on same-shaped grids are
+/// allocation-free and differently-shaped grids recycle each other's blocks.
+struct ZeusScratch {
+  mesh::Buffer3 q[3];
+  mesh::Buffer3 p;
+};
+
+struct ZeusViews {
+  FieldView q[3];
+  FieldView p;
+};
+
+/// Reshape the scratch for this grid and hand out views, zero-filled like
+/// the freshly-constructed arrays the source step used to allocate.
+/// Deliberately not ENZO_HOT: any (re)acquisition happens here, outside the
+/// stencil loops.
+ZeusViews zeus_scratch_views(const Grid& g) {
+  thread_local ZeusScratch s = [] {
+    ZeusScratch z;
+    for (auto& b : z.q) b.set_arena(&util::Arena::scratch());
+    z.p.set_arena(&util::Arena::scratch());
+    return z;
+  }();
+  ZeusViews v;
+  for (int d = 0; d < 3; ++d) {
+    s.q[d].resize(g.nt(0), g.nt(1), g.nt(2), 0.0);
+    v.q[d] = s.q[d].view();
+  }
+  s.p.resize(g.nt(0), g.nt(1), g.nt(2), 0.0);
+  v.p = s.p.view();
+  return v;
+}
+
 /// ZEUS grid-wide source step: pressure gradient, artificial viscosity and
 /// compression heating, using ghost data for the one-cell stencils.
 ENZO_HOT void zeus_source_step(Grid& g, double dt, const HydroParams& hp,
                                const cosmology::Expansion& exp) {
   const double gamma = hp.gamma;
-  auto& rho = g.field(Field::kDensity);
-  auto& eint = g.field(Field::kInternalEnergy);
-  // Per-axis viscous pressures on active+1 cells.
-  std::array<util::Array3<double>, 3> q;
-  util::Array3<double> p(g.nt(0), g.nt(1), g.nt(2), 0.0);
+  const ConstFieldView rho = g.field(Field::kDensity);
+  const FieldView eint = g.field(Field::kInternalEnergy);
+  // Per-axis viscous pressures on active+1 cells (arena-backed scratch).
+  const ZeusViews zs = zeus_scratch_views(g);
+  const FieldView p = zs.p;
+  const FieldView* q = zs.q;
   for (int k = 0; k < g.nt(2); ++k)
     for (int j = 0; j < g.nt(1); ++j)
       for (int i = 0; i < g.nt(0); ++i)
         p(i, j, k) = std::max((gamma - 1.0) * rho(i, j, k) * eint(i, j, k),
                               hp.pressure_floor);
   for (int d = 0; d < 3; ++d) {
-    q[d].resize(g.nt(0), g.nt(1), g.nt(2), 0.0);
     if (g.spec().level_dims[d] == 1) continue;
-    const auto& v = g.field(kVel[d]);
+    const ConstFieldView v = g.field(kVel[d]);
     const int off[3] = {d == 0 ? 1 : 0, d == 1 ? 1 : 0, d == 2 ? 1 : 0};
     for (int k = off[2]; k < g.nt(2) - off[2]; ++k)
       for (int j = off[1]; j < g.nt(1) - off[1]; ++j)
@@ -70,7 +108,7 @@ ENZO_HOT void zeus_source_step(Grid& g, double dt, const HydroParams& hp,
           if (g.spec().level_dims[d] == 1) continue;
           const double dx_eff = exp.a * g.cell_width_d(d);
           const int off[3] = {d == 0 ? 1 : 0, d == 1 ? 1 : 0, d == 2 ? 1 : 0};
-          auto& v = g.field(kVel[d]);
+          const FieldView v = g.field(kVel[d]);
           const double grad =
               (p(i + off[0], j + off[1], k + off[2]) +
                q[d](i + off[0], j + off[1], k + off[2]) -
@@ -120,12 +158,12 @@ ENZO_HOT void sweep_all_axes(Grid& g, double dt, const HydroParams& hp,
     const int np = g.nt(d);
     const int lo = g.ng(d), hi = g.ng(d) + g.nx(d);
 
-    auto& rho = g.field(Field::kDensity);
-    auto& vu = g.field(kVel[d]);
-    auto& v1 = g.field(kVel[t1]);
-    auto& v2 = g.field(kVel[t2]);
-    auto& etot = g.field(Field::kTotalEnergy);
-    auto& eint = g.field(Field::kInternalEnergy);
+    const FieldView rho = g.field(Field::kDensity);
+    const FieldView vu = g.field(kVel[d]);
+    const FieldView v1 = g.field(kVel[t1]);
+    const FieldView v2 = g.field(kVel[t2]);
+    const FieldView etot = g.field(Field::kTotalEnergy);
+    const FieldView eint = g.field(Field::kInternalEnergy);
 
     // Pencils are independent — each (j1, j2) pair reads its own pre-sweep
     // line and writes its own cells, flux-register line, and boundary-flux
@@ -196,7 +234,7 @@ ENZO_HOT void sweep_all_axes(Grid& g, double dt, const HydroParams& hp,
           etot(s[0], s[1], s[2]) = me / m;
           eint(s[0], s[1], s[2]) = mei / m;
           for (int sc = 0; sc < nscal; ++sc) {
-            auto& sf = g.field(species[sc]);
+            const FieldView sf = g.field(species[sc]);
             const double ms =
                 sf(s[0], s[1], s[2]) +
                 dtdx * (pc.f_scal[sc][i] - pc.f_scal[sc][i + 1]);
@@ -219,7 +257,7 @@ ENZO_HOT void sweep_all_axes(Grid& g, double dt, const HydroParams& hp,
         // non-comoving runs.
         const double dt_w = dt / exp.a;
         auto accumulate = [&](Field fld, const std::vector<double>& ff) {
-          auto& reg = g.flux(fld, d);
+          const FieldView reg = g.flux(fld, d);
           for (int f = lo; f <= hi; ++f) {
             const auto s = fidx(f);
             reg(s[0], s[1], s[2]) += dt_w * ff[f];
@@ -271,11 +309,11 @@ ENZO_HOT void apply_expansion_sources(Grid& g, double dt,
   if (exp.adot_over_a == 0.0) return;
   const double fv = cn_decay(exp.adot_over_a, dt);
   const double fe = cn_decay(3.0 * (hp.gamma - 1.0) * exp.adot_over_a, dt);
-  auto& vx = g.field(Field::kVelocityX);
-  auto& vy = g.field(Field::kVelocityY);
-  auto& vz = g.field(Field::kVelocityZ);
-  auto& etot = g.field(Field::kTotalEnergy);
-  auto& eint = g.field(Field::kInternalEnergy);
+  const FieldView vx = g.field(Field::kVelocityX);
+  const FieldView vy = g.field(Field::kVelocityY);
+  const FieldView vz = g.field(Field::kVelocityZ);
+  const FieldView etot = g.field(Field::kTotalEnergy);
+  const FieldView eint = g.field(Field::kInternalEnergy);
   for (int k = g.sz(0); k < g.sz(g.nx(2)); ++k)
     for (int j = g.sy(0); j < g.sy(g.nx(1)); ++j)
       for (int i = g.sx(0); i < g.sx(g.nx(0)); ++i) {
@@ -295,12 +333,12 @@ ENZO_HOT void apply_expansion_sources(Grid& g, double dt,
 }
 
 ENZO_HOT void dual_energy_sync(Grid& g, const HydroParams& hp) {
-  auto& vx = g.field(Field::kVelocityX);
-  auto& vy = g.field(Field::kVelocityY);
-  auto& vz = g.field(Field::kVelocityZ);
-  auto& etot = g.field(Field::kTotalEnergy);
-  auto& eint = g.field(Field::kInternalEnergy);
-  auto& rho = g.field(Field::kDensity);
+  const FieldView vx = g.field(Field::kVelocityX);
+  const FieldView vy = g.field(Field::kVelocityY);
+  const FieldView vz = g.field(Field::kVelocityZ);
+  const FieldView etot = g.field(Field::kTotalEnergy);
+  const FieldView eint = g.field(Field::kInternalEnergy);
+  const ConstFieldView rho = g.field(Field::kDensity);
   for (int k = g.sz(0); k < g.sz(g.nx(2)); ++k)
     for (int j = g.sy(0); j < g.sy(g.nx(1)); ++j)
       for (int i = g.sx(0); i < g.sx(g.nx(0)); ++i) {
@@ -347,11 +385,11 @@ ENZO_HOT TimestepInfo compute_timestep_info(const Grid& g,
                                             const cosmology::Expansion& exp) {
   TimestepInfo info;
   double dt = std::numeric_limits<double>::max();
-  const auto& rho = g.field(Field::kDensity);
-  const auto& eint = g.field(Field::kInternalEnergy);
-  const util::Array3<double>* vel[3] = {&g.field(Field::kVelocityX),
-                                        &g.field(Field::kVelocityY),
-                                        &g.field(Field::kVelocityZ)};
+  const ConstFieldView rho = g.field(Field::kDensity);
+  const ConstFieldView eint = g.field(Field::kInternalEnergy);
+  const ConstFieldView vel[3] = {g.field(Field::kVelocityX),
+                                 g.field(Field::kVelocityY),
+                                 g.field(Field::kVelocityZ)};
   for (int k = g.sz(0); k < g.sz(g.nx(2)); ++k)
     for (int j = g.sy(0); j < g.sy(g.nx(1)); ++j)
       for (int i = g.sx(0); i < g.sx(g.nx(0)); ++i) {
@@ -362,7 +400,7 @@ ENZO_HOT TimestepInfo compute_timestep_info(const Grid& g,
         for (int d = 0; d < 3; ++d) {
           if (g.spec().level_dims[d] == 1) continue;
           const double dx_eff = exp.a * g.cell_width_d(d);
-          const double v = std::abs((*vel[d])(i, j, k));
+          const double v = std::abs(vel[d](i, j, k));
           dt = std::min(dt, params.cfl * dx_eff / (v + c + 1e-300));
         }
       }
@@ -417,21 +455,20 @@ void solve_hydro_step(Grid& g, double dt, const HydroParams& params,
 ENZO_HOT void apply_gravity_sources(Grid& g, double dt,
                                     const HydroParams& params) {
   if (!g.has_gravity()) return;
-  auto& vx = g.field(Field::kVelocityX);
-  auto& vy = g.field(Field::kVelocityY);
-  auto& vz = g.field(Field::kVelocityZ);
-  auto& etot = g.field(Field::kTotalEnergy);
-  util::Array3<double>* v[3] = {&vx, &vy, &vz};
+  const FieldView etot = g.field(Field::kTotalEnergy);
+  const FieldView v[3] = {g.field(Field::kVelocityX),
+                          g.field(Field::kVelocityY),
+                          g.field(Field::kVelocityZ)};
   for (int k = 0; k < g.nx(2); ++k)
     for (int j = 0; j < g.nx(1); ++j)
       for (int i = 0; i < g.nx(0); ++i) {
         const int si = g.sx(i), sj = g.sy(j), sk = g.sz(k);
         double v2_old = 0.0, v2_new = 0.0;
         for (int d = 0; d < 3; ++d) {
-          const double vd = (*v[d])(si, sj, sk);
+          const double vd = v[d](si, sj, sk);
           v2_old += vd * vd;
           const double vn = vd + dt * g.acceleration(d)(i, j, k);
-          (*v[d])(si, sj, sk) = vn;
+          v[d](si, sj, sk) = vn;
           v2_new += vn * vn;
         }
         etot(si, sj, sk) += 0.5 * (v2_new - v2_old);

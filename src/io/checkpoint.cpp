@@ -125,7 +125,7 @@ std::uint64_t grid_data_words(const Grid& g) {
 }
 
 void encode_grid_payload(const Grid& g, ByteBuf& out) {
-  const auto put_array = [&](const util::Array3<double>& a) {
+  const auto put_array = [&](mesh::ConstFieldView a) {
     const std::size_t off = out.b.size();
     const std::size_t bytes = a.size() * sizeof(double);
     out.b.resize(off + bytes);
@@ -143,7 +143,7 @@ void encode_grid_payload(const Grid& g, ByteBuf& out) {
 }
 
 void decode_grid_payload(ByteReader& r, Grid& g, std::uint64_t npart) {
-  const auto get_array = [&](util::Array3<double>& a) {
+  const auto get_array = [&](mesh::FieldView a) {
     const std::size_t bytes = a.size() * sizeof(double);
     ENZO_REQUIRE(r.off + bytes <= r.n, "checkpoint: truncated field data");
     std::memcpy(a.data(), r.p + r.off, bytes);
@@ -636,14 +636,13 @@ void read_checkpoint(core::Simulation& sim, const std::string& path) {
                "read_checkpoint needs an unbuilt root");
   sim.hierarchy() = mesh::Hierarchy(sim.config().hierarchy);
   auto& h = sim.hierarchy();
-  const auto& hp = sim.config().hierarchy;
 
   std::size_t sec = 1;
   std::vector<Grid*> prev_level;
   for (int l = 0; l <= meta.deepest; ++l) {
     std::vector<Grid*> this_level;
     for (const GridMeta& gm : meta.levels[static_cast<std::size_t>(l)]) {
-      auto g = std::make_unique<Grid>(h.make_spec(l, gm.box), hp.fields);
+      auto g = h.make_grid(l, gm.box);
       if (l > 0) {
         ENZO_REQUIRE(gm.parent_ord >= 0 &&
                          gm.parent_ord <

@@ -11,7 +11,7 @@ namespace enzo::mesh {
 
 void fill_outflow_ghosts(Grid& g) {
   for (Field f : g.field_list()) {
-    auto& a = g.field(f);
+    const FieldView a = g.field(f);
     // Clamp each axis in turn; later axes see already-filled earlier ghosts.
     for (int d = 0; d < 3; ++d) {
       if (g.ng(d) == 0) continue;
@@ -39,8 +39,7 @@ void set_boundary_values(Hierarchy& h, int level, exec::LevelExecutor* ex) {
   // Fetch the cached neighbor lists *before* entering the phase: the
   // hierarchy is frozen inside it, so the reference stays valid throughout.
   const OverlapTopology* topo =
-      (use_overlap_topology() && !level_grids.empty()) ? &h.topology()
-                                                       : nullptr;
+      (h.use_topology() && !level_grids.empty()) ? &h.topology() : nullptr;
 
   // Grids fill independently: a task writes only its own ghost cells (its
   // interior is disjoint from every sibling's total region, shifted images

@@ -3,7 +3,6 @@
 #include <atomic>
 
 #include "mesh/topology.hpp"
-#include "util/alloc_stats.hpp"
 #include "util/error.hpp"
 
 namespace enzo::mesh {
@@ -15,8 +14,12 @@ std::uint64_t next_grid_id() {
 }
 }  // namespace
 
-Grid::Grid(const GridSpec& spec, const std::vector<Field>& fields)
-    : spec_(spec), id_(next_grid_id()), field_list_(fields) {
+Grid::Grid(const GridSpec& spec, const std::vector<Field>& fields,
+           std::shared_ptr<StorageArena> arena)
+    : spec_(spec),
+      id_(next_grid_id()),
+      field_list_(fields),
+      arena_(std::move(arena)) {
   ENZO_REQUIRE(!spec_.box.empty(), "grid with empty box " + spec_.box.str());
   ENZO_REQUIRE(spec_.refine_factor >= 2, "refinement factor must be >= 2");
   for (int d = 0; d < 3; ++d) {
@@ -27,13 +30,28 @@ Grid::Grid(const GridSpec& spec, const std::vector<Field>& fields)
     dx_[d] = ext::pos_t(1.0) / ext::pos_t(static_cast<double>(
                                   spec_.level_dims[d]));
   }
+  if (arena_ != nullptr) {
+    util::Arena* a = &arena_->doubles();
+    for (auto& b : fields_) b.set_arena(a);
+    for (auto& b : old_fields_) b.set_arena(a);
+    for (auto& per_field : fluxes_)
+      for (auto& b : per_field) b.set_arena(a);
+    for (auto& per_field : bfluxes_)
+      for (auto& per_axis : per_field)
+        for (auto& b : per_axis) b.set_arena(a);
+    gravitating_mass_.set_arena(a);
+    potential_.set_arena(a);
+    for (auto& b : accel_) b.set_arena(a);
+    particles_ = arena_->acquire_particles();
+  }
   for (Field f : field_list_) {
     fields_[field_index(f)].resize(nt(0), nt(1), nt(2), 0.0);
   }
-  util::AllocStats::global().on_alloc(field_bytes());
 }
 
-Grid::~Grid() { util::AllocStats::global().on_free(field_bytes()); }
+Grid::~Grid() {
+  if (arena_ != nullptr) arena_->release_particles(std::move(particles_));
+}
 
 std::size_t Grid::field_bytes() const {
   std::size_t total = 0;
@@ -91,106 +109,132 @@ bool Grid::contains_position(const ext::PosVec& x) const {
   return true;
 }
 
-util::Array3<double>& Grid::field(Field f) {
-  auto& a = fields_[field_index(f)];
+FieldView Grid::field(Field f) {
+  Buffer3& a = fields_[field_index(f)];
   ENZO_REQUIRE(!a.empty(), std::string("field not allocated: ") +
                                std::string(field_name(f)));
-  return a;
+  return a.view();
 }
-const util::Array3<double>& Grid::field(Field f) const {
-  const auto& a = fields_[field_index(f)];
+ConstFieldView Grid::field(Field f) const {
+  const Buffer3& a = fields_[field_index(f)];
   ENZO_REQUIRE(!a.empty(), std::string("field not allocated: ") +
                                std::string(field_name(f)));
-  return a;
+  return a.view();
 }
 
-util::Array3<double>& Grid::old_field(Field f) {
+FieldView Grid::old_field(Field f) {
   ENZO_REQUIRE(has_old_, "old fields not stored");
-  return old_fields_[field_index(f)];
+  return old_fields_[field_index(f)].view();
 }
-const util::Array3<double>& Grid::old_field(Field f) const {
+ConstFieldView Grid::old_field(Field f) const {
   ENZO_REQUIRE(has_old_, "old fields not stored");
-  return old_fields_[field_index(f)];
+  return old_fields_[field_index(f)].view();
 }
 
 void Grid::store_old_fields() {
-  const std::size_t before = field_bytes();
-  for (Field f : field_list_) old_fields_[field_index(f)] = fields_[field_index(f)];
+  for (Field f : field_list_)
+    old_fields_[field_index(f)].copy_from(fields_[field_index(f)]);
   old_time_ = time_;
-  if (!has_old_) util::AllocStats::global().on_alloc(field_bytes() - before);
   has_old_ = true;
 }
 
-util::Array3<double>& Grid::flux(Field f, int d) {
+FieldView Grid::flux(Field f, int d) {
   ENZO_REQUIRE(has_fluxes_, "fluxes not allocated");
-  return fluxes_[field_index(f)][d];
+  return fluxes_[field_index(f)][d].view();
 }
-const util::Array3<double>& Grid::flux(Field f, int d) const {
+ConstFieldView Grid::flux(Field f, int d) const {
   ENZO_REQUIRE(has_fluxes_, "fluxes not allocated");
-  return fluxes_[field_index(f)][d];
+  return fluxes_[field_index(f)][d].view();
 }
 
 void Grid::reset_fluxes() {
-  const std::size_t before = field_bytes();
   for (Field f : field_list_) {
     for (int d = 0; d < 3; ++d) {
       if (spec_.level_dims[d] == 1) continue;  // no sweep on degenerate axes
-      auto& a = fluxes_[field_index(f)][d];
       const int fx = nt(0) + (d == 0 ? 1 : 0);
       const int fy = nt(1) + (d == 1 ? 1 : 0);
       const int fz = nt(2) + (d == 2 ? 1 : 0);
-      if (a.nx() != fx || a.ny() != fy || a.nz() != fz)
-        a.resize(fx, fy, fz, 0.0);
-      else
-        a.fill(0.0);
+      fluxes_[field_index(f)][d].resize(fx, fy, fz, 0.0);
     }
   }
-  if (!has_fluxes_) util::AllocStats::global().on_alloc(field_bytes() - before);
   has_fluxes_ = true;
 }
 
-util::Array3<double>& Grid::boundary_flux(Field f, int d, int side) {
+FieldView Grid::boundary_flux(Field f, int d, int side) {
   ENZO_REQUIRE(has_bfluxes_, "boundary fluxes not allocated");
-  return bfluxes_[field_index(f)][d][side];
+  return bfluxes_[field_index(f)][d][side].view();
 }
-const util::Array3<double>& Grid::boundary_flux(Field f, int d,
-                                                int side) const {
+ConstFieldView Grid::boundary_flux(Field f, int d, int side) const {
   ENZO_REQUIRE(has_bfluxes_, "boundary fluxes not allocated");
-  return bfluxes_[field_index(f)][d][side];
+  return bfluxes_[field_index(f)][d][side].view();
 }
 
 void Grid::reset_boundary_fluxes() {
-  const std::size_t before = field_bytes();
   for (Field f : field_list_) {
     for (int d = 0; d < 3; ++d) {
       if (spec_.level_dims[d] == 1) continue;
       for (int side = 0; side < 2; ++side) {
-        auto& a = bfluxes_[field_index(f)][d][side];
         const int fx = d == 0 ? 1 : nt(0);
         const int fy = d == 1 ? 1 : nt(1);
         const int fz = d == 2 ? 1 : nt(2);
-        if (a.nx() != fx || a.ny() != fy || a.nz() != fz)
-          a.resize(fx, fy, fz, 0.0);
-        else
-          a.fill(0.0);
+        bfluxes_[field_index(f)][d][side].resize(fx, fy, fz, 0.0);
       }
     }
   }
-  if (!has_bfluxes_)
-    util::AllocStats::global().on_alloc(field_bytes() - before);
   has_bfluxes_ = true;
 }
 
 void Grid::allocate_gravity() {
   if (has_gravity()) return;
-  const std::size_t before = field_bytes();
   // One ghost layer on non-degenerate axes.
   auto g = [&](int d) { return spec_.level_dims[d] > 1 ? 1 : 0; };
   gravitating_mass_.resize(nx(0) + 2 * g(0), nx(1) + 2 * g(1),
                            nx(2) + 2 * g(2), 0.0);
-  potential_.resize(nx(0) + 2 * g(0), nx(1) + 2 * g(1), nx(2) + 2 * g(2), 0.0);
+  potential_.resize(nx(0) + 2 * g(0), nx(1) + 2 * g(1), nx(2) + 2 * g(2),
+                    0.0);
   for (int d = 0; d < 3; ++d) accel_[d].resize(nx(0), nx(1), nx(2), 0.0);
-  util::AllocStats::global().on_alloc(field_bytes() - before);
+}
+
+void Grid::reset_for_reuse(Grid* parent) {
+  ENZO_REQUIRE(parent != nullptr, "reset_for_reuse needs a parent");
+  parent_ = parent;
+  time_ = parent->time();
+  old_time_ = parent->time();
+  // A freshly built grid carries no flux/gravity storage; return ours to
+  // the arena so consumers cannot tell a recycled grid from a new one.
+  for (auto& per_field : fluxes_)
+    for (auto& b : per_field) b.release();
+  for (auto& per_field : bfluxes_)
+    for (auto& per_axis : per_field)
+      for (auto& b : per_axis) b.release();
+  has_fluxes_ = false;
+  has_bfluxes_ = false;
+  gravitating_mass_.release();
+  potential_.release();
+  for (auto& b : accel_) b.release();
+  // Fresh grids are zero-filled and only their active cells are written
+  // during a rebuild, so a kept grid's stale ghost shells must go back to
+  // zero (cheap: surface area, not volume).
+  scrub_ghosts();
+  // old fields are fully overwritten by the rebuild's store_old_fields()
+  // pass, exactly as a fresh grid's are — nothing to do here.
+}
+
+void Grid::scrub_ghosts() {
+  for (Field f : field_list_) {
+    Buffer3& b = fields_[field_index(f)];
+    if (b.empty()) continue;
+    FieldView a = b.view();
+    const int nxa = nx(0), nya = nx(1), nza = nx(2);
+    for (int k = 0; k < nt(2); ++k)
+      for (int j = 0; j < nt(1); ++j) {
+        const bool jk_ghost = j < ng_[1] || j >= ng_[1] + nya ||
+                              k < ng_[2] || k >= ng_[2] + nza;
+        for (int i = 0; i < nt(0); ++i) {
+          if (jk_ghost || i < ng_[0] || i >= ng_[0] + nxa) a(i, j, k) = 0.0;
+        }
+      }
+  }
 }
 
 std::int64_t Grid::copy_region_from(const Grid& src, const Index3& shift,
@@ -201,8 +245,8 @@ std::int64_t Grid::copy_region_from(const Grid& src, const Index3& shift,
   std::int64_t copied = 0;
   for (Field f : field_list_) {
     if (!src.has_field(f)) continue;
-    auto& dst_a = field(f);
-    const auto& src_a = src.field(f);
+    const FieldView dst_a = field(f);
+    const ConstFieldView src_a = src.field(f);
     for (std::int64_t gk = overlap.lo[2]; gk < overlap.hi[2]; ++gk)
       for (std::int64_t gj = overlap.lo[1]; gj < overlap.hi[1]; ++gj)
         for (std::int64_t gi = overlap.lo[0]; gi < overlap.hi[0]; ++gi) {

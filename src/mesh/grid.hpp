@@ -13,8 +13,11 @@
 //   * gravity data (gravitating mass, potential, accelerations);
 //   * the dark-matter particles whose positions it contains (§3.3).
 //
-// Alignment logic is pure integer arithmetic; only absolute positions/times
-// are extended precision.  Field data is plain double.
+// Storage lives in arena-backed Buffer3 blocks; every accessor returns a
+// FieldView / ParticleView handle, so callers never observe whether the
+// bytes came from the heap or from a per-level arena pool.  Alignment logic
+// is pure integer arithmetic; only absolute positions/times are extended
+// precision.  Field data is plain double.
 
 #include <array>
 #include <cstdint>
@@ -24,18 +27,9 @@
 #include "ext/position.hpp"
 #include "mesh/box.hpp"
 #include "mesh/field.hpp"
-#include "util/array3.hpp"
+#include "mesh/field_storage.hpp"
 
 namespace enzo::mesh {
-
-/// Dark-matter particle (kept in mesh to avoid a module cycle; the nbody
-/// module provides the solvers that act on these).
-struct Particle {
-  ext::PosVec x{};                 ///< absolute position, code units [0,1)
-  std::array<double, 3> v{};       ///< peculiar velocity, code units
-  double mass = 0.0;               ///< code mass (density × root-cell volume)
-  std::uint64_t id = 0;
-};
 
 /// Global level-index of the cell containing coordinate x on an axis with
 /// `dims` cells (extended-precision floor).  Shared by
@@ -55,7 +49,10 @@ struct GridSpec {
 
 class Grid {
  public:
-  Grid(const GridSpec& spec, const std::vector<Field>& fields);
+  /// `arena` may be null (tests, ad-hoc grids): buffers then use the
+  /// aligned heap fallback with identical accounting.
+  Grid(const GridSpec& spec, const std::vector<Field>& fields,
+       std::shared_ptr<StorageArena> arena = nullptr);
   ~Grid();
   Grid(const Grid&) = delete;
   Grid& operator=(const Grid&) = delete;
@@ -105,10 +102,10 @@ class Grid {
   // ---- fields ---------------------------------------------------------------
   const std::vector<Field>& field_list() const { return field_list_; }
   bool has_field(Field f) const { return !fields_[field_index(f)].empty(); }
-  util::Array3<double>& field(Field f);
-  const util::Array3<double>& field(Field f) const;
-  util::Array3<double>& old_field(Field f);
-  const util::Array3<double>& old_field(Field f) const;
+  [[nodiscard]] FieldView field(Field f);
+  [[nodiscard]] ConstFieldView field(Field f) const;
+  [[nodiscard]] FieldView old_field(Field f);
+  [[nodiscard]] ConstFieldView old_field(Field f) const;
   bool has_old_fields() const { return has_old_; }
 
   /// Snapshot current fields into the "old" copies and record old_time.
@@ -125,8 +122,8 @@ class Grid {
   /// flux-correction divide by the *comoving* cell width closes exactly);
   /// array dims are nt with +1 along d (face-centered, ghost-aligned like
   /// the field arrays so face (i,j,k) is the lower face of cell (i,j,k)).
-  util::Array3<double>& flux(Field f, int d);
-  const util::Array3<double>& flux(Field f, int d) const;
+  [[nodiscard]] FieldView flux(Field f, int d);
+  [[nodiscard]] ConstFieldView flux(Field f, int d) const;
   bool has_fluxes() const { return has_fluxes_; }
   /// Allocate (if needed) and zero the flux accumulators.
   void reset_fluxes();
@@ -137,8 +134,8 @@ class Grid {
   /// consumes).  Stored as single face planes (thickness 1 along d, indexed
   /// like the flux arrays in the transverse directions); side 0 = low face,
   /// side 1 = high face.
-  util::Array3<double>& boundary_flux(Field f, int d, int side);
-  const util::Array3<double>& boundary_flux(Field f, int d, int side) const;
+  [[nodiscard]] FieldView boundary_flux(Field f, int d, int side);
+  [[nodiscard]] ConstFieldView boundary_flux(Field f, int d, int side) const;
   bool has_boundary_fluxes() const { return has_bfluxes_; }
   /// Allocate (if needed) and zero; the driver calls this when a new parent
   /// timestep window begins.
@@ -147,22 +144,28 @@ class Grid {
   // ---- gravity ---------------------------------------------------------------
   /// Total gravitating (gas + dark matter) comoving density; one ghost layer
   /// so CIC deposits near edges land somewhere before being reconciled.
-  util::Array3<double>& gravitating_mass() { return gravitating_mass_; }
-  const util::Array3<double>& gravitating_mass() const {
-    return gravitating_mass_;
+  [[nodiscard]] FieldView gravitating_mass() {
+    return gravitating_mass_.view();
+  }
+  [[nodiscard]] ConstFieldView gravitating_mass() const {
+    return gravitating_mass_.view();
   }
   /// Gravitational potential with one ghost layer (boundary from parent).
-  util::Array3<double>& potential() { return potential_; }
-  const util::Array3<double>& potential() const { return potential_; }
+  [[nodiscard]] FieldView potential() { return potential_.view(); }
+  [[nodiscard]] ConstFieldView potential() const { return potential_.view(); }
   /// Cell-centered acceleration components (active region only).
-  util::Array3<double>& acceleration(int d) { return accel_[d]; }
-  const util::Array3<double>& acceleration(int d) const { return accel_[d]; }
+  [[nodiscard]] FieldView acceleration(int d) { return accel_[d].view(); }
+  [[nodiscard]] ConstFieldView acceleration(int d) const {
+    return accel_[d].view();
+  }
   void allocate_gravity();
   bool has_gravity() const { return !potential_.empty(); }
 
   // ---- particles -------------------------------------------------------------
-  std::vector<Particle>& particles() { return particles_; }
-  const std::vector<Particle>& particles() const { return particles_; }
+  [[nodiscard]] ParticleView particles() { return ParticleView(particles_); }
+  [[nodiscard]] ConstParticleView particles() const {
+    return ConstParticleView(particles_);
+  }
 
   // ---- bulk data motion (binary grid operations, §3.4) -----------------------
   /// Copy every allocated field from src (same level) where src's active
@@ -185,9 +188,19 @@ class Grid {
   /// conservative update exact across the external periodic boundary.
   void wrap_own_ghosts();
 
+  // ---- regrid recycling ------------------------------------------------------
+  /// Prepare this grid for reuse across a rebuild (incremental regrid, same
+  /// box): release auxiliary storage (fluxes, boundary fluxes, gravity)
+  /// back to the arena, zero the ghost shells, and re-anchor parent/time —
+  /// after which the grid is bitwise indistinguishable from one freshly
+  /// built and filled by the full-rebuild path (grid id excepted: a kept
+  /// grid keeps its id, which no physics or serialized byte observes).
+  void reset_for_reuse(Grid* parent);
+
  private:
   std::int64_t copy_region_from(const Grid& src, const Index3& shift,
                                 const IndexBox& target_global);
+  void scrub_ghosts();
 
   GridSpec spec_;
   Grid* parent_ = nullptr;
@@ -195,14 +208,16 @@ class Grid {
   std::array<int, 3> ng_{};
   std::array<ext::pos_t, 3> dx_{};
   std::vector<Field> field_list_;
-  std::array<util::Array3<double>, kNumFields> fields_;
-  std::array<util::Array3<double>, kNumFields> old_fields_;
-  std::array<std::array<util::Array3<double>, 3>, kNumFields> fluxes_;
-  std::array<std::array<std::array<util::Array3<double>, 2>, 3>, kNumFields>
-      bfluxes_;
-  util::Array3<double> gravitating_mass_;
-  util::Array3<double> potential_;
-  std::array<util::Array3<double>, 3> accel_;
+  // The arena is declared before every buffer so buffers (destroyed in
+  // reverse order) always release into a live arena.
+  std::shared_ptr<StorageArena> arena_;
+  std::array<Buffer3, kNumFields> fields_;
+  std::array<Buffer3, kNumFields> old_fields_;
+  std::array<std::array<Buffer3, 3>, kNumFields> fluxes_;
+  std::array<std::array<std::array<Buffer3, 2>, 3>, kNumFields> bfluxes_;
+  Buffer3 gravitating_mass_;
+  Buffer3 potential_;
+  std::array<Buffer3, 3> accel_;
   std::vector<Particle> particles_;
   ext::pos_t time_{0.0};
   ext::pos_t old_time_{0.0};

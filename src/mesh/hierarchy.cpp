@@ -1,6 +1,7 @@
 #include "mesh/hierarchy.hpp"
 
 #include <algorithm>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "exec/executor.hpp"
@@ -37,6 +38,7 @@ Hierarchy::~Hierarchy() = default;
 
 Hierarchy::Hierarchy(Hierarchy&& other) noexcept
     : params_(std::move(other.params_)),
+      arenas_(std::move(other.arenas_)),
       levels_(std::move(other.levels_)),
       descriptors_(std::move(other.descriptors_)),
       generation_(other.generation_),
@@ -48,6 +50,7 @@ Hierarchy::Hierarchy(Hierarchy&& other) noexcept
 Hierarchy& Hierarchy::operator=(Hierarchy&& other) noexcept {
   if (this != &other) {
     params_ = std::move(other.params_);
+    arenas_ = std::move(other.arenas_);
     levels_ = std::move(other.levels_);
     descriptors_ = std::move(other.descriptors_);
     generation_ = other.generation_;
@@ -56,6 +59,19 @@ Hierarchy& Hierarchy::operator=(Hierarchy&& other) noexcept {
     other.topology_generation_.store(kNoTopology);
   }
   return *this;
+}
+
+std::shared_ptr<StorageArena> Hierarchy::arena_for_level(int level) {
+  ENZO_REQUIRE(level >= 0, "negative level");
+  while (static_cast<int>(arenas_.size()) <= level)
+    arenas_.push_back(std::make_shared<StorageArena>(util::ArenaConfig{
+        params_.arena.pool, params_.arena.granularity}));
+  return arenas_[level];
+}
+
+std::unique_ptr<Grid> Hierarchy::make_grid(int level, const IndexBox& box) {
+  return std::make_unique<Grid>(make_spec(level, box), params_.fields,
+                                arena_for_level(level));
 }
 
 const OverlapTopology& Hierarchy::topology() const {
@@ -125,8 +141,7 @@ void Hierarchy::build_root(int tiles_per_axis) {
           box.lo[d] = t[d] * w;
           box.hi[d] = box.lo[d] + w;
         }
-        levels_[0].push_back(
-            std::make_unique<Grid>(make_spec(0, box), params_.fields));
+        levels_[0].push_back(make_grid(0, box));
       }
   descriptors_.clear();
   descriptors_.emplace_back();
@@ -202,6 +217,15 @@ const std::vector<GridDescriptor>& Hierarchy::descriptors(int level) const {
 void Hierarchy::rebuild(int level, const FlagFn& flag) {
   ENZO_REQUIRE(!exec::in_phase(),
                "hierarchy mutation inside an executor phase");
+  // Previous-generation topology for the incremental diff (the PR-5 cache):
+  // usable only when it was built for the structure this rebuild replaces.
+  // The object stays alive through the rebuild — it is only dropped on the
+  // next topology() query — and per-level queries below always target
+  // levels that have not been swapped yet.
+  const OverlapTopology* prev_topo = nullptr;
+  if (params_.arena.incremental &&
+      topology_generation_.load(std::memory_order_acquire) == generation_)
+    prev_topo = topology_.get();
   ++generation_;
   ENZO_REQUIRE(level >= 1, "cannot rebuild the root level");
   ENZO_REQUIRE(level < static_cast<int>(levels_.size()) + 1,
@@ -294,65 +318,133 @@ void Hierarchy::rebuild(int level, const FlagFn& flag) {
     std::vector<IndexBox> boxes = cluster_flags(flags, params_.cluster);
 
     // ---- 3. create the new grids, fill, and swap ----------------------------
-    std::vector<std::unique_ptr<Grid>> fresh;
-    for (const IndexBox& b : boxes) {
-      // Subgrids must be rectangular and completely contained within a
-      // single parent (§3.1): split cluster boxes along parent boundaries.
-      for (Grid* parent : grids(l - 1)) {
-        const IndexBox piece = b.intersect(parent->box());
-        if (piece.empty()) continue;
-        // Refine to level-l index space (degenerate axes stay width 1).
-        IndexBox fine;
-        const Index3 cdims = level_dims(l);
-        const Index3 pdims = level_dims(l - 1);
-        for (int d = 0; d < 3; ++d) {
-          const int rd = static_cast<int>(cdims[d] / pdims[d]);
-          fine.lo[d] = piece.lo[d] * rd;
-          fine.hi[d] = piece.hi[d] * rd;
-        }
-        if (fine.volume() < params_.min_grid_cells) {
-          // Too small to be worth a grid — but nesting flags guarantee any
-          // such sliver has no grandchildren, so dropping it is safe.
-          continue;
-        }
-        auto g = std::make_unique<Grid>(make_spec(l, fine), params_.fields);
-        g->set_parent(parent);
-        g->set_time(parent->time());
-        g->set_old_time(parent->time());
-        fill_active_from_parent(*g, *parent);
-        fresh.push_back(std::move(g));
+    // Incremental regrid: before building a grid for a canonical
+    // (cluster box × parent) piece, look for a previous-generation grid
+    // with *exactly* that box — through the PR-5 topology point index when
+    // the cache is fresh, else a box-anchored lookup — and keep it (and
+    // its storage) alive instead of reallocating and refilling.  A kept
+    // grid's active bytes equal what the full path would rebuild: the full
+    // path's same-box self-copy restores its own data verbatim, disjoint
+    // same-level neighbours contribute nothing, and the parent
+    // interpolation underneath is fully overwritten.  Only auxiliary state
+    // needs resetting (Grid::reset_for_reuse).
+    std::vector<Grid*> old_raw;  // pre-rebuild level-l grids, in level order
+    std::unordered_map<std::uint64_t, std::size_t> old_by_lo;  // lookup only
+    if (l < static_cast<int>(levels_.size())) {
+      old_raw.reserve(levels_[l].size());
+      for (std::size_t i = 0; i < levels_[l].size(); ++i) {
+        old_raw.push_back(levels_[l][i].get());
+        old_by_lo.emplace(key_of(levels_[l][i]->box().lo), i);
       }
     }
+    std::vector<std::unique_ptr<Grid>> fresh;
+    std::vector<char> fresh_kept;
+    std::size_t kept_count = 0;
+    {
+      perf::TraceScope arena_scope("arena", perf::component::kRebuild, l);
+      for (const IndexBox& b : boxes) {
+        // Subgrids must be rectangular and completely contained within a
+        // single parent (§3.1): split cluster boxes along parent boundaries.
+        for (Grid* parent : grids(l - 1)) {
+          const IndexBox piece = b.intersect(parent->box());
+          if (piece.empty()) continue;
+          // Refine to level-l index space (degenerate axes stay width 1).
+          IndexBox fine;
+          const Index3 cdims = level_dims(l);
+          const Index3 pdims = level_dims(l - 1);
+          for (int d = 0; d < 3; ++d) {
+            const int rd = static_cast<int>(cdims[d] / pdims[d]);
+            fine.lo[d] = piece.lo[d] * rd;
+            fine.hi[d] = piece.hi[d] * rd;
+          }
+          if (fine.volume() < params_.min_grid_cells) {
+            // Too small to be worth a grid — but nesting flags guarantee any
+            // such sliver has no grandchildren, so dropping it is safe.
+            continue;
+          }
+          Grid* reuse = nullptr;
+          std::size_t reuse_idx = 0;
+          if (params_.arena.incremental && !old_raw.empty()) {
+            Grid* cand = prev_topo != nullptr
+                             ? prev_topo->grid_at(l, fine.lo)
+                             : nullptr;
+            if (cand == nullptr) {
+              const auto it = old_by_lo.find(key_of(fine.lo));
+              if (it != old_by_lo.end()) cand = old_raw[it->second];
+            }
+            if (cand != nullptr && cand->box() == fine) {
+              const auto it = old_by_lo.find(key_of(cand->box().lo));
+              ENZO_REQUIRE(it != old_by_lo.end() &&
+                               old_raw[it->second] == cand,
+                           "incremental regrid diff index out of sync");
+              reuse = cand;
+              reuse_idx = it->second;
+            }
+          }
+          if (reuse != nullptr) {
+            reuse->reset_for_reuse(parent);
+            fresh.push_back(std::move(levels_[l][reuse_idx]));
+            fresh_kept.push_back(1);
+            ++kept_count;
+          } else {
+            auto g = make_grid(l, fine);
+            g->set_parent(parent);
+            g->set_time(parent->time());
+            g->set_old_time(parent->time());
+            fill_active_from_parent(*g, *parent);
+            fresh.push_back(std::move(g));
+            fresh_kept.push_back(0);
+          }
+        }
+      }
+    }
+    static perf::Counter& kept_grids =
+        perf::Registry::global().counter("arena.regrid_kept_grids");
+    static perf::Counter& new_grids =
+        perf::Registry::global().counter("arena.regrid_new_grids");
+    kept_grids.add(kept_count);
+    new_grids.add(fresh.size() - kept_count);
 
     // Copy overlapping data from the old grids of this level (better than
-    // interpolated parent data), then migrate particles.
-    auto old_grids = grids(l);
-    for (auto& g : fresh)
-      for (Grid* old : old_grids) g->copy_active_from(*old, {0, 0, 0});
+    // interpolated parent data), then migrate particles.  A kept grid
+    // skips the copies (it *is* its own slice) but still serves as the
+    // live source for any newly created neighbour.
+    for (std::size_t i = 0; i < fresh.size(); ++i) {
+      if (fresh_kept[i] != 0) continue;
+      for (Grid* old : old_raw) fresh[i]->copy_active_from(*old, {0, 0, 0});
+    }
 
     // Particles: pull down from parents into new grids; push old-grid
-    // particles either into the new grids or back up to the parent.
-    auto grid_for = [&](const Particle& p) -> Grid* {
-      for (auto& g : fresh)
-        if (g->contains_position(p.x)) return g.get();
-      return nullptr;
+    // particles either into the new grids or back up to the parent.  Pulls
+    // are staged per destination and installed after both passes, so the
+    // incremental path reproduces the full path's append order exactly —
+    // [parent pulls in parent order] + [old-grid particles in old order] —
+    // even when a destination is itself one of the old grids.
+    auto grid_ordinal_for = [&](const Particle& p) -> std::ptrdiff_t {
+      for (std::size_t i = 0; i < fresh.size(); ++i)
+        if (fresh[i]->contains_position(p.x))
+          return static_cast<std::ptrdiff_t>(i);
+      return -1;
     };
+    std::vector<std::vector<Particle>> staged(fresh.size());
     for (Grid* parent : grids(l - 1)) {
-      auto& pp = parent->particles();
+      auto pp = parent->particles();
       std::vector<Particle> keep;
       keep.reserve(pp.size());
       for (Particle& p : pp) {
-        if (Grid* g = grid_for(p))
-          g->particles().push_back(p);
+        const std::ptrdiff_t i = grid_ordinal_for(p);
+        if (i >= 0)
+          staged[static_cast<std::size_t>(i)].push_back(p);
         else
           keep.push_back(p);
       }
       pp.swap(keep);
     }
-    for (Grid* old : old_grids) {
+    for (Grid* old : old_raw) {
       for (Particle& p : old->particles()) {
-        if (Grid* g = grid_for(p)) {
-          g->particles().push_back(p);
+        const std::ptrdiff_t i = grid_ordinal_for(p);
+        if (i >= 0) {
+          staged[static_cast<std::size_t>(i)].push_back(p);
         } else {
           // Region no longer refined: hand the particle to the parent that
           // contains it.
@@ -367,6 +459,8 @@ void Hierarchy::rebuild(int level, const FlagFn& flag) {
         }
       }
     }
+    for (std::size_t i = 0; i < fresh.size(); ++i)
+      fresh[i]->particles().swap(staged[i]);
 
     // New grids snapshot their state for their future children's boundary
     // time interpolation.

@@ -39,6 +39,13 @@ struct HierarchyParams {
   ClusterParams cluster;
   int flag_buffer = 1;   ///< cells of padding around flagged regions
   std::int64_t min_grid_cells = 8;  ///< discard degenerate slivers
+  /// Storage pooling + incremental-regrid strategy (deck keys ArenaMode /
+  /// BlockGranularity).
+  ArenaOptions arena;
+  /// Route overlap consumers through the regrid-cached OverlapTopology;
+  /// off = the all-pairs reference scans (kept compiled for the
+  /// equivalence tests and benches).  Per-hierarchy, not process-global.
+  bool use_overlap_topology = true;
 };
 
 /// Sterile object: everything a remote rank needs to know about a grid in
@@ -78,6 +85,24 @@ class Hierarchy {
   /// static-refinement setup).  The grid's parent must already be set for
   /// level > 0.
   Grid* insert_grid(std::unique_ptr<Grid> g);
+
+  /// Construct a grid backed by the level's storage arena (the factory the
+  /// rebuild, problem setup, and checkpoint-read paths all share, so every
+  /// grid in a hierarchy draws from the same recycled pools).  The caller
+  /// still sets parent/time and hands the grid to insert_grid.
+  [[nodiscard]] std::unique_ptr<Grid> make_grid(int level,
+                                                const IndexBox& box);
+
+  /// The storage arena for a level, created on first use.
+  [[nodiscard]] std::shared_ptr<StorageArena> arena_for_level(int level);
+
+  /// Per-hierarchy switch for the cached-topology fast paths (see
+  /// HierarchyParams::use_overlap_topology); mutable so equivalence tests
+  /// and benches can flip one hierarchy without global state.
+  [[nodiscard]] bool use_topology() const {
+    return params_.use_overlap_topology;
+  }
+  void set_use_topology(bool on) { params_.use_overlap_topology = on; }
 
   /// Flag callback: append the *global* (level index space) indices of the
   /// grid's active cells that require refinement.
@@ -129,6 +154,11 @@ class Hierarchy {
  private:
   void refresh_descriptors(int level);
   HierarchyParams params_;
+  /// Per-level storage pools.  Grids hold a shared_ptr to their arena, so
+  /// the member order relative to levels_ is not a lifetime hazard; pools
+  /// outlive level deletion so a level that empties and later reappears
+  /// reuses its blocks.
+  std::vector<std::shared_ptr<StorageArena>> arenas_;
   std::vector<std::vector<std::unique_ptr<Grid>>> levels_;
   std::vector<std::vector<GridDescriptor>> descriptors_;
   std::uint64_t generation_ = 0;

@@ -23,9 +23,8 @@ struct AxisMap {
 
 /// Interpolate one field array at parent storage cell (psi,psj,psk) with
 /// sub-cell offsets f[3] (each in (-0.5, 0.5)) using minmod-limited slopes.
-ENZO_HOT double sample(const util::Array3<double>& p, int psi, int psj,
-                       int psk,
-              const double f[3]) {
+ENZO_HOT double sample(ConstFieldView p, int psi, int psj, int psk,
+                       const double f[3]) {
   const double v = p(psi, psj, psk);
   double out = v;
   const int idx[3] = {psi, psj, psk};
@@ -69,9 +68,10 @@ ENZO_HOT void interpolate_region(Grid& child, const Grid& parent,
 
   for (Field f : child.field_list()) {
     if (!parent.has_field(f)) continue;
-    auto& dst = child.field(f);
-    const auto& pnew = parent.field(f);
-    const util::Array3<double>* pold = use_old ? &parent.old_field(f) : nullptr;
+    const FieldView dst = child.field(f);
+    const ConstFieldView pnew = parent.field(f);
+    const ConstFieldView pold =
+        use_old ? parent.old_field(f) : ConstFieldView{};
     const bool positive = is_density_like(f);
 
     for (int sk = slo[2]; sk < shi[2]; ++sk)
@@ -109,8 +109,8 @@ ENZO_HOT void interpolate_region(Grid& child, const Grid& parent,
                                parent.box().str() + " child " +
                                child.box().str());
           double v = sample(pnew, ps[0], ps[1], ps[2], frac);
-          if (pold) {
-            const double vo = sample(*pold, ps[0], ps[1], ps[2], frac);
+          if (use_old) {
+            const double vo = sample(pold, ps[0], ps[1], ps[2], frac);
             v = time_weight * v + (1.0 - time_weight) * vo;
           }
           if (positive && v <= 0.0)

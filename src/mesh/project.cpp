@@ -41,8 +41,7 @@ ENZO_HOT std::int64_t project_to_parent(const Grid& child, Grid& parent) {
 
   // Precompute fine-cell volume averages of density first (needed for the
   // mass weighting of specific fields).
-  const auto& crho = child.field(Field::kDensity);
-  auto& prho_arr = parent.field(Field::kDensity);
+  const ConstFieldView crho = child.field(Field::kDensity);
 
   for (std::int64_t pk = cover.lo[2]; pk < cover.hi[2]; ++pk)
     for (std::int64_t pj = cover.lo[1]; pj < cover.hi[1]; ++pj)
@@ -89,7 +88,6 @@ ENZO_HOT std::int64_t project_to_parent(const Grid& child, Grid& parent) {
           }
           parent.field(f)(psi, psj, psk) = v;
         }
-        (void)prho_arr;
       }
   util::FlopCounter::global().add(
       "projection", util::flop_cost::kProjectionPerCell * cover.volume() *
@@ -185,7 +183,7 @@ void flux_correct_from_child(const Grid& child, Grid& parent) {
                 fine += cbf(ci[0], ci[1], ci[2]);
               }
             fine *= inv_area;
-            auto& pflux = parent.flux(f, d);
+            const FieldView pflux = parent.flux(f, d);
             const double coarse = pflux(pf[0], pf[1], pf[2]);
             cons[field_index(f)] += sign * (fine - coarse) * inv_dxp;
             // Propagate the improved flux upward for the grandparent's own

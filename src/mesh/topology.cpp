@@ -15,8 +15,6 @@ namespace enzo::mesh {
 
 namespace {
 
-std::atomic<bool> g_use_topology{true};
-
 /// Proportional bin of coordinate v within [lo, lo+extent) split into nbins.
 std::int64_t bin_axis(std::int64_t v, std::int64_t lo, std::int64_t extent,
                       std::int64_t nbins) {
@@ -24,14 +22,6 @@ std::int64_t bin_axis(std::int64_t v, std::int64_t lo, std::int64_t extent,
 }
 
 }  // namespace
-
-void set_use_overlap_topology(bool on) {
-  g_use_topology.store(on, std::memory_order_relaxed);
-}
-
-bool use_overlap_topology() {
-  return g_use_topology.load(std::memory_order_relaxed);
-}
 
 std::array<std::vector<std::int64_t>, 3> periodic_image_shifts(
     const Index3& dims, bool periodic) {

@@ -58,13 +58,6 @@ class Hierarchy;
 [[nodiscard]] std::array<std::vector<std::int64_t>, 3> periodic_image_shifts(
     const Index3& dims, bool periodic);
 
-/// Process-wide switch for the cached-topology fast paths.  The all-pairs
-/// reference implementations stay compiled behind it for the equivalence
-/// tests and the BENCH_overlap_topology comparison; production code never
-/// turns it off.
-void set_use_overlap_topology(bool on);
-[[nodiscard]] bool use_overlap_topology();
-
 /// One cached sibling overlap: grid `src` (ordinal into the level's grid
 /// list), shifted by `shift`, intersects the destination grid's
 /// ghost-grown box in `overlap` (global, destination-frame indices).

@@ -64,7 +64,7 @@ void deposit_particles_cic(Grid& g) {
   static perf::Counter& deposits =
       perf::Registry::global().counter("nbody.cic_deposits");
   deposits.add(g.particles().size());
-  auto& gm = g.gravitating_mass();
+  const mesh::FieldView gm = g.gravitating_mass();
   double cellvol = 1.0;
   for (int d = 0; d < 3; ++d)
     cellvol *= 1.0 / static_cast<double>(g.spec().level_dims[d]);
@@ -179,11 +179,11 @@ void redistribute_particles(mesh::Hierarchy& h) {
   // lists preserve grid order, so the owner it returns is exactly the grid
   // the linear deepest-first scan would have found.
   const mesh::OverlapTopology* topo =
-      mesh::use_overlap_topology() ? &h.topology() : nullptr;
+      h.use_topology() ? &h.topology() : nullptr;
   std::vector<std::pair<Particle, Grid*>> homeless;
   for (int l = h.deepest_level(); l >= 0; --l)
     for (Grid* g : h.grids(l)) {
-      auto& pp = g->particles();
+      const mesh::ParticleView pp = g->particles();
       std::vector<Particle> keep;
       keep.reserve(pp.size());
       for (Particle& p : pp) {
@@ -254,7 +254,7 @@ void create_lattice_particles(Grid& root, int n,
   ENZO_REQUIRE(psi[0].nx() == n && psi[0].ny() == n && psi[0].nz() == n,
                "displacement field resolution mismatch");
   const double mass = total_mass / (static_cast<double>(n) * n * n);
-  auto& pp = root.particles();
+  const mesh::ParticleView pp = root.particles();
   pp.reserve(pp.size() + static_cast<std::size_t>(n) * n * n);
   std::uint64_t id = pp.size();
   const ext::pos_t one(1.0);

@@ -16,7 +16,7 @@ std::vector<ExchangeBlock> plan_sibling_exchange(const mesh::Hierarchy& h,
   // order reproduces its overwrite semantics bit for bit.
   std::vector<ExchangeBlock> plan;
   const auto grids = h.grids(level);
-  if (mesh::use_overlap_topology() && !grids.empty()) {
+  if (h.use_topology() && !grids.empty()) {
     // The cached overlap *is* the ghost-grown intersection computed below,
     // and the link order replays the all-pairs scan order, so both branches
     // emit identical plans.
@@ -85,7 +85,7 @@ void unpack_block(Grid& dst, const ExchangeBlock& b,
   const auto& ov = b.region;
   std::size_t c = 0;
   for (mesh::Field f : dst.field_list()) {
-    auto& a = dst.field(f);
+    const mesh::FieldView a = dst.field(f);
     for (std::int64_t gk = ov.lo[2]; gk < ov.hi[2]; ++gk)
       for (std::int64_t gj = ov.lo[1]; gj < ov.hi[1]; ++gj)
         for (std::int64_t gi = ov.lo[0]; gi < ov.hi[0]; ++gi) {

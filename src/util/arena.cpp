@@ -1,0 +1,160 @@
+#include "util/arena.hpp"
+
+#include <atomic>
+#include <new>
+
+#include "perf/metrics.hpp"
+#include "util/alloc_stats.hpp"
+#include "util/error.hpp"
+
+namespace enzo::util {
+
+namespace {
+
+constexpr std::size_t kAlign = 64;  // SIMD / cache-line alignment
+
+// Aggregates across every Arena instance (per-level arenas + scratch), so
+// the arena.* gauges describe the whole process.
+std::atomic<std::int64_t> g_bytes_live{0};
+std::atomic<std::int64_t> g_bytes_pooled{0};
+
+perf::Counter& hits_counter() {
+  static perf::Counter& c = perf::Registry::global().counter("arena.pool_hits");
+  return c;
+}
+perf::Counter& misses_counter() {
+  static perf::Counter& c =
+      perf::Registry::global().counter("arena.pool_misses");
+  return c;
+}
+perf::Counter& recycle_counter() {
+  static perf::Counter& c =
+      perf::Registry::global().counter("arena.recycled_blocks");
+  return c;
+}
+void publish_gauges() {
+  static perf::Gauge& live = perf::Registry::global().gauge("arena.bytes_live");
+  static perf::Gauge& pooled =
+      perf::Registry::global().gauge("arena.bytes_pooled");
+  live.set(static_cast<double>(g_bytes_live.load(std::memory_order_relaxed)));
+  pooled.set(
+      static_cast<double>(g_bytes_pooled.load(std::memory_order_relaxed)));
+}
+
+double* aligned_new(std::size_t doubles) {
+  return static_cast<double*>(::operator new(
+      doubles * sizeof(double), std::align_val_t{kAlign}));
+}
+void aligned_delete(double* p) {
+  ::operator delete(p, std::align_val_t{kAlign});
+}
+
+}  // namespace
+
+Arena::Arena(ArenaConfig cfg) : cfg_(cfg) {
+  ENZO_REQUIRE(cfg_.granularity >= 1, "arena granularity must be >= 1");
+}
+
+Arena::~Arena() { trim(); }
+
+std::size_t Arena::round_up(std::size_t doubles) const {
+  const std::size_t g = static_cast<std::size_t>(cfg_.granularity);
+  if (doubles == 0) return g;
+  return ((doubles + g - 1) / g) * g;
+}
+
+ArenaBlock Arena::acquire(std::size_t doubles) {
+  const std::size_t cap = round_up(doubles);
+  if (cfg_.pool) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = pool_.find(cap);
+    if (it != pool_.end() && !it->second.empty()) {
+      double* p = it->second.back();
+      it->second.pop_back();
+      bytes_pooled_ -= cap * sizeof(double);
+      g_bytes_pooled.fetch_sub(
+          static_cast<std::int64_t>(cap * sizeof(double)),
+          std::memory_order_relaxed);
+      g_bytes_live.fetch_add(static_cast<std::int64_t>(cap * sizeof(double)),
+                             std::memory_order_relaxed);
+      hits_counter().add(1);
+      publish_gauges();
+      return {p, cap};
+    }
+  }
+  misses_counter().add(1);
+  ArenaBlock b{aligned_new(cap), cap};
+  AllocStats::global().on_alloc(cap * sizeof(double));
+  g_bytes_live.fetch_add(static_cast<std::int64_t>(cap * sizeof(double)),
+                         std::memory_order_relaxed);
+  publish_gauges();
+  return b;
+}
+
+void Arena::release(ArenaBlock&& b) {
+  if (b.ptr == nullptr) return;
+  const std::size_t bytes = b.capacity * sizeof(double);
+  g_bytes_live.fetch_sub(static_cast<std::int64_t>(bytes),
+                         std::memory_order_relaxed);
+  if (cfg_.pool) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      pool_[b.capacity].push_back(b.ptr);
+      bytes_pooled_ += bytes;
+    }
+    g_bytes_pooled.fetch_add(static_cast<std::int64_t>(bytes),
+                             std::memory_order_relaxed);
+    recycle_counter().add(1);
+  } else {
+    aligned_delete(b.ptr);
+    AllocStats::global().on_free(bytes);
+  }
+  publish_gauges();
+  b.ptr = nullptr;
+  b.capacity = 0;
+}
+
+void Arena::trim() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // enzo-lint: allow(determinism-unordered-iteration) frees only; order unobservable
+  for (auto& [cap, blocks] : pool_) {
+    for (double* p : blocks) {
+      aligned_delete(p);
+      AllocStats::global().on_free(cap * sizeof(double));
+    }
+    g_bytes_pooled.fetch_sub(
+        static_cast<std::int64_t>(blocks.size() * cap * sizeof(double)),
+        std::memory_order_relaxed);
+    blocks.clear();
+  }
+  pool_.clear();
+  bytes_pooled_ = 0;
+  publish_gauges();
+}
+
+std::size_t Arena::bytes_pooled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_pooled_;
+}
+
+ArenaBlock Arena::heap_acquire(std::size_t doubles) {
+  const std::size_t cap = doubles == 0 ? 1 : doubles;
+  ArenaBlock b{aligned_new(cap), cap};
+  AllocStats::global().on_alloc(cap * sizeof(double));
+  return b;
+}
+
+void Arena::heap_release(ArenaBlock&& b) {
+  if (b.ptr == nullptr) return;
+  aligned_delete(b.ptr);
+  AllocStats::global().on_free(b.capacity * sizeof(double));
+  b.ptr = nullptr;
+  b.capacity = 0;
+}
+
+Arena& Arena::scratch() {
+  static Arena a{ArenaConfig{/*pool=*/true, /*granularity=*/2048}};
+  return a;
+}
+
+}  // namespace enzo::util

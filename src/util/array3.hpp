@@ -12,11 +12,107 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "util/error.hpp"
 
 namespace enzo::util {
+
+/// ArrayView3<T>: a non-owning span over a contiguous 3-d array with the
+/// same x-fastest layout, indexing and bounds-check behaviour as Array3.
+/// Views are shallow-const handles (a `const ArrayView3<double>` still
+/// yields mutable elements, like a span); use ArrayView3<const T> for a
+/// read-only view.  Grid storage hands these out so callers never observe
+/// where the bytes live (heap, arena block, scratch pool).
+template <typename T>
+class ArrayView3 {
+ public:
+  using value_type = std::remove_const_t<T>;
+
+  ArrayView3() = default;
+  ArrayView3(T* data, int nx, int ny, int nz)
+      : data_(data), nx_(nx), ny_(ny), nz_(nz) {}
+  /// Mutable view -> const view conversion.
+  template <typename U,
+            std::enable_if_t<std::is_same_v<T, const U>, int> = 0>
+  ArrayView3(const ArrayView3<U>& o)  // NOLINT(google-explicit-constructor)
+      : data_(o.data()), nx_(o.nx()), ny_(o.ny()), nz_(o.nz()) {}
+
+  [[nodiscard]] int nx() const { return nx_; }
+  [[nodiscard]] int ny() const { return ny_; }
+  [[nodiscard]] int nz() const { return nz_; }
+  [[nodiscard]] std::size_t size() const {
+    return static_cast<std::size_t>(nx_) * ny_ * nz_;
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  /// Signed-64 flattening, identical to Array3::index.
+  [[nodiscard]] std::size_t index(int i, int j, int k) const {
+    const std::int64_t off =
+        static_cast<std::int64_t>(i) +
+        static_cast<std::int64_t>(nx_) *
+            (static_cast<std::int64_t>(j) +
+             static_cast<std::int64_t>(ny_) * static_cast<std::int64_t>(k));
+    return static_cast<std::size_t>(off);
+  }
+
+#ifdef ENZO_BOUNDS_CHECK
+  T& operator()(int i, int j, int k) const { return at(i, j, k); }
+#else
+  T& operator()(int i, int j, int k) const { return data_[index(i, j, k)]; }
+#endif
+
+  T& at(int i, int j, int k) const {
+    ENZO_REQUIRE(contains(i, j, k), "ArrayView3::at out of range");
+    return data_[index(i, j, k)];
+  }
+
+  [[nodiscard]] bool contains(int i, int j, int k) const {
+    return i >= 0 && i < nx_ && j >= 0 && j < ny_ && k >= 0 && k < nz_;
+  }
+
+  T* data() const { return data_; }
+
+  void fill(value_type v) const {
+    static_assert(!std::is_const_v<T>, "fill on a const view");
+    std::fill(data_, data_ + size(), v);
+  }
+
+  /// Element-wise accumulate (same shape required).
+  void add(ArrayView3<const value_type> other,
+           value_type scale = value_type{1}) const {
+    static_assert(!std::is_const_v<T>, "add on a const view");
+    ENZO_REQUIRE(same_shape(other), "ArrayView3::add shape mismatch");
+    const value_type* src = other.data();
+    for (std::size_t n = 0; n < size(); ++n) data_[n] += scale * src[n];
+  }
+
+  template <typename U>
+  [[nodiscard]] bool same_shape(const ArrayView3<U>& o) const {
+    return nx_ == o.nx() && ny_ == o.ny() && nz_ == o.nz();
+  }
+
+  // min/max/sum walk the data in storage order, matching Array3 exactly.
+  value_type min() const {
+    return empty() ? value_type{} : *std::min_element(data_, data_ + size());
+  }
+  value_type max() const {
+    return empty() ? value_type{} : *std::max_element(data_, data_ + size());
+  }
+  value_type sum() const {
+    value_type s{};
+    for (std::size_t n = 0; n < size(); ++n) s += data_[n];
+    return s;
+  }
+
+  T* begin() const { return data_; }
+  T* end() const { return data_ + size(); }
+
+ private:
+  T* data_ = nullptr;
+  int nx_ = 0, ny_ = 0, nz_ = 0;
+};
 
 template <typename T>
 class Array3 {
@@ -101,6 +197,12 @@ class Array3 {
   auto end() { return data_.end(); }
   auto begin() const { return data_.begin(); }
   auto end() const { return data_.end(); }
+
+  /// Non-owning views for interop with the FieldView-based grid APIs.
+  [[nodiscard]] ArrayView3<T> view() { return {data_.data(), nx_, ny_, nz_}; }
+  [[nodiscard]] ArrayView3<const T> view() const {
+    return {data_.data(), nx_, ny_, nz_};
+  }
 
  private:
   int nx_ = 0, ny_ = 0, nz_ = 0;

@@ -65,7 +65,7 @@ TEST(Analysis, RadialProfileOfPowerLawDensity) {
   h.build_root();
   Grid* g = h.grids(0)[0];
   for (Field f : g->field_list()) g->field(f).fill(0.1);
-  auto& rho = g->field(Field::kDensity);
+  const auto rho = g->field(Field::kDensity);
   for (int k = 0; k < 32; ++k)
     for (int j = 0; j < 32; ++j)
       for (int i = 0; i < 32; ++i) {

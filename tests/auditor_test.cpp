@@ -298,7 +298,7 @@ TEST(Auditor, SimulationHookAuditsEachRootStep) {
   cfg.refinement.overdensity_threshold = 1.5;
   cfg.audit_invariants = true;
   core::Simulation sim(cfg);
-  core::setup_uniform(sim, 1.0, 1.0);
+  sim.initialize(core::uniform_setup(1.0, 1.0));
   sim.advance_root_step();
   sim.advance_root_step();
   EXPECT_EQ(sim.audits_run(), 2);

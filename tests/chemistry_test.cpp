@@ -316,7 +316,7 @@ TEST(Chemistry, StiffConditionsStayFiniteAndPositive) {
   auto u = make_units(1e6);
   chemistry::solve_chemistry_step(*g, 1e14, prm, u);  // huge step
   for (Field f : g->field_list()) {
-    const auto& a = g->field(f);
+    const auto a = g->field(f);
     for (int k = 0; k < g->nx(2); ++k)
       for (int j = 0; j < g->nx(1); ++j)
         for (int i = 0; i < g->nx(0); ++i) {

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 
@@ -49,7 +50,7 @@ double total_root_mass(Simulation& sim) {
 TEST(Simulation, UniformStateStaysUniform) {
   SimulationConfig cfg = base_config({8, 8, 8}, 0);
   Simulation sim(cfg);
-  core::setup_uniform(sim, 2.0, 1.5);
+  sim.initialize(core::uniform_setup(2.0, 1.5));
   for (int s = 0; s < 3; ++s) sim.advance_root_step();
   for (Grid* g : sim.hierarchy().grids(0))
     for (int i = 0; i < 8; ++i)
@@ -66,7 +67,7 @@ TEST(Simulation, WcycleOrderingMatchesFigure2) {
   cfg.trace_wcycle = true;
   Simulation sim(cfg);
   sim.add_static_region(1, {{12, 12, 12}, {20, 20, 20}});
-  core::setup_uniform(sim, 1.0, 1.0);
+  sim.initialize(core::uniform_setup(1.0, 1.0));
   ASSERT_EQ(sim.hierarchy().deepest_level(), 1);
   sim.advance_root_step();
   const auto& tr = sim.trace();
@@ -94,7 +95,7 @@ TEST(Simulation, ThreeLevelWcycleIsNested) {
   Simulation sim(cfg);
   sim.add_static_region(1, {{8, 8, 8}, {24, 24, 24}});
   sim.add_static_region(2, {{24, 24, 24}, {40, 40, 40}});
-  core::setup_uniform(sim, 1.0, 1.0);
+  sim.initialize(core::uniform_setup(1.0, 1.0));
   ASSERT_EQ(sim.hierarchy().deepest_level(), 2);
   sim.advance_root_step();
   // Every level-1 event must be followed by its level-2 catch-ups before the
@@ -117,7 +118,7 @@ TEST(Simulation, SodTubeThroughDriver) {
   SimulationConfig cfg = base_config({128, 1, 1}, 0);
   cfg.hydro.gamma = 1.4;
   Simulation sim(cfg);
-  core::setup_sod_tube(sim);
+  sim.initialize(core::sod_tube_setup());
   sim.evolve_until(0.15, 4000);
   EXPECT_NEAR(sim.time_d(), 0.15, 1e-12);
   Grid* g = sim.hierarchy().grids(0)[0];
@@ -137,14 +138,14 @@ TEST(Simulation, AmrSodMatchesUnigrid) {
   cfg.rebuild_interval = 1 << 20;
   Simulation amr(cfg);
   amr.add_static_region(1, {{48, 0, 0}, {80, 1, 1}});
-  core::setup_sod_tube(amr);
+  amr.initialize(core::sod_tube_setup());
   ASSERT_EQ(amr.hierarchy().deepest_level(), 1);
   amr.evolve_until(0.12, 4000);
 
   SimulationConfig ucfg = base_config({64, 1, 1}, 0);
   ucfg.hydro.gamma = 1.4;
   Simulation uni(ucfg);
-  core::setup_sod_tube(uni);
+  uni.initialize(core::sod_tube_setup());
   uni.evolve_until(0.12, 4000);
 
   Grid* ga = amr.hierarchy().grids(0)[0];
@@ -166,7 +167,7 @@ TEST(Simulation, MassConservedThroughRefinedEvolution) {
   sim.build_root();
   Grid* g = sim.hierarchy().grids(0)[0];
   for (Field f : g->field_list()) g->field(f).fill(0.0);
-  auto& rho = g->field(Field::kDensity);
+  const auto rho = g->field(Field::kDensity);
   for (int k = 0; k < 16; ++k)
     for (int j = 0; j < 16; ++j)
       for (int i = 0; i < 16; ++i) {
@@ -200,14 +201,16 @@ TEST(Simulation, UniformComovingBoxFollowsAdiabaticExpansion) {
   opt.seed = 1;
   Simulation* s = &sim;
   // Zero out perturbations by hand after setup for a clean uniform test.
-  core::setup_cosmological(*s, opt);
+  s->initialize(core::cosmological_setup(opt));
   for (Grid* g : sim.hierarchy().grids(0)) {
     g->field(Field::kDensity).fill(1.0);
     g->field(Field::kVelocityX).fill(0.0);
     g->field(Field::kVelocityY).fill(0.0);
     g->field(Field::kVelocityZ).fill(0.0);
     // Rebuild total energy so no stale kinetic term perturbs the pressure.
-    g->field(Field::kTotalEnergy) = g->field(Field::kInternalEnergy);
+    const auto etot = g->field(Field::kTotalEnergy);
+    const auto eint = g->field(Field::kInternalEnergy);
+    std::copy(eint.begin(), eint.end(), etot.begin());
     g->store_old_fields();
   }
   const double a0 = sim.scale_factor();
@@ -241,7 +244,7 @@ TEST(Simulation, ZeldovichPancakeGrowsPerLinearTheory) {
   Simulation sim(cfg);
   core::PancakeOptions opt;
   opt.a_caustic_redshift = 5.0;
-  core::setup_zeldovich_pancake(sim, opt);
+  sim.initialize(core::zeldovich_pancake_setup(opt));
   const double a_i = sim.scale_factor();
   Grid* g = sim.hierarchy().grids(0)[0];
   // Amplitude of the fundamental Fourier mode — the observable that follows
@@ -298,7 +301,7 @@ TEST(Simulation, CollapseDeepensHierarchyAndRaisesDensity) {
   opt.box_proper_cm = 4.0 * constants::kParsec;
   opt.cloud_radius = 0.25;
   opt.temperature = 100.0;
-  core::setup_collapse_cloud(sim, opt);
+  sim.initialize(core::collapse_cloud_setup(opt));
   const double rho0 = analysis::find_densest_point(sim.hierarchy()).density;
   // Several free-fall times in code units.
   for (int s = 0; s < 10; ++s) sim.advance_root_step();

@@ -149,6 +149,38 @@ StopSteps              = 5
   EXPECT_EQ(d2.stop_steps, d.stop_steps);
 }
 
+TEST(Deck, ArenaKeysMapThroughAndRoundTrip) {
+  const auto d = parse(R"(
+ArenaMode        = 0
+BlockGranularity = 512
+UseOverlapTopology = 0
+)");
+  EXPECT_FALSE(d.config.hierarchy.arena.pool);
+  EXPECT_FALSE(d.config.hierarchy.arena.incremental);
+  EXPECT_EQ(d.config.hierarchy.arena.granularity, 512);
+  EXPECT_FALSE(d.config.hierarchy.use_overlap_topology);
+
+  // Defaults: arena on, overlap topology on — and those defaults stay
+  // implicit in a rendered deck.
+  const auto def = parse("Gamma = 1.4\n");
+  EXPECT_TRUE(def.config.hierarchy.arena.pool);
+  EXPECT_TRUE(def.config.hierarchy.arena.incremental);
+  EXPECT_TRUE(def.config.hierarchy.use_overlap_topology);
+  const std::string def_text = core::render_deck(def);
+  EXPECT_EQ(def_text.find("ArenaMode"), std::string::npos);
+  EXPECT_EQ(def_text.find("UseOverlapTopology"), std::string::npos);
+
+  // Non-default settings survive a render → parse round trip (restart path).
+  std::istringstream in(core::render_deck(d));
+  const auto d2 = core::parse_parameter_deck(in);
+  EXPECT_FALSE(d2.config.hierarchy.arena.pool);
+  EXPECT_FALSE(d2.config.hierarchy.arena.incremental);
+  EXPECT_EQ(d2.config.hierarchy.arena.granularity, 512);
+  EXPECT_FALSE(d2.config.hierarchy.use_overlap_topology);
+
+  EXPECT_THROW(parse("BlockGranularity = 0\n"), enzo::Error);
+}
+
 TEST(Deck, CheckedInDecksParse) {
   for (const char* path : {"decks/first_star.enzo", "decks/sod.enzo",
                            "decks/cosmology_box.enzo"}) {

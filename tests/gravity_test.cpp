@@ -61,7 +61,7 @@ TEST(Multigrid, ManufacturedSolutionConverges) {
           phi(i, j, k) = exact(i, j, k);
       }
   gravity::GravityParams p;
-  const double rel = gravity::multigrid_solve(phi, rhs, dx, p);
+  const double rel = gravity::multigrid_solve(phi.view(), rhs.view(), dx, p);
   EXPECT_LT(rel, p.mg_tolerance);
   double max_err = 0;
   for (int k = 1; k <= n; ++k)
@@ -92,7 +92,7 @@ TEST(Multigrid, DiscretizationErrorIsSecondOrder) {
             phi(i, j, k) = exact(i, j, k);
         }
     gravity::GravityParams p;
-    gravity::multigrid_solve(phi, rhs, 1.0 / n, p);
+    gravity::multigrid_solve(phi.view(), rhs.view(), 1.0 / n, p);
     double err = 0;
     for (int k = 1; k <= n; ++k)
       for (int j = 1; j <= n; ++j)
@@ -117,7 +117,7 @@ TEST(Multigrid, ZeroRhsReproducesHarmonicBoundary) {
             k == n + 1)
           phi(i, j, k) = (i - 0.5) * dx;
   gravity::GravityParams p;
-  gravity::multigrid_solve(phi, rhs, dx, p);
+  gravity::multigrid_solve(phi.view(), rhs.view(), dx, p);
   for (int k = 1; k <= n; ++k)
     for (int i = 1; i <= n; ++i)
       EXPECT_NEAR(phi(i, 8, k), (i - 0.5) * dx, 1e-7);
@@ -131,7 +131,7 @@ TEST(Multigrid, OddExtentsStillConverge) {
   rhs(7, 6, 8) = 100.0;
   gravity::GravityParams p;
   p.mg_max_vcycles = 60;
-  const double rel = gravity::multigrid_solve(phi, rhs, 0.05, p);
+  const double rel = gravity::multigrid_solve(phi.view(), rhs.view(), 0.05, p);
   EXPECT_LT(rel, 1e-6);
 }
 
@@ -146,7 +146,7 @@ TEST(RootGravity, PlaneWaveEigenfunction) {
   fill_uniform_gas(*g, 1.0);
   g->allocate_gravity();
   gravity::begin_gravitating_mass(h, 0);
-  auto& gm = g->gravitating_mass();
+  const auto gm = g->gravitating_mass();
   const int m = 3;
   for (int k = 0; k < n; ++k)
     for (int j = 0; j < n; ++j)
@@ -157,7 +157,7 @@ TEST(RootGravity, PlaneWaveEigenfunction) {
   gravity::solve_root_gravity(h, p, a);
   const double dx = 1.0 / n;
   const double lam = (2.0 * std::cos(2 * M_PI * m / n) - 2.0) / (dx * dx);
-  const auto& pot = g->potential();
+  const auto pot = g->potential();
   for (int i = 0; i < n; ++i) {
     // Mode phase matches the *cell index* (DFT of the sampled field).
     const double expected =
@@ -195,7 +195,7 @@ TEST(RootGravity, CompactMassInverseSquareField) {
   fill_uniform_gas(*g, 0.0);
   g->allocate_gravity();
   gravity::begin_gravitating_mass(h, 0);
-  auto& gm = g->gravitating_mass();
+  const auto gm = g->gravitating_mass();
   const double dx = 1.0 / n;
   const double mass = 1.0;  // total
   gm(n / 2 + 1, n / 2 + 1, n / 2 + 1) = mass / (dx * dx * dx);
@@ -301,7 +301,7 @@ TEST(SubgridGravity, RefinedPointMassMatchesAnalyticCloser) {
   // Point mass at the domain center, deposited on the child.
   const double dxc = c->cell_width_d(0);
   const double mass = 1.0;
-  auto& cgm = c->gravitating_mass();
+  const auto cgm = c->gravitating_mass();
   cgm(c->nx(0) / 2 + 1, c->nx(1) / 2 + 1, c->nx(2) / 2 + 1) =
       mass / (dxc * dxc * dxc);
   gravity::restrict_gravitating_mass(h);
@@ -345,7 +345,7 @@ TEST(SubgridGravity, SiblingExchangeImprovesContinuity) {
   gravity::begin_gravitating_mass(h, 0);
   gravity::begin_gravitating_mass(h, 1);
   // Mass just left of the shared face (global fine x=16).
-  auto& gm1 = g1->gravitating_mass();
+  const auto gm1 = g1->gravitating_mass();
   const double dxc = g1->cell_width_d(0);
   gm1(g1->nx(0) - 1 + 1, 8 + 1, 8 + 1) = 1.0 / (dxc * dxc * dxc);
   gravity::restrict_gravitating_mass(h);

@@ -127,10 +127,10 @@ mesh::Hierarchy make_tube(int n) {
 }
 
 void init_sod(mesh::Grid& g, double gamma) {
-  auto& rho = g.field(Field::kDensity);
-  auto& vx = g.field(Field::kVelocityX);
-  auto& et = g.field(Field::kTotalEnergy);
-  auto& ei = g.field(Field::kInternalEnergy);
+  const auto rho = g.field(Field::kDensity);
+  const auto vx = g.field(Field::kVelocityX);
+  const auto et = g.field(Field::kTotalEnergy);
+  const auto ei = g.field(Field::kInternalEnergy);
   g.field(Field::kVelocityY).fill(0.0);
   g.field(Field::kVelocityZ).fill(0.0);
   for (int i = 0; i < g.nx(0); ++i) {
@@ -299,7 +299,7 @@ TEST(Hydro, PeriodicBoxConservesMassMomentumEnergy) {
   mesh::Grid* g = h.grids(0)[0];
   util::Rng rng(3);
   auto set = [&](Field f, std::function<double()> gen) {
-    auto& a = g->field(f);
+    const auto a = g->field(f);
     for (int k = 0; k < g->nx(2); ++k)
       for (int j = 0; j < g->nx(1); ++j)
         for (int i = 0; i < g->nx(0); ++i) a(g->sx(i), g->sy(j), g->sz(k)) = gen();
@@ -395,7 +395,7 @@ TEST(Hydro, PassiveScalarAdvectsWithFlow) {
   g->field(Field::kTotalEnergy).fill(100.5);
   for (int f = mesh::kFirstSpecies; f < mesh::kNumFields; ++f)
     g->field(static_cast<Field>(f)).fill(0.0);
-  auto& hi = g->field(Field::kHI);
+  const auto hi = g->field(Field::kHI);
   for (int i = 0; i < 64; ++i) {
     const double x = (i + 0.5) / 64;
     hi(g->sx(i), 0, 0) = std::exp(-std::pow((x - 0.25) / 0.05, 2));
@@ -540,7 +540,7 @@ TEST(Hydro, FluxRegistersAreFilled) {
   mesh::Grid* g = h.grids(0)[0];
   util::Rng rng(8);
   for (Field f : g->field_list()) {
-    auto& a = g->field(f);
+    const auto a = g->field(f);
     for (auto& v : a)
       v = (f == Field::kDensity || f == Field::kInternalEnergy ||
            f == Field::kTotalEnergy)
@@ -552,7 +552,7 @@ TEST(Hydro, FluxRegistersAreFilled) {
   hydro::solve_hydro_step(*g, 0.005, hp, cosmology::Expansion::statics());
   ASSERT_TRUE(g->has_fluxes());
   // Mass flux at some interior face should be nonzero and finite.
-  const auto& fx = g->flux(Field::kDensity, 0);
+  const auto fx = g->flux(Field::kDensity, 0);
   double sum = 0;
   for (const double v : fx) {
     ASSERT_TRUE(std::isfinite(v));

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/setup.hpp"
@@ -114,7 +115,9 @@ TEST_P(RefineFactor, HierarchyMachineryWorksAtAnyIntegerFactor) {
   // Interior fill conserved mass per covered coarse cell: project back and
   // compare with the pre-refinement root values.
   Grid* child = h.grids(1)[0];
-  util::Array3<double> before = root->field(Field::kDensity);
+  const auto rho_view = root->field(Field::kDensity);
+  util::Array3<double> before(rho_view.nx(), rho_view.ny(), rho_view.nz());
+  std::copy(rho_view.begin(), rho_view.end(), before.begin());
   mesh::project_to_parent(*child, *root);
   for (int k = 0; k < 8; ++k)
     for (int j = 0; j < 8; ++j)
@@ -138,7 +141,7 @@ TEST_P(GammaSweep, SodTubeConservesAndStaysPositive) {
   cfg.hierarchy.root_dims = {64, 1, 1};
   cfg.hydro.gamma = gamma;
   core::Simulation sim(cfg);
-  core::setup_sod_tube(sim);
+  sim.initialize(core::sod_tube_setup());
   sim.evolve_until(0.1, 4000);
   Grid* g = sim.hierarchy().grids(0)[0];
   for (int i = 0; i < 64; ++i) {
@@ -163,7 +166,7 @@ TEST(GravitySymmetry, MirrorMassesGiveMirrorForces) {
   for (Field f : g->field_list()) g->field(f).fill(0.0);
   g->allocate_gravity();
   gravity::begin_gravitating_mass(h, 0);
-  auto& gm = g->gravitating_mass();
+  const auto gm = g->gravitating_mass();
   gm.fill(0.0);
   gm(4 + 1, 8 + 1, 8 + 1) = 100.0;
   gm(12 + 1, 8 + 1, 8 + 1) = 100.0;  // mirror about x = 8.5 cells
@@ -189,7 +192,7 @@ TEST(Wcycle, RefineFactorFourTakesFourChildSteps) {
   cfg.rebuild_interval = 1 << 20;
   core::Simulation sim(cfg);
   sim.add_static_region(1, {{8, 8, 8}, {24, 24, 24}});
-  core::setup_uniform(sim, 1.0, 1.0);
+  sim.initialize(core::uniform_setup(1.0, 1.0));
   ASSERT_EQ(sim.hierarchy().deepest_level(), 1);
   sim.advance_root_step();
   int child_steps = 0;
@@ -212,7 +215,7 @@ TEST(Boundary, SubgridAtOutflowDomainEdgeClampsGhosts) {
   cfg.rebuild_interval = 1 << 20;
   core::Simulation sim(cfg);
   sim.add_static_region(1, {{32, 0, 0}, {64, 1, 1}});  // right half, to edge
-  core::setup_sod_tube(sim);
+  sim.initialize(core::sod_tube_setup());
   ASSERT_EQ(sim.hierarchy().deepest_level(), 1);
   // Parent-level boundaries first (as EvolveLevel does): the child's
   // out-of-domain ghosts are interpolated from the *parent's* outflow-filled

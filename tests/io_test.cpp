@@ -39,7 +39,7 @@ void make_blob(core::Simulation& sim) {
   sim.build_root();
   Grid* g = sim.hierarchy().grids(0)[0];
   for (Field f : g->field_list()) g->field(f).fill(0.0);
-  auto& rho = g->field(Field::kDensity);
+  const auto rho = g->field(Field::kDensity);
   for (int k = 0; k < 8; ++k)
     for (int j = 0; j < 8; ++j)
       for (int i = 0; i < 8; ++i) {

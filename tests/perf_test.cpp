@@ -353,7 +353,7 @@ TEST(Diagnostics, SimulationEmitsOneRecordPerRootStep) {
   opt.box_proper_cm = 4.0 * 3.0857e18;
   opt.cloud_radius = 0.25;
   opt.temperature = 100.0;
-  core::setup_collapse_cloud(sim, opt);
+  sim.initialize(core::collapse_cloud_setup(opt));
 
   const std::string path = "perf_test_diag.jsonl";
   std::remove(path.c_str());
@@ -406,7 +406,7 @@ TEST(Diagnostics, EvolveUntilReportsStopTimeLimiter) {
   cfg.hierarchy.root_dims = {8, 8, 8};
   cfg.hierarchy.max_level = 0;
   core::Simulation sim(cfg);
-  core::setup_uniform(sim, 1.0, 1.0);
+  sim.initialize(core::uniform_setup(1.0, 1.0));
   const double dt0 = sim.advance_root_step();
   // Stop inside the next step: the clamp must be attributed to stop_time.
   sim.evolve_until(sim.time_d() + 0.25 * dt0, 1);
@@ -498,10 +498,10 @@ TEST(PerfThreading, RebuildCycleBalancesAllocations) {
     cfg.hierarchy.max_level = 2;
     cfg.refinement.overdensity_threshold = 1.5;
     core::Simulation sim(cfg);
-    core::setup_uniform(sim, 1.0, 1.0);
+    sim.initialize(core::uniform_setup(1.0, 1.0));
     // Perturb so the rebuild cascade flags (and later unflags) cells.
     for (mesh::Grid* g : sim.hierarchy().grids(0)) {
-      auto& rho = g->field(mesh::Field::kDensity);
+      const auto rho = g->field(mesh::Field::kDensity);
       rho(g->sx(8), g->sy(8), g->sz(8)) = 4.0;
     }
     sim.finalize_setup();

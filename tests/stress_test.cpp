@@ -85,7 +85,7 @@ TEST(Stress, DeepHierarchyEvolvesWithExactTimeLanding) {
   sim.add_static_region(2, {{12, 12, 12}, {20, 20, 20}});
   sim.add_static_region(3, {{28, 28, 28}, {36, 36, 36}});
   sim.add_static_region(4, {{60, 60, 60}, {68, 68, 68}});
-  core::setup_uniform(sim, 1.0, 1.0);
+  sim.initialize(core::uniform_setup(1.0, 1.0));
   ASSERT_EQ(sim.hierarchy().deepest_level(), 4);
   sim.advance_root_step();
   const ext::pos_t t0 = sim.hierarchy().grids(0)[0]->time();
@@ -108,7 +108,7 @@ TEST(Stress, SubstepGuardFires) {
   cfg.max_substeps_per_level = 1;  // a 2:1 CFL ratio needs 2
   core::Simulation sim(cfg);
   sim.add_static_region(1, {{4, 4, 4}, {12, 12, 12}});
-  core::setup_uniform(sim, 1.0, 1.0);
+  sim.initialize(core::uniform_setup(1.0, 1.0));
   EXPECT_THROW(sim.advance_root_step(), enzo::Error);
 }
 
@@ -159,7 +159,7 @@ TEST(Stress, RebuildIntervalSkipsRebuilds) {
   sim.build_root();
   Grid* g = sim.hierarchy().grids(0)[0];
   for (Field f : g->field_list()) g->field(f).fill(0.0);
-  auto& rho = g->field(Field::kDensity);
+  const auto rho = g->field(Field::kDensity);
   for (int k = 0; k < 16; ++k)
     for (int j = 0; j < 16; ++j)
       for (int i = 0; i < 16; ++i) {

@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
   opt.cloud_radius = 0.25;
   opt.temperature = 300.0;
   opt.h2_fraction = 5e-4;
-  core::setup_collapse_cloud(sim, opt);
+  sim.initialize(core::collapse_cloud_setup(opt));
 
   {
     perf::DiagnosticsSink sink(diag_path);

@@ -15,7 +15,9 @@
 # Extra on-demand stages re-run targeted suites against an existing
 # build-werror tree: `io` (CI_STAGES="io") covers the checkpoint suite, and
 # `topology` (CI_STAGES="topology") covers the `mesh` label — the overlap-
-# topology cache equivalence/invalidation tests and the rest of mesh_test.
+# topology cache equivalence/invalidation tests and the rest of mesh_test —
+# and `regrid` (CI_STAGES="regrid") the storage-arena / incremental-regrid
+# tests plus the regrid-storm bench.
 #
 # Each stage uses the corresponding CMakePresets.json preset, so a local
 # repro of any failure is one command, e.g.:
@@ -85,6 +87,21 @@ for stage in $stages; do
       fi
       ctest --test-dir build-werror -L mesh -j "$jobs" --output-on-failure \
         || failed+=(topology)
+      ;;
+    regrid)
+      banner "stage: regrid arena suite"
+      # Targeted re-run of the storage-arena / incremental-regrid tests plus
+      # the regrid-storm bench (BENCH_regrid.json) against build-werror.
+      if [ ! -d build-werror ]; then
+        cmake --preset werror && cmake --build --preset werror -j "$jobs" \
+          || { failed+=(regrid); continue; }
+      fi
+      cmake --build --preset werror -j "$jobs" --target regrid_arena \
+        || { failed+=(regrid); continue; }
+      ctest --test-dir build-werror \
+        -R '^(Arena|Buffer3|StorageArena|RegridStorm|ArenaCheckpoint)' \
+        -j "$jobs" --output-on-failure || failed+=(regrid)
+      build-werror/bench/regrid_arena || failed+=(regrid)
       ;;
     werror|asan-ubsan|tsan)
       run_preset "$stage" || failed+=("$stage")

@@ -415,8 +415,8 @@ void rule_hotpath(const SourceFile& f, const std::vector<FuncDef>& funcs,
 // Overlap queries go through mesh::OverlapTopology (PR 5): an inner scan of
 // a level's grid list nested inside another grid sweep is the O(grids²)
 // pattern the cache replaced.  The reference implementations live in
-// src/mesh/topology.cpp / hierarchy.cpp and behind
-// set_use_overlap_topology(false) allow-directives.
+// src/mesh/topology.cpp / hierarchy.cpp and behind per-hierarchy
+// Hierarchy::set_use_topology(false) allow-directives.
 
 constexpr const char* kRuleAllPairs = "topology-allpairs";
 
