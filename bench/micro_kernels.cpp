@@ -6,8 +6,14 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
 
 #include "chemistry/chemistry.hpp"
+#include "chemistry/rates.hpp"
+#include "hydro/riemann.hpp"
 #include "ext/dd.hpp"
 #include "fft/fft.hpp"
 #include "gravity/gravity.hpp"
@@ -153,6 +159,101 @@ void BM_DoubleArithmetic(benchmark::State& state) {
 }
 BENCHMARK(BM_DoubleArithmetic);
 
+void BM_RiemannBatch(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  util::Rng rng(17);
+  std::vector<double> rho_l(n), u_l(n), p_l(n), rho_r(n), u_r(n), p_r(n);
+  std::vector<double> rho(n), u(n), p(n), pstar(n), ustar(n);
+  std::vector<double> cl(n), cr(n), wl(n), wr(n);
+  for (int f = 0; f < n; ++f) {
+    rho_l[f] = 0.5 + rng.uniform();
+    rho_r[f] = 0.5 + rng.uniform();
+    p_l[f] = 0.1 + rng.uniform();
+    p_r[f] = 0.1 + rng.uniform();
+    u_l[f] = rng.uniform(-1, 1);
+    u_r[f] = rng.uniform(-1, 1);
+  }
+  const hydro::RiemannBatch b{rho_l.data(), u_l.data(),   p_l.data(),
+                              rho_r.data(), u_r.data(),   p_r.data(),
+                              rho.data(),   u.data(),     p.data(),
+                              pstar.data(), ustar.data(), cl.data(),
+                              cr.data(),    wl.data(),    wr.data()};
+  for (auto _ : state) {
+    hydro::riemann_two_shock_batch(0, n - 1, b, 5.0 / 3.0);
+    benchmark::DoNotOptimize(rho.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RiemannBatch)->Arg(256);
+
+void BM_RateBatch(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<double> T(n);
+  for (int i = 0; i < n; ++i)
+    T[i] = std::pow(10.0, 1.0 + 5.0 * i / (n - 1.0));  // 10 K .. 1e6 K
+  chemistry::RateBatch batch;
+  for (auto _ : state) {
+    batch.compute(n, T.data());
+    benchmark::DoNotOptimize(batch.row(0).k1);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RateBatch)->Arg(256);
+
+// ---------------------------------------------------------------------------
+// Reporter: collect finalized per-kernel throughput (cells/sec) and write it
+// to BENCH_micro_kernels.json alongside the usual console table.  The
+// `items_per_second` counter is finalized by the framework (kIsRate) before
+// ReportRuns, so the values here match the console column exactly.
+// ---------------------------------------------------------------------------
+
+struct KernelStats {
+  double cells_per_second = 0.0;
+  double cpu_seconds_per_iteration = 0.0;
+};
+
+class ThroughputCollector : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& r : reports) {
+      if (r.run_type != Run::RT_Iteration || r.error_occurred) continue;
+      KernelStats s;
+      auto it = r.counters.find("items_per_second");
+      if (it != r.counters.end()) s.cells_per_second = it->second.value;
+      if (r.iterations > 0)
+        s.cpu_seconds_per_iteration =
+            r.cpu_accumulated_time / static_cast<double>(r.iterations);
+      stats_[r.benchmark_name()] = s;
+    }
+    benchmark::ConsoleReporter::ReportRuns(reports);
+  }
+
+  const std::map<std::string, KernelStats>& stats() const { return stats_; }
+
+ private:
+  std::map<std::string, KernelStats> stats_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ThroughputCollector reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  std::ofstream out("BENCH_micro_kernels.json");
+  out << "{\n  \"kernels\": {\n";
+  bool first = true;
+  for (const auto& [name, s] : reporter.stats()) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "    \"" << name << "\": {\"cells_per_second\": "
+        << s.cells_per_second
+        << ", \"cpu_seconds_per_iteration\": " << s.cpu_seconds_per_iteration
+        << "}";
+  }
+  out << "\n  }\n}\n";
+  benchmark::Shutdown();
+  return 0;
+}

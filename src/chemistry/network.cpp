@@ -1,6 +1,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <vector>
 
 #include "chemistry/chemistry.hpp"
 #include "exec/executor.hpp"
@@ -69,52 +70,41 @@ struct CellState {
   double e;  // specific internal energy, erg/g
 };
 
-/// Advance one cell by dt_s seconds; returns the subcycle count taken.
-ENZO_HOT int advance_cell(CellState& st, double dt_s, double rho_cgs,
-                          const ChemistryParams& prm, double t_cmb) {
-  double t = 0.0;
-  int cycles = 0;
+/// One subcycle for one cell, given its pre-evaluated temperature, rate row,
+/// and cooling rate Λ (the lockstep driver batches those over a whole row of
+/// cells before stepping each one).  `dt_remaining` = dt_s − t for this cell.
+/// Returns the dt actually taken.
+ENZO_HOT double subcycle_cell(CellState& st, const Rates& r, double lambda,
+                              double dt_remaining, double dt_s, double nH_tot,
+                              double nHe_tot, double nD_tot, double rho_cgs,
+                              const ChemistryParams& prm) {
   double* n = st.n;
-
-  // Conserved nuclei sums for renormalization.
-  const double nH_tot =
-      n[sHI] + n[sHII] + n[sHM] + 2.0 * (n[sH2] + n[sH2p]) + n[sHD];
-  const double nHe_tot = n[sHeI] + n[sHeII] + n[sHeIII];
-  const double nD_tot = n[sDI] + n[sDII] + n[sHD];
-
-  while (t < dt_s && cycles < prm.max_subcycles) {
-    ++cycles;
-    const double T = temperature_of(st.e, n, prm.gamma);
-    const Rates r = compute_rates(T);
-
-    // ---- cooling rate and electron derivative for subcycle control --------
-    CoolingInput ci{T, t_cmb, n[sHI], n[sHII], n[sHeI], n[sHeII],
-                    n[sHeIII], n[sE], n[sH2], n[sHD]};
-    const double lambda = prm.cooling ? cooling_rate(ci) : 0.0;
-    const double edot = -lambda / rho_cgs;  // erg/g/s
-    const double ne_dot =
-        r.k1 * n[sHI] * n[sE] - r.k2 * n[sHII] * n[sE] +
-        r.k3 * n[sHeI] * n[sE] - r.k4 * n[sHeII] * n[sE] +
-        r.k5 * n[sHeII] * n[sE] - r.k6 * n[sHeIII] * n[sE];
-    // A-priori H₂ rate: the sequential-implicit update can falsely
-    // equilibrate H₂ against destruction channels whose reactants would be
-    // exhausted within the step (e.g. the tiny D reservoir), so the H₂
-    // relative change per subcycle must be bounded too.
-    const double h2_dot =
-        r.k8 * n[sHM] * n[sHI] + r.k10 * n[sH2p] * n[sHI] +
-        r.k22 * n[sHI] * n[sHI] * n[sHI] -
-        (r.k11 * n[sHII] + r.k12 * n[sE] + r.k13 * n[sHI]) * n[sH2];
-    double dt_sub = dt_s - t;
-    if (std::abs(ne_dot) > 0)
-      dt_sub = std::min(dt_sub, prm.accuracy * (n[sE] + 1e-6 * nH_tot) /
-                                    std::abs(ne_dot));
-    if (std::abs(h2_dot) > 0)
-      dt_sub = std::min(dt_sub, prm.accuracy * (n[sH2] + 1e-3 * nH_tot) /
-                                    std::abs(h2_dot));
-    if (std::abs(edot) > 0)
-      dt_sub = std::min(dt_sub, prm.accuracy * st.e / std::abs(edot));
-    dt_sub = std::max(dt_sub, dt_s / prm.max_subcycles);
-    dt_sub = std::min(dt_sub, dt_s - t);
+  // ---- electron / H₂ / energy derivatives for subcycle control ------------
+  const double edot = -lambda / rho_cgs;  // erg/g/s
+  const double ne_dot =
+      r.k1 * n[sHI] * n[sE] - r.k2 * n[sHII] * n[sE] +
+      r.k3 * n[sHeI] * n[sE] - r.k4 * n[sHeII] * n[sE] +
+      r.k5 * n[sHeII] * n[sE] - r.k6 * n[sHeIII] * n[sE];
+  // A-priori H₂ rate: the sequential-implicit update can falsely
+  // equilibrate H₂ against destruction channels whose reactants would be
+  // exhausted within the step (e.g. the tiny D reservoir), so the H₂
+  // relative change per subcycle must be bounded too.
+  const double h2_dot =
+      r.k8 * n[sHM] * n[sHI] + r.k10 * n[sH2p] * n[sHI] +
+      r.k22 * n[sHI] * n[sHI] * n[sHI] -
+      (r.k11 * n[sHII] + r.k12 * n[sE] + r.k13 * n[sHI]) * n[sH2];
+  double dt_sub = dt_remaining;
+  if (std::abs(ne_dot) > 0)
+    dt_sub = std::min(dt_sub, prm.accuracy * (n[sE] + 1e-6 * nH_tot) /
+                                  std::abs(ne_dot));
+  if (std::abs(h2_dot) > 0)
+    dt_sub = std::min(dt_sub, prm.accuracy * (n[sH2] + 1e-3 * nH_tot) /
+                                  std::abs(h2_dot));
+  if (std::abs(edot) > 0)
+    dt_sub = std::min(dt_sub, prm.accuracy * st.e / std::abs(edot));
+  dt_sub = std::max(dt_sub, dt_s / prm.max_subcycles);
+  dt_sub = std::min(dt_sub, dt_remaining);
+  {
 
     // ---- sequential implicit updates (production C, destruction freq D) ---
     // Helium first (decoupled from the H₂ network).
@@ -240,9 +230,112 @@ ENZO_HOT int advance_cell(CellState& st, double dt_s, double rho_cgs,
                               constants::kHydrogenMass);
       st.e = std::max(st.e, e_floor);
     }
-    t += dt_sub;
   }
-  return cycles;
+  return dt_sub;
+}
+
+/// Per-thread workspace for the row-lockstep solver: the row's cell states
+/// plus the SoA lanes that feed RateBatch / cooling_rate_batch.  Lives in a
+/// thread_local so capacity is reused across rows and steps.
+struct RowScratch {
+  std::vector<CellState> st;
+  std::vector<double> t, e0, rho_cgs;   // per-cell time, initial e, density
+  std::vector<double> nH_tot, nHe_tot, nD_tot;  // conserved nuclei sums
+  std::vector<int> cycles;
+  std::vector<int> active, next_active;  // cells still integrating
+  // Lockstep lanes, indexed by position in `active`.
+  std::vector<double> T, lambda;
+  std::vector<double> nHI, nHII, nHeI, nHeII, nHeIII, ne, nH2, nHD;
+  RateBatch rates;
+
+  void reshape(int nx) {
+    const auto un = static_cast<std::size_t>(nx);
+    st.resize(un);
+    t.resize(un);
+    e0.resize(un);
+    rho_cgs.resize(un);
+    nH_tot.resize(un);
+    nHe_tot.resize(un);
+    nD_tot.resize(un);
+    cycles.resize(un);
+    active.reserve(un);
+    next_active.reserve(un);
+    T.resize(un);
+    lambda.resize(un);
+    nHI.resize(un);
+    nHII.resize(un);
+    nHeI.resize(un);
+    nHeII.resize(un);
+    nHeIII.resize(un);
+    ne.resize(un);
+    nH2.resize(un);
+    nHD.resize(un);
+  }
+};
+
+/// Advance every cell of one gathered row by dt_s seconds in lockstep rounds:
+/// gather the temperatures of the still-active cells, evaluate all reaction
+/// rates and cooling terms for the whole row at once (batched exp/pow lanes),
+/// then take one scalar subcycle per cell.  Per-cell numerics are identical
+/// to the historical cell-at-a-time loop — only the evaluation order across
+/// cells changes, and each cell's subcycle sequence is untouched.
+int advance_row(RowScratch& ws, int nx, double dt_s,
+                const ChemistryParams& prm, double t_cmb) {
+  ws.active.clear();
+  for (int i = 0; i < nx; ++i) {
+    ws.t[i] = 0.0;
+    ws.cycles[i] = 0;
+    const double* n = ws.st[i].n;
+    ws.nH_tot[i] =
+        n[sHI] + n[sHII] + n[sHM] + 2.0 * (n[sH2] + n[sH2p]) + n[sHD];
+    ws.nHe_tot[i] = n[sHeI] + n[sHeII] + n[sHeIII];
+    ws.nD_tot[i] = n[sDI] + n[sDII] + n[sHD];
+    if (ws.t[i] < dt_s && prm.max_subcycles > 0) ws.active.push_back(i);
+  }
+  int total = 0;
+  while (!ws.active.empty()) {
+    const int m = static_cast<int>(ws.active.size());
+    for (int a = 0; a < m; ++a) {
+      const CellState& st = ws.st[ws.active[a]];
+      ws.T[a] = temperature_of(st.e, st.n, prm.gamma);
+    }
+    ws.rates.compute(m, ws.T.data());
+    if (prm.cooling) {
+      for (int a = 0; a < m; ++a) {
+        const double* n = ws.st[ws.active[a]].n;
+        ws.nHI[a] = n[sHI];
+        ws.nHII[a] = n[sHII];
+        ws.nHeI[a] = n[sHeI];
+        ws.nHeII[a] = n[sHeII];
+        ws.nHeIII[a] = n[sHeIII];
+        ws.ne[a] = n[sE];
+        ws.nH2[a] = n[sH2];
+        ws.nHD[a] = n[sHD];
+      }
+      const CoolingRowInput cri{t_cmb,          ws.T.data(),
+                                ws.nHI.data(),  ws.nHII.data(),
+                                ws.nHeI.data(), ws.nHeII.data(),
+                                ws.nHeIII.data(), ws.ne.data(),
+                                ws.nH2.data(),  ws.nHD.data()};
+      cooling_rate_batch(m, cri, ws.lambda.data());
+    } else {
+      std::fill(ws.lambda.begin(), ws.lambda.begin() + m, 0.0);
+    }
+    ws.next_active.clear();
+    for (int a = 0; a < m; ++a) {
+      const int i = ws.active[a];
+      ++ws.cycles[i];
+      ++total;
+      const double dt_sub = subcycle_cell(
+          ws.st[i], ws.rates.row(a), ws.lambda[a], dt_s - ws.t[i], dt_s,
+          ws.nH_tot[i], ws.nHe_tot[i], ws.nD_tot[i], ws.rho_cgs[i], prm);
+      ws.t[i] += dt_sub;
+      if (ws.t[i] < dt_s && ws.cycles[i] < prm.max_subcycles)
+        ws.next_active.push_back(i);
+    }
+    std::swap(ws.active, ws.next_active);
+  }
+  return total;
 }
 
 }  // namespace
@@ -266,34 +359,48 @@ void solve_chemistry_step(Grid& g, double dt, const ChemistryParams& params,
   const mesh::ConstFieldView rho = g.field(Field::kDensity);
   const mesh::FieldView eint = g.field(Field::kInternalEnergy);
   const mesh::FieldView etot = g.field(Field::kTotalEnergy);
+  // Species views hoisted out of the cell loops (the by-name lookup is a map
+  // probe; twelve of them per cell dominated the gather cost).
+  std::vector<mesh::FieldView> species;
+  species.reserve(kNsp);
+  for (const Field f : kSpeciesField) species.push_back(g.field(f));
   // Cells are independent; rows of cells are chunked through the executor
-  // (replacing the old OpenMP pragma).  The subcycle tally is an integer sum
-  // — commutative, so the atomic accumulation stays deterministic at any
-  // thread count.
+  // (replacing the old OpenMP pragma).  Each row is gathered into an SoA
+  // workspace and advanced in lockstep so the rate/cooling transcendentals
+  // run over whole-row lanes; per-cell subcycle numerics are unchanged, so
+  // results do not depend on which thread handles a row.  The subcycle tally
+  // is an integer sum — commutative, so the atomic accumulation stays
+  // deterministic at any thread count.
   std::atomic<std::int64_t> subcycles{0};
+  const int ni = g.nx(0);
   const auto nj = static_cast<std::size_t>(g.nx(1));
   const auto nk = static_cast<std::size_t>(g.nx(2));
   exec::maybe_parallel_for(
       ex, nk * nj, 1, [&](std::size_t row_begin, std::size_t row_end) {
+    thread_local RowScratch ws;
+    ws.reshape(ni);
     std::int64_t local_subcycles = 0;
     for (std::size_t row = row_begin; row < row_end; ++row) {
       const int k = static_cast<int>(row / nj);
       const int j = static_cast<int>(row % nj);
-      for (int i = 0; i < g.nx(0); ++i) {
-        const int si = g.sx(i), sj = g.sy(j), sk = g.sz(k);
-        CellState st;
+      const int sj = g.sy(j), sk = g.sz(k);
+      for (int i = 0; i < ni; ++i) {
+        const int si = g.sx(i);
+        CellState& st = ws.st[i];
         for (int s = 0; s < kNsp; ++s)
-          st.n[s] = std::max(g.field(kSpeciesField[s])(si, sj, sk), 0.0) *
+          st.n[s] = std::max(species[s](si, sj, sk), 0.0) *
                     units.n_factor / kA[s];
         st.e = eint(si, sj, sk) * units.e_cgs;
-        const double rho_cgs = rho(si, sj, sk) * units.rho_cgs;
-        const double e_before = st.e;
-        local_subcycles +=
-            advance_cell(st, dt_s, rho_cgs, params, units.t_cmb);
+        ws.e0[i] = st.e;
+        ws.rho_cgs[i] = rho(si, sj, sk) * units.rho_cgs;
+      }
+      local_subcycles += advance_row(ws, ni, dt_s, params, units.t_cmb);
+      for (int i = 0; i < ni; ++i) {
+        const int si = g.sx(i);
+        const CellState& st = ws.st[i];
         for (int s = 0; s < kNsp; ++s)
-          g.field(kSpeciesField[s])(si, sj, sk) =
-              st.n[s] * kA[s] / units.n_factor;
-        const double de_code = (st.e - e_before) / units.e_cgs;
+          species[s](si, sj, sk) = st.n[s] * kA[s] / units.n_factor;
+        const double de_code = (st.e - ws.e0[i]) / units.e_cgs;
         eint(si, sj, sk) += de_code;
         etot(si, sj, sk) += de_code;
       }

@@ -13,6 +13,8 @@
 // All rates are cgs: two-body in cm³ s⁻¹, three-body in cm⁶ s⁻¹, cooling in
 // erg cm³ s⁻¹ (multiply by the two number densities involved).
 
+#include <vector>
+
 namespace enzo::chemistry {
 
 /// Two-body/three-body rate coefficients at one temperature.
@@ -53,6 +55,34 @@ struct Rates {
 /// Evaluate the full rate set at gas temperature T (Kelvin).
 Rates compute_rates(double T);
 
+/// Row-at-a-time rate evaluation: one SoA lane per coefficient, evaluated
+/// over a batch of temperatures so the shared subexpressions (T clamps,
+/// sqrt/log lanes, the recombination suppression factor) are hoisted into
+/// dense loops and each `exp`/`pow` fit runs over a contiguous lane instead
+/// of refilling a 27-field struct per cell.  Per-element math matches
+/// compute_rates exactly — the scalar API is the n = 1 case of this one.
+class RateBatch {
+ public:
+  /// Fill every lane for temperatures T[0..n).  Reuses capacity.
+  void compute(int n, const double* T);
+
+  /// Gather cell i's coefficients back into the scalar struct (cheap strided
+  /// loads; the transcendental work stays in the batched lanes).
+  [[nodiscard]] Rates row(int i) const;
+
+  [[nodiscard]] int size() const { return n_; }
+
+ private:
+  [[nodiscard]] double* lane(int idx) { return store_.data() + idx * stride_; }
+  [[nodiscard]] const double* lane(int idx) const {
+    return store_.data() + idx * stride_;
+  }
+
+  std::vector<double> store_;
+  int n_ = 0;
+  int stride_ = 0;  // padded lane length
+};
+
 /// Cooling/heating terms (erg cm⁻³ s⁻¹ once multiplied by densities inside):
 struct CoolingInput {
   double T;        ///< gas temperature (K)
@@ -66,6 +96,18 @@ struct CoolingInput {
 /// critical-density cap), HD, and Compton scattering off the CMB (which
 /// heats when T < T_cmb).
 double cooling_rate(const CoolingInput& in);
+
+/// SoA lanes for a row of cooling evaluations (same terms as cooling_rate;
+/// the scalar API is the n = 1 case).  The CMB temperature is shared by the
+/// whole row, so its Compton prefactor is hoisted out of the loop.
+struct CoolingRowInput {
+  double T_cmb;
+  const double* T;
+  const double *n_HI, *n_HII, *n_HeI, *n_HeII, *n_HeIII, *n_e, *n_H2, *n_HD;
+};
+
+/// lambda[0..n) ← Λ per cell.
+void cooling_rate_batch(int n, const CoolingRowInput& in, double* lambda);
 
 /// The H₂ contribution alone (diagnostics / Fig. 4 reasoning).
 double h2_cooling_rate(double T, double n_H2, double n_H);

@@ -4,135 +4,195 @@
 #include <cmath>
 
 #include "util/annotations.hpp"
+
 namespace enzo::hydro {
 
 namespace {
 
-/// Lagrangian wave speed W(p*) for one side (two-shock approximation):
-/// W² = γ p ρ [1 + (γ+1)/(2γ) (p*/p − 1)], floored for strong rarefactions.
-ENZO_HOT double wave_speed(double rho, double p, double pstar,
-                           double gamma) {
-  const double w2 =
-      gamma * p * rho * (1.0 + (gamma + 1.0) / (2.0 * gamma) * (pstar / p - 1.0));
-  const double w2_min = 1e-16 * gamma * p * rho;
-  return std::sqrt(std::max(w2, w2_min));
-}
+// Absolute positivity floor for the inputs: near-vacuum states from strong
+// expansion fans reach the solver with p, ρ ~ 1e-300 (the caller's relative
+// floors scale with the vanishing cell values), and γpρ then underflows to
+// zero — making the relative wave-speed floor underflow too, the Lagrangian
+// speeds exactly zero, and the Newton update 0/0 = NaN.  Flooring the inputs
+// keeps every product in the normal range, consistent with the conservative
+// update's eint >= 0 handling (a vacuum face simply carries ~zero flux).
+constexpr double kTiny = 1e-300;
 
 }  // namespace
 
-ENZO_HOT RiemannState riemann_two_shock(const RiemannInput& in,
-                                        double gamma) {
-  const double cl = std::sqrt(gamma * in.p_l / in.rho_l);
-  const double cr = std::sqrt(gamma * in.p_r / in.rho_r);
+namespace {
 
-  // Initial guess: linearized (acoustic) star pressure.
-  const double wl0 = in.rho_l * cl, wr0 = in.rho_r * cr;
-  double pstar = (wr0 * in.p_l + wl0 * in.p_r - wl0 * wr0 * (in.u_r - in.u_l)) /
-                 (wl0 + wr0);
-  pstar = std::max(pstar, 1e-12 * std::min(in.p_l, in.p_r));
-
-  double wl = wl0, wr = wr0, ustar = 0.0;
-  for (int iter = 0; iter < 12; ++iter) {
-    wl = wave_speed(in.rho_l, in.p_l, pstar, gamma);
-    wr = wave_speed(in.rho_r, in.p_r, pstar, gamma);
-    const double ul_star = in.u_l - (pstar - in.p_l) / wl;
-    const double ur_star = in.u_r + (pstar - in.p_r) / wr;
-    // Newton step on f(p) = ul*(p) - ur*(p); df/dp ≈ -(1/wl + 1/wr) with the
-    // CW84 secant-like correction using the current wave speeds.
-    const double dp = (ul_star - ur_star) * (wl * wr) / (wl + wr);
-    pstar += dp;
-    pstar = std::max(pstar, 1e-12 * std::min(in.p_l, in.p_r));
-    ustar = 0.5 * (ul_star + ur_star);
-    if (std::abs(dp) < 1e-10 * pstar) break;
+// ---- phase A: sound speeds and the linearized (acoustic) star guess ------
+// A standalone helper so the lanes arrive as __restrict *parameters*: GCC
+// tracks restrict reliably on parameters but not on locals initialized from
+// struct members, and without it the loop needs 21 runtime alias checks —
+// over the vectorizer's versioning cap — so it stays scalar.  Loads also go
+// through locals before the max: std::max over an array element directly
+// selects between *addresses*, which defeats the vectorizer; over loaded
+// values it is a plain maxsd.
+ENZO_HOT void acoustic_guess(int lo, int hi, const double* __restrict rho_l,
+                             const double* __restrict rho_r,
+                             const double* __restrict u_l,
+                             const double* __restrict u_r,
+                             const double* __restrict p_l,
+                             const double* __restrict p_r,
+                             double* __restrict cl_out,
+                             double* __restrict cr_out,
+                             double* __restrict pstar_out, double gamma) {
+  for (int f = lo; f <= hi; ++f) {
+    const double rl0 = rho_l[f], rr0 = rho_r[f];
+    const double pl0 = p_l[f], pr0 = p_r[f];
+    const double rl = std::max(rl0, kTiny);
+    const double rr = std::max(rr0, kTiny);
+    const double pl = std::max(pl0, kTiny);
+    const double pr = std::max(pr0, kTiny);
+    const double cl = std::sqrt(gamma * pl / rl);
+    const double cr = std::sqrt(gamma * pr / rr);
+    cl_out[f] = cl;
+    cr_out[f] = cr;
+    const double wl0 = rl * cl, wr0 = rr * cr;
+    const double pstar =
+        (wr0 * pl + wl0 * pr - wl0 * wr0 * (u_r[f] - u_l[f])) / (wl0 + wr0);
+    pstar_out[f] = std::max(pstar, 1e-12 * std::min(pl, pr));
   }
+}
 
-  RiemannState out{};
-  out.pstar = pstar;
-  out.ustar = ustar;
+// ---- phase B: one Newton sweep over all faces ----------------------------
+// Newton step on f(p) = ul*(p) - ur*(p); df/dp ≈ -(1/wl + 1/wr) with the
+// CW84 secant-like correction using the current wave speeds.
+//
+// The two-shock Lagrangian wave speed W(p*), with the (γ+1)/(2γ)(p*/p − 1)
+// bracket multiplied through:  W² = γpρ + ½(γ+1)ρ(p* − p).  The expanded
+// form needs no division, so each sweep is branch-free and element-wise and
+// the whole iteration vectorizes.  W² is floored for strong rarefactions;
+// the absolute 1e-250 term keeps W normal (and wl·wr/(wl+wr) well defined)
+// even when γpρ is denormal near vacuum.
+//
+// Stored wl/wr/ustar are the wave speeds and star velocity evaluated at the
+// sweep's *incoming* p* — the same pairing the per-face early-break loop
+// left behind.
+ENZO_HOT void newton_sweep(int lo, int hi, const double* __restrict rho_l,
+                           const double* __restrict rho_r,
+                           const double* __restrict u_l,
+                           const double* __restrict u_r,
+                           const double* __restrict p_l,
+                           const double* __restrict p_r,
+                           double* __restrict pstar, double* __restrict ustar,
+                           double* __restrict wl_out,
+                           double* __restrict wr_out, double gamma) {
+  const double half_gp1 = 0.5 * (gamma + 1.0);
+  for (int f = lo; f <= hi; ++f) {
+    const double rl0 = rho_l[f], rr0 = rho_r[f];
+    const double pl0 = p_l[f], pr0 = p_r[f];
+    const double rl = std::max(rl0, kTiny), rr = std::max(rr0, kTiny);
+    const double pl = std::max(pl0, kTiny), pr = std::max(pr0, kTiny);
+    const double gpr_l = gamma * pl * rl, gpr_r = gamma * pr * rr;
+    double ps = pstar[f];
+    const double wl = std::sqrt(std::max(gpr_l + half_gp1 * rl * (ps - pl),
+                                         std::max(1e-16 * gpr_l, 1e-250)));
+    const double wr = std::sqrt(std::max(gpr_r + half_gp1 * rr * (ps - pr),
+                                         std::max(1e-16 * gpr_r, 1e-250)));
+    const double ul_star = u_l[f] - (ps - pl) / wl;
+    const double ur_star = u_r[f] + (ps - pr) / wr;
+    const double dp = (ul_star - ur_star) * (wl * wr) / (wl + wr);
+    ps = std::max(ps + dp, 1e-12 * std::min(pl, pr));
+    pstar[f] = ps;
+    ustar[f] = 0.5 * (ul_star + ur_star);
+    wl_out[f] = wl;
+    wr_out[f] = wr;
+  }
+}
 
-  // Sample at ξ = 0 (the cell face).
+// Fixed sweep count instead of a per-face early break: the break fired once
+// |dp| < 1e-10·p*, past which further Newton steps are fixed-point no-ops to
+// roundoff, so running every face to the old iteration cap is at least as
+// converged everywhere — and the break's data-dependent control flow is what
+// kept this loop scalar.  At 8 lanes/vector the wasted post-convergence
+// sweeps cost less than the serial per-face chains they replace.
+constexpr int kNewtonSweeps = 12;
+
+}  // namespace
+
+ENZO_HOT void riemann_two_shock_batch(int lo, int hi, const RiemannBatch& b,
+                                      double gamma) {
   const double gp1 = gamma + 1.0, gm1 = gamma - 1.0;
-  if (ustar >= 0.0) {
-    // Interface lies on the left-family side.
-    out.left_of_contact = true;
-    if (pstar > in.p_l) {
-      // Left shock with speed S = u_l - W_l/ρ_l.
-      const double s = in.u_l - wl / in.rho_l;
+
+  acoustic_guess(lo, hi, b.rho_l, b.rho_r, b.u_l, b.u_r, b.p_l, b.p_r, b.cl,
+                 b.cr, b.pstar, gamma);
+
+  for (int iter = 0; iter < kNewtonSweeps; ++iter)
+    newton_sweep(lo, hi, b.rho_l, b.rho_r, b.u_l, b.u_r, b.p_l, b.p_r,
+                 b.pstar, b.ustar, b.wl, b.wr, gamma);
+
+  // ---- phase C: sample at ξ = 0 (the cell face) --------------------------
+  // One mirrored code path: the ustar < 0 (right-family) case is the exact
+  // reflection u → −u of the left-family one, so the sampled side is loaded
+  // with sgn-mirrored velocities and the result mirrored back.  Negation is
+  // exact in IEEE arithmetic, so this is identical to writing both sides
+  // out, at half the code and with select-friendly loads.
+  // enzo-lint: allow(hotpath-transcendental) rarefaction branch only; data-dependent, cannot batch
+  for (int f = lo; f <= hi; ++f) {
+    const double ps = b.pstar[f], us = b.ustar[f];
+    const bool left = us >= 0.0;
+    const double sgn = left ? 1.0 : -1.0;
+    const double rho0 = std::max(left ? b.rho_l[f] : b.rho_r[f], kTiny);
+    const double p0 = std::max(left ? b.p_l[f] : b.p_r[f], kTiny);
+    const double u0 = sgn * (left ? b.u_l[f] : b.u_r[f]);
+    const double c0 = left ? b.cl[f] : b.cr[f];
+    const double w0 = left ? b.wl[f] : b.wr[f];
+    const double usm = sgn * us;
+    double orho, ou, op;
+    if (ps > p0) {
+      // Shock on the sampled side, speed S = u0 - W0/ρ0 (mirrored frame).
+      const double s = u0 - w0 / rho0;
       if (s >= 0.0) {
-        out.rho = in.rho_l;
-        out.u = in.u_l;
-        out.p = in.p_l;
+        orho = rho0;
+        ou = u0;
+        op = p0;
       } else {
-        const double rho_star =
-            1.0 / (1.0 / in.rho_l - (pstar - in.p_l) / (wl * wl));
-        out.rho = std::max(rho_star, 1e-12 * in.rho_l);
-        out.u = ustar;
-        out.p = pstar;
+        const double rho_star = 1.0 / (1.0 / rho0 - (ps - p0) / (w0 * w0));
+        orho = std::max(rho_star, 1e-12 * rho0);
+        ou = usm;
+        op = ps;
       }
     } else {
-      // Left rarefaction: head u_l - c_l, tail u* - c*_l.
-      const double rho_star = in.rho_l * std::pow(pstar / in.p_l, 1.0 / gamma);
-      const double c_star = std::sqrt(gamma * pstar / rho_star);
-      const double head = in.u_l - cl;
-      const double tail = ustar - c_star;
+      // Rarefaction: head u0 - c0, tail u* - c*.
+      const double rho_star = rho0 * std::pow(ps / p0, 1.0 / gamma);
+      const double c_star = std::sqrt(gamma * ps / rho_star);
+      const double head = u0 - c0;
+      const double tail = usm - c_star;
       if (head >= 0.0) {
-        out.rho = in.rho_l;
-        out.u = in.u_l;
-        out.p = in.p_l;
+        orho = rho0;
+        ou = u0;
+        op = p0;
       } else if (tail <= 0.0) {
-        out.rho = rho_star;
-        out.u = ustar;
-        out.p = pstar;
+        orho = rho_star;
+        ou = usm;
+        op = ps;
       } else {
         // Inside the fan: at ξ=0, u = c; guard against slightly negative
         // values from the approximate star state (near-vacuum inputs).
-        const double u = 2.0 / gp1 * (cl + 0.5 * gm1 * in.u_l);
-        const double c = std::max(u, 1e-8 * cl);
-        out.rho = in.rho_l * std::pow(c / cl, 2.0 / gm1);
-        out.u = std::max(u, 0.0);
-        out.p = in.p_l * std::pow(c / cl, 2.0 * gamma / gm1);
+        const double uf = 2.0 / gp1 * (c0 + 0.5 * gm1 * u0);
+        const double cf = std::max(uf, 1e-8 * c0);
+        orho = rho0 * std::pow(cf / c0, 2.0 / gm1);
+        ou = std::max(uf, 0.0);
+        op = p0 * std::pow(cf / c0, 2.0 * gamma / gm1);
       }
     }
-  } else {
-    out.left_of_contact = false;
-    if (pstar > in.p_r) {
-      const double s = in.u_r + wr / in.rho_r;
-      if (s <= 0.0) {
-        out.rho = in.rho_r;
-        out.u = in.u_r;
-        out.p = in.p_r;
-      } else {
-        const double rho_star =
-            1.0 / (1.0 / in.rho_r - (pstar - in.p_r) / (wr * wr));
-        out.rho = std::max(rho_star, 1e-12 * in.rho_r);
-        out.u = ustar;
-        out.p = pstar;
-      }
-    } else {
-      const double rho_star = in.rho_r * std::pow(pstar / in.p_r, 1.0 / gamma);
-      const double c_star = std::sqrt(gamma * pstar / rho_star);
-      const double head = in.u_r + cr;
-      const double tail = ustar + c_star;
-      if (head <= 0.0) {
-        out.rho = in.rho_r;
-        out.u = in.u_r;
-        out.p = in.p_r;
-      } else if (tail >= 0.0) {
-        out.rho = rho_star;
-        out.u = ustar;
-        out.p = pstar;
-      } else {
-        const double u = -2.0 / gp1 * (cr - 0.5 * gm1 * in.u_r);
-        const double c = std::max(-u, 1e-8 * cr);
-        out.rho = in.rho_r * std::pow(c / cr, 2.0 / gm1);
-        out.u = std::min(u, 0.0);
-        out.p = in.p_r * std::pow(c / cr, 2.0 * gamma / gm1);
-      }
-    }
+    b.rho[f] = std::max(orho, kTiny);
+    b.u[f] = sgn * ou;
+    b.p[f] = std::max(op, kTiny);
   }
-  out.p = std::max(out.p, 1e-300);
-  out.rho = std::max(out.rho, 1e-300);
-  return out;
+}
+
+RiemannState riemann_two_shock(const RiemannInput& in, double gamma) {
+  double rho = 0, u = 0, p = 0, pstar = 0, ustar = 0;
+  double cl = 0, cr = 0, wl = 0, wr = 0;
+  const RiemannBatch b{&in.rho_l, &in.u_l, &in.p_l, &in.rho_r, &in.u_r,
+                       &in.p_r,   &rho,    &u,      &p,        &pstar,
+                       &ustar,    &cl,     &cr,     &wl,       &wr};
+  riemann_two_shock_batch(0, 0, b, gamma);
+  return {rho, u, p, ustar >= 0.0, pstar, ustar};
 }
 
 }  // namespace enzo::hydro

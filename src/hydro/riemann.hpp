@@ -4,6 +4,10 @@
 // Newton iteration on the Lagrangian wave-speed relations; the state at the
 // interface (ξ = x/t = 0) is then sampled with correct shock/rarefaction
 // structure on each side.
+//
+// The batch entry point operates on SoA face lanes so the setup and sampling
+// phases autovectorize; the scalar API is a thin n=1 wrapper kept for tests
+// and diagnostics.
 
 namespace enzo::hydro {
 
@@ -18,8 +22,29 @@ struct RiemannState {
   double pstar, ustar;   ///< converged star-region values
 };
 
-/// Solve and sample at ξ = 0.  Inputs must have positive densities and
-/// pressures (callers floor them).
+/// SoA lanes for a batch of face Riemann problems.  Input/output/workspace
+/// lanes are indexed by the face index f in [lo, hi] passed to the solver
+/// (same indexing as the pencil face arrays).  The caller owns all storage;
+/// the workspace lanes are scratch the solver fully overwrites.
+struct RiemannBatch {
+  // Inputs (floored internally against vacuum; see riemann_two_shock_batch).
+  const double *rho_l, *u_l, *p_l;
+  const double *rho_r, *u_r, *p_r;
+  // Outputs: the sampled ξ=0 state and the star velocity.
+  double *rho, *u, *p;
+  double *pstar, *ustar;
+  // Workspace: sound speeds and Lagrangian wave speeds.
+  double *cl, *cr, *wl, *wr;
+};
+
+/// Solve faces [lo, hi] (inclusive) and sample at ξ = 0.  Inputs are floored
+/// at 1e-300 so near-vacuum states (strong expansion fans) cannot divide by
+/// zero or NaN-poison the Newton iteration; outputs satisfy rho, p >= 1e-300
+/// and finite u, consistent with the solver's eint >= 0 flooring.
+void riemann_two_shock_batch(int lo, int hi, const RiemannBatch& b,
+                             double gamma);
+
+/// Scalar convenience wrapper over the batch solver (n = 1).
 RiemannState riemann_two_shock(const RiemannInput& in, double gamma);
 
 }  // namespace enzo::hydro

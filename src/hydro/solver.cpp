@@ -165,6 +165,17 @@ ENZO_HOT void sweep_all_axes(Grid& g, double dt, const HydroParams& hp,
     const FieldView etot = g.field(Field::kTotalEnergy);
     const FieldView eint = g.field(Field::kInternalEnergy);
 
+    // Raw base pointers for the bulk gather/scatter (hoisted once per axis,
+    // like the views above).
+    // enzo-lint: allow(hotpath-heap-alloc) once per axis, not per pencil
+    std::vector<double*> species_base(static_cast<std::size_t>(nscal));
+    for (int sc = 0; sc < nscal; ++sc)
+      species_base[static_cast<std::size_t>(sc)] =
+          g.field(species[static_cast<std::size_t>(sc)]).data();
+    const PencilFields pf{rho.data(),  vu.data(),   v1.data(),
+                          v2.data(),   etot.data(), eint.data(),
+                          species_base.data()};
+
     // Pencils are independent — each (j1, j2) pair reads its own pre-sweep
     // line and writes its own cells, flux-register line, and boundary-flux
     // entries — so the executor may chunk them freely.  (This replaces the
@@ -180,101 +191,38 @@ ENZO_HOT void sweep_all_axes(Grid& g, double dt, const HydroParams& hp,
         const int j1 = static_cast<int>(pidx % static_cast<std::size_t>(n1));
         Pencil& pc = pencil_scratch();
         pc.reset(np, g.ng(d), nscal);
-        auto sidx = [&](int i) {
-          int s[3];
-          s[d] = i;
-          s[t1] = j1;
-          s[t2] = j2;
-          return std::array<int, 3>{s[0], s[1], s[2]};
-        };
-        for (int i = 0; i < np; ++i) {
-          const auto s = sidx(i);
-          pc.rho[i] = rho(s[0], s[1], s[2]);
-          pc.u[i] = vu(s[0], s[1], s[2]);
-          pc.vt1[i] = v1(s[0], s[1], s[2]);
-          pc.vt2[i] = v2(s[0], s[1], s[2]);
-          pc.etot[i] = etot(s[0], s[1], s[2]);
-          pc.eint[i] = std::max(eint(s[0], s[1], s[2]), 0.0);
-          pc.p[i] = std::max((hp.gamma - 1.0) * pc.rho[i] * pc.eint[i],
-                             hp.pressure_floor);
-          for (int sc = 0; sc < nscal; ++sc)
-            pc.scal[sc][i] =
-                g.field(species[sc])(s[0], s[1], s[2]) / pc.rho[i];
-        }
+        const PencilMap pm = pencil_map(d, g.nt(0), g.nt(1), g.nt(2), j1, j2);
+        gather_pencil(pc, pf, pm, hp.gamma, hp.pressure_floor);
         if (hp.solver == Solver::kPpm)
           ppm_sweep(pc, dt, dx_eff, sp);
         else
           zeus_sweep(pc, dt, dx_eff, sp);
-
-        // Conservative update of the active cells.
-        const double dtdx = dt / dx_eff;
-        for (int i = lo; i < hi; ++i) {
-          const auto s = sidx(i);
-          const double m0 = pc.rho[i];
-          double m = m0 + dtdx * (pc.f_rho[i] - pc.f_rho[i + 1]);
-          // Vacuum guard: a cell emptied below a tiny fraction of its prior
-          // density would turn the specific-variable divisions into velocity
-          // blow-ups; clamp relative to the pre-step value.
-          m = std::max(m, std::max(hp.density_floor, 1e-8 * m0));
-          double mu = m0 * pc.u[i] + dtdx * (pc.f_mu[i] - pc.f_mu[i + 1]);
-          double m1 = m0 * pc.vt1[i] + dtdx * (pc.f_mvt1[i] - pc.f_mvt1[i + 1]);
-          double m2 = m0 * pc.vt2[i] + dtdx * (pc.f_mvt2[i] - pc.f_mvt2[i + 1]);
-          double me =
-              m0 * pc.etot[i] + dtdx * (pc.f_etot[i] - pc.f_etot[i + 1]);
-          double mei =
-              m0 * pc.eint[i] + dtdx * (pc.f_eint[i] - pc.f_eint[i + 1]);
-          // Internal-energy pdV work with the Riemann face velocities.
-          mei -= dt * pc.p[i] * (pc.ustar[i + 1] - pc.ustar[i]) / dx_eff;
-          mei = std::max(mei, 0.0);
-
-          rho(s[0], s[1], s[2]) = m;
-          vu(s[0], s[1], s[2]) = mu / m;
-          v1(s[0], s[1], s[2]) = m1 / m;
-          v2(s[0], s[1], s[2]) = m2 / m;
-          etot(s[0], s[1], s[2]) = me / m;
-          eint(s[0], s[1], s[2]) = mei / m;
-          for (int sc = 0; sc < nscal; ++sc) {
-            const FieldView sf = g.field(species[sc]);
-            const double ms =
-                sf(s[0], s[1], s[2]) +
-                dtdx * (pc.f_scal[sc][i] - pc.f_scal[sc][i + 1]);
-            sf(s[0], s[1], s[2]) = std::max(ms, 0.0);
-          }
-        }
+        // Conservative update over the SoA lanes, then bulk scatter of the
+        // active cells back to the grid.
+        apply_conservative_update(pc, dt, dx_eff, hp.density_floor);
+        scatter_pencil(pc, pf, pm);
 
         // Accumulate time-integrated fluxes for the flux correction step.
-        auto fidx = [&](int f) {
-          int s[3];
-          s[d] = f;
-          s[t1] = j1;
-          s[t2] = j2;
-          return std::array<int, 3>{s[0], s[1], s[2]};
-        };
         // Registers store ∫ F dt/a, with a at each subcycle's half-time: the
         // cell update divides by the *proper* width a·Δx, so the correction
         // (which divides by the comoving parent width only) closes exactly
         // even when a changes between a child's subcycles.  a = 1 in
         // non-comoving runs.
         const double dt_w = dt / exp.a;
-        auto accumulate = [&](Field fld, const std::vector<double>& ff) {
+        auto accumulate = [&](Field fld, const double* ff) {
           const FieldView reg = g.flux(fld, d);
-          for (int f = lo; f <= hi; ++f) {
-            const auto s = fidx(f);
-            reg(s[0], s[1], s[2]) += dt_w * ff[f];
-          }
+          const PencilMap fm =
+              pencil_map(d, reg.nx(), reg.ny(), reg.nz(), j1, j2);
+          double* r = reg.data() + fm.base;
+          for (int f = lo; f <= hi; ++f)
+            r[static_cast<std::ptrdiff_t>(f) * fm.stride] += dt_w * ff[f];
           // Window-accumulated boundary registers (for the parent's flux
           // correction); plane arrays have extent 1 along d.
-          auto sideidx = [&](int s_) {
-            int s[3];
-            s[d] = 0;
-            s[t1] = j1;
-            s[t2] = j2;
-            (void)s_;
-            return std::array<int, 3>{s[0], s[1], s[2]};
-          };
-          const auto sl = sideidx(0);
-          g.boundary_flux(fld, d, 0)(sl[0], sl[1], sl[2]) += dt_w * ff[lo];
-          g.boundary_flux(fld, d, 1)(sl[0], sl[1], sl[2]) += dt_w * ff[hi];
+          const FieldView bl = g.boundary_flux(fld, d, 0);
+          const FieldView bh = g.boundary_flux(fld, d, 1);
+          const PencilMap bm = pencil_map(d, bl.nx(), bl.ny(), bl.nz(), j1, j2);
+          bl.data()[bm.base] += dt_w * ff[lo];
+          bh.data()[bm.base] += dt_w * ff[hi];
         };
         accumulate(Field::kDensity, pc.f_rho);
         accumulate(kVel[d], pc.f_mu);
@@ -282,7 +230,8 @@ ENZO_HOT void sweep_all_axes(Grid& g, double dt, const HydroParams& hp,
         accumulate(kVel[t2], pc.f_mvt2);
         accumulate(Field::kTotalEnergy, pc.f_etot);
         accumulate(Field::kInternalEnergy, pc.f_eint);
-        for (int sc = 0; sc < nscal; ++sc) accumulate(species[sc], pc.f_scal[sc]);
+        for (int sc = 0; sc < nscal; ++sc)
+          accumulate(species[static_cast<std::size_t>(sc)], pc.f_scal(sc));
       }
     });
     // kPpmPerCellPerSweep already covers the full variable set; passive

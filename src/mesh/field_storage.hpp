@@ -96,6 +96,11 @@ class Buffer3 {
   }
   [[nodiscard]] bool empty() const { return size() == 0; }
 
+  /// Rounded capacity of the held block in doubles (0 when empty).  Lets
+  /// owners of long-lived scratch decide when a shrinking shape should
+  /// release the block back to its size class instead of squatting on it.
+  [[nodiscard]] std::size_t capacity() const { return block_.capacity; }
+
   [[nodiscard]] FieldView view() { return {block_.ptr, nx_, ny_, nz_}; }
   [[nodiscard]] ConstFieldView view() const {
     return {block_.ptr, nx_, ny_, nz_};

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "chemistry/chemistry.hpp"
 #include "chemistry/rates.hpp"
@@ -354,4 +355,89 @@ TEST(Chemistry, MinCoolingTimePositiveAndFinite) {
   const double tc = chemistry::min_cooling_time(*g, prm, u);
   EXPECT_GT(tc, 0.0);
   EXPECT_TRUE(std::isfinite(tc));
+}
+
+// ---- batched rate/cooling lanes vs the scalar API ---------------------------
+
+TEST(Rates, BatchLanesMatchScalarBitwise) {
+  // The scalar API is defined as the n = 1 case of the batch; evaluating a
+  // long mixed-temperature row exercises the lane stride/padding logic and
+  // must reproduce the scalar values bit-for-bit (no tolerance).
+  const double T[] = {0.5,    1.0,   13.5,   99.0, 742.0,  6699.9, 6700.1,
+                      1.0e4,  8.7e4, 1.1e6,  5e8,  2e9,    293.0,  1.0e5};
+  const int n = static_cast<int>(sizeof(T) / sizeof(T[0]));
+  chemistry::RateBatch batch;
+  batch.compute(n, T);
+  ASSERT_EQ(batch.size(), n);
+  for (int i = 0; i < n; ++i) {
+    const chemistry::Rates a = batch.row(i);
+    const chemistry::Rates b = chemistry::compute_rates(T[i]);
+    EXPECT_EQ(a.k1, b.k1) << "T=" << T[i];
+    EXPECT_EQ(a.k2, b.k2) << "T=" << T[i];
+    EXPECT_EQ(a.k3, b.k3) << "T=" << T[i];
+    EXPECT_EQ(a.k4, b.k4) << "T=" << T[i];
+    EXPECT_EQ(a.k5, b.k5) << "T=" << T[i];
+    EXPECT_EQ(a.k6, b.k6) << "T=" << T[i];
+    EXPECT_EQ(a.k7, b.k7) << "T=" << T[i];
+    EXPECT_EQ(a.k8, b.k8) << "T=" << T[i];
+    EXPECT_EQ(a.k9, b.k9) << "T=" << T[i];
+    EXPECT_EQ(a.k10, b.k10) << "T=" << T[i];
+    EXPECT_EQ(a.k11, b.k11) << "T=" << T[i];
+    EXPECT_EQ(a.k12, b.k12) << "T=" << T[i];
+    EXPECT_EQ(a.k13, b.k13) << "T=" << T[i];
+    EXPECT_EQ(a.k14, b.k14) << "T=" << T[i];
+    EXPECT_EQ(a.k15, b.k15) << "T=" << T[i];
+    EXPECT_EQ(a.k16, b.k16) << "T=" << T[i];
+    EXPECT_EQ(a.k17, b.k17) << "T=" << T[i];
+    EXPECT_EQ(a.k18, b.k18) << "T=" << T[i];
+    EXPECT_EQ(a.k19, b.k19) << "T=" << T[i];
+    EXPECT_EQ(a.k22, b.k22) << "T=" << T[i];
+    EXPECT_EQ(a.k50, b.k50) << "T=" << T[i];
+    EXPECT_EQ(a.k51, b.k51) << "T=" << T[i];
+    EXPECT_EQ(a.k52, b.k52) << "T=" << T[i];
+    EXPECT_EQ(a.k53, b.k53) << "T=" << T[i];
+    EXPECT_EQ(a.k54, b.k54) << "T=" << T[i];
+    EXPECT_EQ(a.k55, b.k55) << "T=" << T[i];
+    EXPECT_EQ(a.k56, b.k56) << "T=" << T[i];
+    EXPECT_EQ(a.k57, b.k57) << "T=" << T[i];
+  }
+  // Capacity reuse across a shrinking batch must not stale-read old lanes.
+  batch.compute(2, T + 3);
+  const chemistry::Rates c = batch.row(1);
+  const chemistry::Rates d = chemistry::compute_rates(T[4]);
+  EXPECT_EQ(c.k1, d.k1);
+  EXPECT_EQ(c.k13, d.k13);
+  EXPECT_EQ(c.k55, d.k55);
+}
+
+TEST(Chemistry, CoolingBatchMatchesScalarBitwise) {
+  const int n = 24;
+  const double t_cmb = 54.5;  // z ≈ 19
+  std::vector<double> T(n), nHI(n), nHII(n), nHeI(n), nHeII(n), nHeIII(n),
+      ne(n), nH2(n), nHD(n), lambda(n);
+  for (int i = 0; i < n; ++i) {
+    // Log-spaced temperatures from below the CMB floor to fully ionized.
+    T[i] = 10.0 * std::pow(10.0, 5.0 * i / (n - 1.0));
+    const double nH = std::pow(10.0, -2.0 + 8.0 * i / (n - 1.0));
+    nHI[i] = 0.9 * nH;
+    nHII[i] = 0.1 * nH;
+    nHeI[i] = 0.08 * nH;
+    nHeII[i] = 0.01 * nH;
+    nHeIII[i] = 0.001 * nH;
+    ne[i] = nHII[i] + nHeII[i] + 2.0 * nHeIII[i];
+    nH2[i] = 1e-3 * nH;
+    nHD[i] = 1e-7 * nH;
+  }
+  const chemistry::CoolingRowInput cri{
+      t_cmb,        T.data(),     nHI.data(), nHII.data(),  nHeI.data(),
+      nHeII.data(), nHeIII.data(), ne.data(), nH2.data(),   nHD.data()};
+  chemistry::cooling_rate_batch(n, cri, lambda.data());
+  for (int i = 0; i < n; ++i) {
+    const chemistry::CoolingInput ci{T[i],      t_cmb,     nHI[i],
+                                     nHII[i],   nHeI[i],   nHeII[i],
+                                     nHeIII[i], ne[i],     nH2[i],
+                                     nHD[i]};
+    EXPECT_EQ(lambda[i], chemistry::cooling_rate(ci)) << "i=" << i;
+    EXPECT_TRUE(std::isfinite(lambda[i]));
+  }
 }

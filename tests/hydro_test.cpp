@@ -7,12 +7,15 @@
 
 #include <cmath>
 #include <functional>
+#include <vector>
 
 #include "cosmology/units.hpp"
 #include "hydro/hydro.hpp"
+#include "hydro/pencil.hpp"
 #include "hydro/riemann.hpp"
 #include "mesh/boundary.hpp"
 #include "mesh/hierarchy.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 
 using namespace enzo;
@@ -559,4 +562,136 @@ TEST(Hydro, FluxRegistersAreFilled) {
     sum += std::abs(v);
   }
   EXPECT_GT(sum, 0.0);
+}
+
+// ---- SoA pencil workspace ---------------------------------------------------
+
+TEST(Pencil, ResetRejectsDegenerateExtent) {
+  hydro::Pencil pc;
+  // 3 ghosts per side need at least 7 cells for one active cell; a
+  // minimum-size box that cannot fit the stencil must fail loudly instead of
+  // producing an empty face range that silently skips the update.
+  EXPECT_THROW(pc.reset(6, 3, 0), enzo::Error);
+  EXPECT_THROW(pc.reset(4, 2, 0), enzo::Error);
+  EXPECT_THROW(pc.reset(2, 3, 1), enzo::Error);
+  EXPECT_NO_THROW(pc.reset(7, 3, 0));
+  EXPECT_EQ(pc.n, 7);
+}
+
+TEST(Pencil, ResetReleasesCapacityWhenScalarCountShrinks) {
+  hydro::Pencil pc;
+  // A chemistry deck (12 passive species) followed by a pure-hydro deck in
+  // the same process: the workspace must drop back to the smaller size class
+  // instead of pinning the larger block in thread-local scratch for the rest
+  // of the run.
+  pc.reset(512, 3, 12);
+  const std::size_t cap_chem = pc.capacity_doubles();
+  pc.reset(512, 3, 0);
+  const std::size_t cap_hydro = pc.capacity_doubles();
+  EXPECT_LT(cap_hydro, cap_chem);
+  // Growing again reacquires at least the old class.
+  pc.reset(512, 3, 12);
+  EXPECT_GE(pc.capacity_doubles(), cap_chem);
+}
+
+TEST(Pencil, GatherScatterRoundTripIsExact) {
+  // gather → scatter with untouched lanes must reproduce the grid fields
+  // bit-for-bit on every axis (eint >= 0 so the gather-side floor is a
+  // no-op), passive scalars included.
+  const int nx = 12, ny = 10, nz = 8, ng = 3, nscal = 2;
+  const int dims[3] = {nx, ny, nz};
+  const std::size_t ncell = static_cast<std::size_t>(nx) * ny * nz;
+  util::Rng rng(42);
+  auto make = [&](bool positive) {
+    std::vector<double> v(ncell);
+    for (auto& x : v)
+      x = positive ? 0.5 + rng.uniform() : 0.3 * rng.uniform(-1, 1);
+    return v;
+  };
+  std::vector<double> rho = make(true), vu = make(false), v1 = make(false),
+                      v2 = make(false), etot = make(true), eint = make(true),
+                      s0 = make(true), s1 = make(true);
+  const std::vector<double> ref[8] = {rho, vu, v1, v2, etot, eint, s0, s1};
+  double* species[nscal] = {s0.data(), s1.data()};
+  const hydro::PencilFields pf{rho.data(),  vu.data(),   v1.data(),
+                               v2.data(),   etot.data(), eint.data(),
+                               species};
+  hydro::Pencil pc;
+  for (int axis = 0; axis < 3; ++axis) {
+    const int t1 = (axis + 1) % 3, t2 = (axis + 2) % 3;
+    pc.reset(dims[axis], ng, nscal);
+    for (int j2 = 0; j2 < dims[t2]; ++j2)
+      for (int j1 = 0; j1 < dims[t1]; ++j1) {
+        const hydro::PencilMap pm =
+            hydro::pencil_map(axis, nx, ny, nz, j1, j2);
+        hydro::gather_pencil(pc, pf, pm, 5.0 / 3.0, 1e-20);
+        hydro::scatter_pencil(pc, pf, pm);
+      }
+    const std::vector<double>* now[8] = {&rho, &vu, &v1, &v2,
+                                         &etot, &eint, &s0, &s1};
+    for (int q = 0; q < 8; ++q)
+      EXPECT_EQ(*now[q], ref[q]) << "axis " << axis << " field " << q;
+  }
+}
+
+// ---- Riemann robustness and batch/scalar agreement --------------------------
+
+TEST(Riemann, NearVacuumInputsStayFiniteAndPositive) {
+  const double gamma = 5.0 / 3.0;
+  const hydro::RiemannInput cases[] = {
+      // Both sides at the vacuum floor: the Newton denominators must not
+      // underflow to 0/0.
+      {1e-300, 0.0, 1e-300, 1e-300, 0.0, 1e-300},
+      // Strong symmetric expansion out of near-vacuum gas.
+      {1e-250, -1.0, 1e-260, 1e-250, 1.0, 1e-260},
+      // Receding rarefaction in cold dense gas (the classic 1-2-3 problem).
+      {1.0, -2.0, 0.4, 1.0, 2.0, 0.4},
+      {1.0, -10.0, 1e-12, 1.0, 10.0, 1e-12},
+      // Extreme one-sided contrast.
+      {1e-30, 0.0, 1e-30, 1.0, 0.0, 1.0},
+      {1e-300, 5.0, 1e-290, 1e3, -5.0, 1e5},
+  };
+  for (const auto& in : cases) {
+    const hydro::RiemannState s = hydro::riemann_two_shock(in, gamma);
+    EXPECT_TRUE(std::isfinite(s.rho) && std::isfinite(s.u) &&
+                std::isfinite(s.p) && std::isfinite(s.pstar) &&
+                std::isfinite(s.ustar))
+        << "rho_l=" << in.rho_l << " p_l=" << in.p_l;
+    EXPECT_GT(s.rho, 0.0);
+    EXPECT_GT(s.p, 0.0);
+    EXPECT_GE(s.pstar, 0.0);
+  }
+}
+
+TEST(Riemann, BatchMatchesScalarBitwise) {
+  const int n = 64;
+  util::Rng rng(7);
+  std::vector<double> rl(n), ul(n), pl(n), rr(n), ur(n), pr(n);
+  for (int f = 0; f < n; ++f) {
+    // Mix of ordinary states and pathological magnitudes.
+    const double scale = std::pow(10.0, rng.uniform(-20, 2));
+    rl[f] = scale * (0.1 + rng.uniform());
+    rr[f] = scale * (0.1 + rng.uniform());
+    pl[f] = scale * (0.1 + rng.uniform());
+    pr[f] = scale * (0.1 + rng.uniform());
+    ul[f] = rng.uniform(-3, 3);
+    ur[f] = rng.uniform(-3, 3);
+  }
+  std::vector<double> rho(n), u(n), p(n), pstar(n), ustar(n), cl(n), cr(n),
+      wl(n), wr(n);
+  const hydro::RiemannBatch b{rl.data(), ul.data(),    pl.data(),
+                              rr.data(), ur.data(),    pr.data(),
+                              rho.data(), u.data(),    p.data(),
+                              pstar.data(), ustar.data(), cl.data(),
+                              cr.data(),  wl.data(),   wr.data()};
+  hydro::riemann_two_shock_batch(0, n - 1, b, 1.4);
+  for (int f = 0; f < n; ++f) {
+    const hydro::RiemannInput in{rl[f], ul[f], pl[f], rr[f], ur[f], pr[f]};
+    const hydro::RiemannState s = hydro::riemann_two_shock(in, 1.4);
+    EXPECT_EQ(rho[f], s.rho) << "face " << f;
+    EXPECT_EQ(u[f], s.u) << "face " << f;
+    EXPECT_EQ(p[f], s.p) << "face " << f;
+    EXPECT_EQ(pstar[f], s.pstar) << "face " << f;
+    EXPECT_EQ(ustar[f], s.ustar) << "face " << f;
+  }
 }

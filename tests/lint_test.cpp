@@ -206,6 +206,49 @@ TEST(LintRules, ColdLockNotFlagged) {
   EXPECT_EQ(count_rule(fs, "hotpath-lock"), 0);
 }
 
+TEST(LintRules, HotPathTranscendentalInLoopFlagged) {
+  const auto fs = lint_src("src/x/a.cpp", R"cpp(
+    ENZO_HOT void kernel(int n, const double* t, double* k) {
+      for (int i = 0; i < n; ++i) {
+        k[i] = std::exp(-1.0 / t[i]) * std::pow(t[i], 0.5);
+      }
+    }
+  )cpp");
+  EXPECT_EQ(count_rule(fs, "hotpath-transcendental"), 2);
+}
+
+TEST(LintRules, HotPathTranscendentalOutsideLoopNotFlagged) {
+  // A one-off hoisted evaluation before the loop is the sanctioned shape.
+  const auto fs = lint_src("src/x/a.cpp", R"cpp(
+    ENZO_HOT void kernel(int n, double t0, double* k) {
+      const double k0 = std::exp(-1.0 / t0);
+      for (int i = 0; i < n; ++i) k[i] = k0 * i;
+    }
+  )cpp");
+  EXPECT_EQ(count_rule(fs, "hotpath-transcendental"), 0);
+}
+
+TEST(LintRules, HotPathTranscendentalLoopHeaderAllowCoversBody) {
+  const auto fs = lint_src("src/x/a.cpp", R"cpp(
+    ENZO_HOT void kernel(int n, const double* t, double* k) {
+      // enzo-lint: allow(hotpath-transcendental) batched lane evaluation
+      for (int i = 0; i < n; ++i) {
+        k[i] = std::exp(-1.0 / t[i]);
+      }
+    }
+  )cpp");
+  EXPECT_EQ(count_rule(fs, "hotpath-transcendental"), 0);
+}
+
+TEST(LintRules, ColdTranscendentalNotFlagged) {
+  const auto fs = lint_src("src/x/a.cpp", R"cpp(
+    void table_build(int n, const double* t, double* k) {
+      for (int i = 0; i < n; ++i) k[i] = std::pow(t[i], 0.5);
+    }
+  )cpp");
+  EXPECT_EQ(count_rule(fs, "hotpath-transcendental"), 0);
+}
+
 // ---------------------------------------------------------------------------
 // Topology routing
 // ---------------------------------------------------------------------------
@@ -416,8 +459,8 @@ TEST(LintBaseline, KeyIsLineNumberIndependent) {
 // Catalog and whole-repo smoke
 // ---------------------------------------------------------------------------
 
-TEST(LintCatalog, TenRulesRegistered) {
-  EXPECT_EQ(rule_catalog().size(), 10u);
+TEST(LintCatalog, ElevenRulesRegistered) {
+  EXPECT_EQ(rule_catalog().size(), 11u);
 }
 
 TEST(LintSmoke, RepoSourcesCleanModuloBaseline) {

@@ -1,0 +1,102 @@
+// check_kernels: compare a fresh BENCH_micro_kernels.json against the
+// checked-in baseline (bench/micro_kernels_baseline.json) and fail on any
+// per-kernel cells/sec regression beyond the tolerance (default 10%).
+//
+//   check_kernels <baseline.json> <current.json> [tolerance]
+//
+// The parser is deliberately minimal: it understands exactly the flat format
+// micro_kernels writes ("<name>": {"cells_per_second": X, ...}) — no JSON
+// library in the loop, consistent with the other C++-only validators.
+// Kernels present in only one file produce a warning, not a failure, so
+// adding or retiring benchmarks does not break CI before the baseline is
+// refreshed.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+namespace {
+
+std::map<std::string, double> read_kernels(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "check_kernels: cannot open %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+
+  std::map<std::string, double> out;
+  const std::string key = "\"cells_per_second\":";
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t kpos = text.find(key, pos);
+    if (kpos == std::string::npos) break;
+    // The kernel name is the last quoted string before this key that is
+    // followed by ": {" — i.e. the object key one level up.
+    std::size_t name_end = text.rfind("\": {", kpos);
+    if (name_end == std::string::npos) break;
+    std::size_t name_begin = text.rfind('"', name_end - 1);
+    if (name_begin == std::string::npos) break;
+    const std::string name =
+        text.substr(name_begin + 1, name_end - name_begin - 1);
+    out[name] = std::strtod(text.c_str() + kpos + key.size(), nullptr);
+    pos = kpos + key.size();
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: check_kernels <baseline.json> <current.json> "
+                 "[tolerance]\n");
+    return 2;
+  }
+  const double tol = argc > 3 ? std::atof(argv[3]) : 0.10;
+  const auto baseline = read_kernels(argv[1]);
+  const auto current = read_kernels(argv[2]);
+  if (baseline.empty() || current.empty()) {
+    std::fprintf(stderr, "check_kernels: no kernels parsed (baseline=%zu, "
+                 "current=%zu)\n", baseline.size(), current.size());
+    return 2;
+  }
+
+  int failures = 0;
+  for (const auto& [name, base] : baseline) {
+    const auto it = current.find(name);
+    if (it == current.end()) {
+      std::printf("WARN  %-24s missing from current run\n", name.c_str());
+      continue;
+    }
+    const double cur = it->second;
+    const double ratio = base > 0.0 ? cur / base : 1.0;
+    const bool fail = ratio < 1.0 - tol;
+    std::printf("%s  %-24s %12.4g -> %12.4g cells/s  (%+.1f%%)\n",
+                fail ? "FAIL" : "ok  ", name.c_str(), base, cur,
+                100.0 * (ratio - 1.0));
+    if (fail) ++failures;
+  }
+  for (const auto& [name, cur] : current) {
+    (void)cur;
+    if (baseline.find(name) == baseline.end())
+      std::printf("WARN  %-24s not in baseline (refresh "
+                  "bench/micro_kernels_baseline.json)\n", name.c_str());
+  }
+
+  if (failures > 0) {
+    std::fprintf(stderr,
+                 "check_kernels: %d kernel(s) regressed by more than %.0f%%\n",
+                 failures, 100.0 * tol);
+    return 1;
+  }
+  std::printf("check_kernels: all kernels within %.0f%% of baseline\n",
+              100.0 * tol);
+  return 0;
+}

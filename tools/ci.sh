@@ -17,7 +17,10 @@
 # `topology` (CI_STAGES="topology") covers the `mesh` label — the overlap-
 # topology cache equivalence/invalidation tests and the rest of mesh_test —
 # and `regrid` (CI_STAGES="regrid") the storage-arena / incremental-regrid
-# tests plus the regrid-storm bench.
+# tests plus the regrid-storm bench, and `kernels` (CI_STAGES="kernels") the
+# SoA kernel gate — check_vec (the kernel TUs must autovectorize), the
+# micro-kernel bench (BENCH_micro_kernels.json), and check_kernels (>40%
+# cells/sec regression vs bench/micro_kernels_baseline.json fails).
 #
 # Each stage uses the corresponding CMakePresets.json preset, so a local
 # repro of any failure is one command, e.g.:
@@ -102,6 +105,29 @@ for stage in $stages; do
         -R '^(Arena|Buffer3|StorageArena|RegridStorm|ArenaCheckpoint)' \
         -j "$jobs" --output-on-failure || failed+=(regrid)
       build-werror/bench/regrid_arena || failed+=(regrid)
+      ;;
+    kernels)
+      banner "stage: SoA kernel gate"
+      # Vectorization report + micro-kernel throughput against the checked-in
+      # baseline, all against build-werror (RelWithDebInfo, same flags the
+      # baseline was recorded with).
+      if [ ! -d build-werror ]; then
+        cmake --preset werror && cmake --build --preset werror -j "$jobs" \
+          || { failed+=(kernels); continue; }
+      fi
+      cmake --build --preset werror -j "$jobs" \
+        --target micro_kernels --target check_kernels \
+        || { failed+=(kernels); continue; }
+      tools/check_vec build-werror || { failed+=(kernels); continue; }
+      (cd build-werror/bench && ./micro_kernels) \
+        || { failed+=(kernels); continue; }
+      # 40% tolerance: back-to-back runs of the small per-kernel benches
+      # swing ±25-30% on a shared host, so tighter gates flap without a
+      # real regression.  The failures this gate exists to catch — a lane
+      # loop falling back to scalar — show up as 2-3x drops.
+      build-werror/tools/check_kernels \
+        bench/micro_kernels_baseline.json \
+        build-werror/bench/BENCH_micro_kernels.json 0.40 || failed+=(kernels)
       ;;
     werror|asan-ubsan|tsan)
       run_preset "$stage" || failed+=("$stage")

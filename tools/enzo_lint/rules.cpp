@@ -410,6 +410,72 @@ void rule_hotpath(const SourceFile& f, const std::vector<FuncDef>& funcs,
 }
 
 // ---------------------------------------------------------------------------
+// Rule: hotpath-transcendental
+// ---------------------------------------------------------------------------
+// A libm transcendental (`pow`, `exp`, `log`, …) inside a loop in an
+// ENZO_HOT body is the per-cell struct-fill pattern the batched kernel layer
+// replaced: it serializes the loop on a scalar libm call and blocks
+// autovectorization of everything around it.  Rate/cooling evaluations hoist
+// these into dense lane loops (chemistry::RateBatch); such deliberately
+// batched loops carry an allow-directive on the loop header, which exempts
+// the whole loop body.
+
+constexpr const char* kRuleHotTrans = "hotpath-transcendental";
+
+void rule_hotpath_transcendental(const SourceFile& f,
+                                 const std::vector<FuncDef>& funcs,
+                                 std::vector<Finding>* out) {
+  static const std::set<std::string> kTrans = {"pow", "exp",  "expm1",
+                                               "log", "log10", "log2",
+                                               "log1p"};
+  const Toks& t = f.tokens;
+  for (const FuncDef& fd : funcs) {
+    if (!fd.annotations.count("ENZO_HOT")) continue;
+    for (std::size_t i = fd.body_begin + 1; i < fd.body_end; ++i) {
+      if ((!is_ident(t, i, "for") && !is_ident(t, i, "while")) ||
+          !is_punct(t, i + 1, "("))
+        continue;
+      const std::size_t close = match_bracket(t, i + 1);
+      if (close >= fd.body_end) continue;
+      // Loop body extent: braced block, or single statement to ';' (a
+      // nested braced `for` chain counts as the statement).
+      std::size_t begin, end;
+      if (close + 1 < t.size() && is_punct(t, close + 1, "{")) {
+        begin = close + 2;
+        end = match_bracket(t, close + 1);
+      } else {
+        begin = close + 1;
+        end = begin;
+        while (end < fd.body_end && !is_punct(t, end, ";")) {
+          if (is_punct(t, end, "{")) {
+            end = match_bracket(t, end);
+            break;
+          }
+          ++end;
+        }
+      }
+      // An allow-directive on the loop header marks a deliberately batched
+      // lane loop and covers every call in its body (the per-finding check
+      // cannot reach continuation lines of multi-line expressions).
+      if (allowed(f, t[i].line, kRuleHotTrans)) {
+        i = end;
+        continue;
+      }
+      for (std::size_t j = begin; j < end && j < t.size(); ++j) {
+        if (t[j].kind != TokKind::kIdent || is_member(t, j)) continue;
+        if (!kTrans.count(t[j].text) || !is_punct(t, j + 1, "(")) continue;
+        emit(f, out, kRuleHotTrans, t[j].line,
+             "per-cell '" + t[j].text + "' inside a loop in ENZO_HOT '" +
+                 fd.name +
+                 "' — hoist into a batched lane evaluation (see "
+                 "chemistry::RateBatch) or annotate the batched loop header");
+      }
+      i = end;  // inner loops were just scanned; don't re-report them
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: topology-allpairs
 // ---------------------------------------------------------------------------
 // Overlap queries go through mesh::OverlapTopology (PR 5): an inner scan of
@@ -561,6 +627,9 @@ const std::vector<RuleInfo>& rule_catalog() {
        "no clocks, entropy, or pointer-value arithmetic outside telemetry"},
       {kRuleHotAlloc, "no heap allocation inside ENZO_HOT kernel bodies"},
       {kRuleHotLock, "no locking inside ENZO_HOT kernel bodies"},
+      {kRuleHotTrans,
+       "per-cell libm transcendentals in ENZO_HOT loops are hoisted into "
+       "batched lanes"},
       {kRuleAllPairs,
        "overlap queries use mesh::OverlapTopology, not nested grid scans"},
       {kRuleUnits,
@@ -579,6 +648,7 @@ std::vector<Finding> run_rules(const SourceFile& f) {
   rule_grid_fp_accumulation(f, &out);
   rule_nondeterministic_source(f, &out);
   rule_hotpath(f, funcs, &out);
+  rule_hotpath_transcendental(f, funcs, &out);
   rule_topology_allpairs(f, &out);
   rule_units_boundary(f, funcs, &out);
   rule_banned_apis(f, &out);
