@@ -7,18 +7,24 @@
 // direct test that dynamic refinement, flux correction and projection
 // preserve a moving strong shock.
 //
+// The problem itself comes from the registry ("SedovBlast", the same deck
+// text as decks/sedov.enzo), and the exact comparison uses the integrated
+// similarity solution from analysis/reference.hpp instead of a hard-coded
+// blast coefficient.
+//
 //   $ ./sedov_blast
 
 #include <cmath>
 #include <cstdio>
+#include <sstream>
 
 #include "analysis/analysis.hpp"
-#include "core/setup.hpp"
+#include "analysis/reference.hpp"
+#include "core/parameter_file.hpp"
 #include "core/simulation.hpp"
+#include "problems/registry.hpp"
 
 using namespace enzo;
-using mesh::Field;
-using mesh::Grid;
 
 namespace {
 /// Shock radius: maximum-density shell about the center.
@@ -38,47 +44,20 @@ double shock_radius(core::Simulation& sim) {
 }  // namespace
 
 int main() {
-  core::SimulationConfig cfg;
-  cfg.hierarchy.root_dims = {32, 32, 32};
-  cfg.hierarchy.max_level = 1;
-  cfg.hydro.gamma = 5.0 / 3.0;
-  cfg.refinement.overdensity_threshold = 1.5;  // chase the shock shell
-  core::Simulation sim(cfg);
-  const double E = 1.0;
-  const double r_dep = 2.5 / 32.0;
-  // Uniform medium, then deposit the blast energy in a small central sphere
-  // (after finalize: the refinement criteria first see the quiet medium and
-  // chase the shock as it forms, like the original two-phase setup).
-  core::ProblemSetup setup = core::uniform_setup(1.0, 1e-4);
-  setup.refine([E, r_dep](core::Simulation& s) {
-    Grid* g = s.hierarchy().grids(0)[0];
-    double vol_sum = 0;
-    for (int k = 0; k < 32; ++k)
-      for (int j = 0; j < 32; ++j)
-        for (int i = 0; i < 32; ++i) {
-          const double x = (i + 0.5) / 32 - 0.5, y = (j + 0.5) / 32 - 0.5,
-                       z = (k + 0.5) / 32 - 0.5;
-          if (x * x + y * y + z * z < r_dep * r_dep) vol_sum += 1.0;
-        }
-    const double e_cell = E / (vol_sum / (32.0 * 32 * 32));
-    for (int k = 0; k < 32; ++k)
-      for (int j = 0; j < 32; ++j)
-        for (int i = 0; i < 32; ++i) {
-          const double x = (i + 0.5) / 32 - 0.5, y = (j + 0.5) / 32 - 0.5,
-                       z = (k + 0.5) / 32 - 0.5;
-          if (x * x + y * y + z * z < r_dep * r_dep) {
-            g->field(Field::kInternalEnergy)(g->sx(i), g->sy(j), g->sz(k)) =
-                e_cell;
-            g->field(Field::kTotalEnergy)(g->sx(i), g->sy(j), g->sz(k)) =
-                e_cell;
-          }
-        }
-  });
-  sim.initialize(setup);
+  std::istringstream in(
+      "ProblemType = SedovBlast\n"
+      "TopGridDimensions = 32 32 32\n"
+      "MaximumRefinementLevel = 1\n"
+      "RefineByOverdensity = 1.5\n"  // chase the shock shell
+      "SedovDepositRadius = 0.078125\n");
+  const auto deck = core::parse_parameter_deck(in);
+  core::Simulation sim(deck.config);
+  core::setup_from_deck(sim, deck);
 
-  // β for γ = 5/3 (Sedov): r = β (E t²/ρ)^{1/5}, β ≈ 1.152.
-  const double beta = 1.152;
-  std::printf("Sedov blast: E = %.1f in r < %.3f, gamma = 5/3\n\n", E, r_dep);
+  const double E = deck.sedov.energy;
+  const analysis::SedovSolution exact(deck.config.hydro.gamma);
+  std::printf("Sedov blast: E = %.1f in r < %.3f, gamma = %.3f, beta = %.4f\n\n",
+              E, deck.sedov.radius, exact.gamma(), exact.beta());
   std::printf("%10s %12s %12s %8s %8s %7s\n", "t", "r_shock(sim)",
               "r_shock(exact)", "ratio", "levels", "grids");
   double next_t = 0.002;
@@ -87,13 +66,15 @@ int main() {
     if (sim.time_d() < next_t) continue;
     next_t *= 1.8;
     const double r_sim = shock_radius(sim);
-    const double r_exact =
-        beta * std::pow(E * sim.time_d() * sim.time_d() / 1.0, 0.2);
+    const double r_exact = exact.shock_radius(sim.time_d(), E, 1.0);
     const auto st = analysis::hierarchy_stats(sim.hierarchy());
     std::printf("%10.4f %12.4f %12.4f %8.3f %8d %7zu\n", sim.time_d(), r_sim,
                 r_exact, r_sim / r_exact, st.max_level + 1, st.total_grids);
   }
-  std::printf("\nthe ratio should hold near 1 (±bin width) while the shell "
+  std::printf("\nL1(density) vs similarity solution: %.3e\n",
+              problems::Registry::global().at("SedovBlast").l1_density_error(
+                  sim, deck));
+  std::printf("the ratio should hold near 1 (±bin width) while the shell "
               "stays inside the box (r < 0.5)\n");
   return 0;
 }

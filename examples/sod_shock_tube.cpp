@@ -3,31 +3,38 @@
 // diaphragm — demonstrating that flux correction and projection keep the
 // AMR solution consistent with the unigrid one (§3.2.1).
 //
+// Both runs go through the problem registry: the same deck text a user
+// would feed run_deck selects the problem, and the registry's analytic
+// reference callback reports the distance to the exact Riemann solution.
+//
 //   $ ./sod_shock_tube
 
 #include <cmath>
 #include <cstdio>
+#include <sstream>
+#include <string>
 
-#include "core/setup.hpp"
+#include "core/parameter_file.hpp"
 #include "core/simulation.hpp"
+#include "problems/registry.hpp"
 
 using namespace enzo;
 using mesh::Field;
 
 namespace {
-core::Simulation make_tube(int n, bool refined) {
-  core::SimulationConfig cfg;
-  cfg.hierarchy.root_dims = {n, 1, 1};
-  cfg.hierarchy.max_level = refined ? 1 : 0;
-  cfg.hydro.gamma = 1.4;
-  cfg.rebuild_interval = 1 << 20;  // static tree
-  core::Simulation sim(cfg);
-  core::ProblemSetup setup = core::sod_tube_setup();
-  if (refined) {
-    // Refine the middle half of the tube at 2×.
-    setup.static_region(1, {{n / 2, 0, 0}, {3 * n / 2, 1, 1}});
-  }
-  sim.initialize(setup);
+core::ParameterDeck make_deck(const std::string& problem, int n) {
+  std::string text = "ProblemType = " + problem +
+                     "\nTopGridDimensions = " + std::to_string(n) +
+                     " 1 1\nGamma = 1.4\n";
+  if (problem == "SodTubeSMR") text += "MaximumRefinementLevel = 1\n";
+  std::istringstream in(text);
+  return core::parse_parameter_deck(in);
+}
+
+core::Simulation run(const core::ParameterDeck& deck, double t_end) {
+  core::Simulation sim(deck.config);
+  core::setup_from_deck(sim, deck);
+  sim.evolve_until(t_end, 10000);
   return sim;
 }
 }  // namespace
@@ -36,11 +43,10 @@ int main() {
   const int n = 128;
   const double t_end = 0.15;
 
-  core::Simulation uni = make_tube(n, false);
-  uni.evolve_until(t_end, 10000);
-
-  core::Simulation amr = make_tube(n, true);
-  amr.evolve_until(t_end, 10000);
+  const auto deck_uni = make_deck("SodTube", n);
+  const auto deck_amr = make_deck("SodTubeSMR", n);
+  core::Simulation uni = run(deck_uni, t_end);
+  core::Simulation amr = run(deck_amr, t_end);
   std::printf("AMR run: %d levels, %zu grids\n",
               amr.hierarchy().deepest_level() + 1,
               amr.hierarchy().total_grids());
@@ -61,6 +67,11 @@ int main() {
   std::printf("\nL1(AMR - unigrid) = %.3e  (coarse-grid projection of the "
               "refined solution)\n",
               l1 / n);
+
+  const auto& reg = problems::Registry::global();
+  std::printf("L1 vs exact Riemann solution: unigrid %.3e, AMR %.3e\n",
+              reg.at("SodTube").l1_density_error(uni, deck_uni),
+              reg.at("SodTubeSMR").l1_density_error(amr, deck_amr));
   std::printf("expected structures at t=0.15: rarefaction to x~0.26, contact "
               "x~0.64, shock x~0.76\n");
   return 0;

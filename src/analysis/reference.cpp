@@ -1,0 +1,266 @@
+#include "analysis/reference.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/constants.hpp"
+#include "util/error.hpp"
+
+namespace enzo::analysis {
+
+namespace cn = constants;
+
+// ---- exact Riemann solution -----------------------------------------------
+
+namespace {
+
+/// Toro's f_K(p): velocity change across the left/right wave for a trial
+/// star pressure, plus its derivative.
+void pressure_function(double p, double rho_k, double p_k, double gamma,
+                       double* f, double* df) {
+  if (p > p_k) {  // shock
+    const double a_k = 2.0 / ((gamma + 1.0) * rho_k);
+    const double b_k = (gamma - 1.0) / (gamma + 1.0) * p_k;
+    const double q = std::sqrt(a_k / (p + b_k));
+    *f = (p - p_k) * q;
+    *df = q * (1.0 - 0.5 * (p - p_k) / (p + b_k));
+  } else {  // rarefaction
+    const double c_k = std::sqrt(gamma * p_k / rho_k);
+    const double pr = p / p_k;
+    *f = 2.0 * c_k / (gamma - 1.0) *
+         (std::pow(pr, (gamma - 1.0) / (2.0 * gamma)) - 1.0);
+    *df = 1.0 / (rho_k * c_k) * std::pow(pr, -(gamma + 1.0) / (2.0 * gamma));
+  }
+}
+
+}  // namespace
+
+RiemannStar solve_riemann_star(const RiemannStates& s) {
+  const double g = s.gamma;
+  const double c_l = std::sqrt(g * s.p_l / s.rho_l);
+  const double c_r = std::sqrt(g * s.p_r / s.rho_r);
+  ENZO_REQUIRE(2.0 * (c_l + c_r) / (g - 1.0) > s.u_r - s.u_l,
+               "Riemann input generates vacuum");
+  // Two-rarefaction initial guess (exact when both waves are fans).
+  const double z = (g - 1.0) / (2.0 * g);
+  double p = std::pow((c_l + c_r - 0.5 * (g - 1.0) * (s.u_r - s.u_l)) /
+                          (c_l / std::pow(s.p_l, z) + c_r / std::pow(s.p_r, z)),
+                      1.0 / z);
+  p = std::max(p, 1e-14 * std::min(s.p_l, s.p_r));
+  for (int it = 0; it < 64; ++it) {
+    double f_l, df_l, f_r, df_r;
+    pressure_function(p, s.rho_l, s.p_l, g, &f_l, &df_l);
+    pressure_function(p, s.rho_r, s.p_r, g, &f_r, &df_r);
+    const double f = f_l + f_r + (s.u_r - s.u_l);
+    const double step = f / (df_l + df_r);
+    const double p_new = std::max(p - step, 1e-14 * p);
+    const bool done = std::abs(p_new - p) < 1e-14 * (p_new + p);
+    p = p_new;
+    if (done) break;
+  }
+  double f_l, df_l, f_r, df_r;
+  pressure_function(p, s.rho_l, s.p_l, g, &f_l, &df_l);
+  pressure_function(p, s.rho_r, s.p_r, g, &f_r, &df_r);
+  return {p, 0.5 * (s.u_l + s.u_r) + 0.5 * (f_r - f_l)};
+}
+
+RiemannPoint sample_riemann(const RiemannStates& s, double xi) {
+  const double g = s.gamma;
+  const RiemannStar star = solve_riemann_star(s);
+  const double gm = g - 1.0, gp = g + 1.0;
+
+  if (xi <= star.u) {
+    // Left of the contact.
+    const double c_l = std::sqrt(g * s.p_l / s.rho_l);
+    if (star.p > s.p_l) {  // left shock
+      const double pr = star.p / s.p_l;
+      const double sh = s.u_l - c_l * std::sqrt((gp * pr + gm) / (2.0 * g));
+      if (xi <= sh) return {s.rho_l, s.u_l, s.p_l};
+      return {s.rho_l * (pr + gm / gp) / (gm / gp * pr + 1.0), star.u, star.p};
+    }
+    // Left rarefaction.
+    const double c_star = c_l * std::pow(star.p / s.p_l, gm / (2.0 * g));
+    const double head = s.u_l - c_l;
+    const double tail = star.u - c_star;
+    if (xi <= head) return {s.rho_l, s.u_l, s.p_l};
+    if (xi >= tail)
+      return {s.rho_l * std::pow(star.p / s.p_l, 1.0 / g), star.u, star.p};
+    const double c = (2.0 * c_l + gm * (s.u_l - xi)) / gp;  // inside the fan
+    const double u = xi + c;
+    const double rho = s.rho_l * std::pow(c / c_l, 2.0 / gm);
+    return {rho, u, rho * c * c / g};
+  }
+
+  // Right of the contact (mirror).
+  const double c_r = std::sqrt(g * s.p_r / s.rho_r);
+  if (star.p > s.p_r) {  // right shock
+    const double pr = star.p / s.p_r;
+    const double sh = s.u_r + c_r * std::sqrt((gp * pr + gm) / (2.0 * g));
+    if (xi >= sh) return {s.rho_r, s.u_r, s.p_r};
+    return {s.rho_r * (pr + gm / gp) / (gm / gp * pr + 1.0), star.u, star.p};
+  }
+  // Right rarefaction.
+  const double c_star = c_r * std::pow(star.p / s.p_r, gm / (2.0 * g));
+  const double head = s.u_r + c_r;
+  const double tail = star.u + c_star;
+  if (xi >= head) return {s.rho_r, s.u_r, s.p_r};
+  if (xi <= tail)
+    return {s.rho_r * std::pow(star.p / s.p_r, 1.0 / g), star.u, star.p};
+  const double c = (2.0 * c_r - gm * (s.u_r - xi)) / gp;
+  const double u = xi - c;
+  const double rho = s.rho_r * std::pow(c / c_r, 2.0 / gm);
+  return {rho, u, rho * c * c / g};
+}
+
+// ---- Sedov–Taylor similarity solution -------------------------------------
+//
+// Ansatz (spherical, uniform cold ambient rho0, R(t) ~ t^{2/5}):
+//   u = (2 r / 5 t) V(xi),  c^2 = (4 r^2 / 25 t^2) C(xi),  rho = rho0 G(xi)
+// with xi = r/R.  Substituting into the Euler equations gives, with
+// s = ln xi, a linear system for (dV/ds, d lnG/ds, d lnC/ds):
+//
+//   (1) dV/ds + (V-1) dlnG/ds                    = -3V
+//   (2) (V-1) dV/ds + (C/gamma)(dlnG + dlnC)/ds = -V(V-5/2) - 2C/gamma
+//   (3) (1-gamma) dlnG/ds + dlnC/ds             = (5-2V)/(V-1)
+//
+// integrated from the strong-shock jump at xi = 1 (V = 2/(gamma+1),
+// G = (gamma+1)/(gamma-1), C = 2 gamma (gamma-1)/(gamma+1)^2) inward.  The
+// blast coefficient follows from energy conservation,
+//   E = 4 pi rho0 (4/25)(R^5/t^2) I,   I = int_0^1 G xi^4 [V^2/2
+//        + C/(gamma(gamma-1))] dxi,
+// so beta = (25 / (16 pi I))^{1/5}.
+
+SedovSolution::SedovSolution(double gamma, int table_points) : gamma_(gamma) {
+  ENZO_REQUIRE(gamma > 1.0 && gamma < 3.0, "SedovSolution: gamma out of range");
+  ENZO_REQUIRE(table_points >= 16, "SedovSolution: table too small");
+  const double gm = gamma - 1.0, gp = gamma + 1.0;
+
+  double v = 2.0 / gp;
+  double ln_g = std::log(gp / gm);
+  double ln_c = std::log(2.0 * gamma * gm / (gp * gp));
+
+  // RK4 derivative of (V, lnG, lnC) with respect to s = ln xi.
+  auto deriv = [&](const double y[3], double dy[3]) {
+    const double V = y[0], C = std::exp(y[2]);
+    const double vm1 = V - 1.0;
+    // Eliminate dlnC via (3), then dV via (1):
+    //   dlnG [C - (V-1)^2] = RHS2' + 3V(V-1)
+    const double rhs2 = -V * (V - 2.5) - 2.0 * C / gamma -
+                        (C / gamma) * (5.0 - 2.0 * V) / vm1;
+    const double b = (rhs2 + 3.0 * V * vm1) / (C - vm1 * vm1);
+    dy[1] = b;
+    dy[0] = -3.0 * V - vm1 * b;
+    dy[2] = (5.0 - 2.0 * V) / vm1 - (1.0 - gamma) * b;
+  };
+
+  const double s_min = std::log(1e-4);
+  const int steps = 8192;
+  const double ds = s_min / steps;  // negative: integrate inward
+
+  xi_.resize(table_points);
+  g_.resize(table_points);
+  // Table rows at geometrically spaced xi; row table_points-1 is the shock.
+  auto table_s = [&](int row) {
+    return s_min * (1.0 - static_cast<double>(row) / (table_points - 1));
+  };
+
+  double y[3] = {v, ln_g, ln_c};
+  int row = table_points - 1;
+  xi_[row] = 1.0;
+  g_[row] = std::exp(ln_g);
+  --row;
+  // Energy integral accumulated alongside (trapezoid in xi).
+  auto integrand = [&](double s, const double yy[3]) {
+    const double xi = std::exp(s);
+    const double G = std::exp(yy[1]), C = std::exp(yy[2]);
+    return G * std::pow(xi, 4) *
+           (0.5 * yy[0] * yy[0] + C / (gamma * gm));
+  };
+  double I = 0.0;
+  double s = 0.0;
+  double prev_xi = 1.0, prev_f = integrand(0.0, y);
+  for (int n = 0; n < steps; ++n) {
+    double k1[3], k2[3], k3[3], k4[3], yt[3];
+    deriv(y, k1);
+    for (int i = 0; i < 3; ++i) yt[i] = y[i] + 0.5 * ds * k1[i];
+    deriv(yt, k2);
+    for (int i = 0; i < 3; ++i) yt[i] = y[i] + 0.5 * ds * k2[i];
+    deriv(yt, k3);
+    for (int i = 0; i < 3; ++i) yt[i] = y[i] + ds * k3[i];
+    deriv(yt, k4);
+    for (int i = 0; i < 3; ++i)
+      y[i] += ds / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+    s += ds;
+    const double xi = std::exp(s);
+    const double f = integrand(s, y);
+    I += 0.5 * (prev_f + f) * (prev_xi - xi);
+    prev_xi = xi;
+    prev_f = f;
+    while (row >= 0 && s <= table_s(row)) {
+      xi_[row] = xi;
+      g_[row] = std::exp(y[1]);
+      --row;
+    }
+  }
+  while (row >= 0) {  // deepest rows: density is ~0 there
+    xi_[row] = std::exp(table_s(row));
+    g_[row] = std::exp(y[1]);
+    --row;
+  }
+  beta_ = std::pow(25.0 / (16.0 * cn::kPi * I), 0.2);
+}
+
+double SedovSolution::shock_radius(double t, double energy, double rho0) const {
+  return beta_ * std::pow(energy * t * t / rho0, 0.2);
+}
+
+double SedovSolution::density_ratio(double xi) const {
+  if (xi > 1.0) return 1.0;
+  if (xi <= xi_.front()) return g_.front();
+  const auto it = std::lower_bound(xi_.begin(), xi_.end(), xi);
+  const std::size_t hi = static_cast<std::size_t>(it - xi_.begin());
+  const std::size_t lo = hi - 1;
+  const double w = (xi - xi_[lo]) / (xi_[hi] - xi_[lo]);
+  return g_[lo] + w * (g_[hi] - g_[lo]);
+}
+
+double SedovSolution::density(double r, double t, double energy,
+                              double rho0) const {
+  const double rs = shock_radius(t, energy, rho0);
+  return rho0 * density_ratio(r / rs);
+}
+
+// ---- Zel'dovich pancake ---------------------------------------------------
+
+namespace {
+double psi_of_q(double amp, double q) { return -amp * std::sin(cn::kTwoPi * q); }
+}  // namespace
+
+double zeldovich_lagrangian_q(const ZeldovichMode& m, double x) {
+  x -= std::floor(x);
+  ENZO_REQUIRE(m.growth * cn::kTwoPi * m.amplitude < 1.0,
+               "zeldovich_lagrangian_q: past the caustic");
+  double q = x;
+  for (int it = 0; it < 64; ++it) {
+    const double f = q + m.growth * psi_of_q(m.amplitude, q) - x;
+    const double df =
+        1.0 - m.growth * m.amplitude * cn::kTwoPi * std::cos(cn::kTwoPi * q);
+    const double step = f / df;
+    q -= step;
+    if (std::abs(step) < 1e-15) break;
+  }
+  return q;
+}
+
+double zeldovich_delta(const ZeldovichMode& m, double x) {
+  const double q = zeldovich_lagrangian_q(m, x);
+  const double jac =
+      1.0 - m.growth * m.amplitude * cn::kTwoPi * std::cos(cn::kTwoPi * q);
+  return 1.0 / jac - 1.0;
+}
+
+double zeldovich_psi(const ZeldovichMode& m, double x) {
+  return psi_of_q(m.amplitude, zeldovich_lagrangian_q(m, x));
+}
+
+}  // namespace enzo::analysis

@@ -1,0 +1,103 @@
+#pragma once
+// Analytic reference solutions for the regression harness (ROADMAP item 3).
+//
+// Three classic verification problems with known solutions, in the spirit of
+// Athena++'s tst/regression/ checkers:
+//
+//   - exact Riemann solution of the ideal-gas shock-tube problem (Toro ch.4:
+//     Newton iteration on the star-region pressure, then self-similar
+//     sampling in xi = x/t) — the Sod L1 reference,
+//   - the Sedov–Taylor point-blast similarity solution (the Landau–Lifshitz
+//     §106 ODE system integrated from the strong-shock jump inward, with the
+//     blast coefficient beta fixed by the energy integral),
+//   - the Zel'dovich pancake pre-caustic profile (Newton inversion of the
+//     Lagrangian map x = q + D psi(q); exact for 1-d Omega=1 pressureless
+//     collapse).
+//
+// The problem registry (src/problems/) wires these into per-problem
+// l1_density_error callbacks; tests/regression_test.cpp sweeps resolutions
+// and gates the measured convergence order.
+
+#include <vector>
+
+namespace enzo::analysis {
+
+// ---- exact Riemann solution (ideal gas) -----------------------------------
+
+struct RiemannStates {
+  double rho_l = 1.0, u_l = 0.0, p_l = 1.0;
+  double rho_r = 0.125, u_r = 0.0, p_r = 0.1;  ///< defaults: the Sod tube
+  double gamma = 1.4;
+};
+
+struct RiemannStar {
+  double p = 0.0;  ///< star-region pressure
+  double u = 0.0;  ///< star-region (contact) velocity
+};
+
+struct RiemannPoint {
+  double rho = 0.0;
+  double u = 0.0;
+  double p = 0.0;
+};
+
+/// Star-region state via Newton iteration on the pressure function
+/// (two-rarefaction initial guess; converges for any non-vacuum input).
+RiemannStar solve_riemann_star(const RiemannStates& s);
+
+/// Sample the self-similar solution at xi = x/t (x measured from the initial
+/// discontinuity).  Handles both shock and rarefaction branches on each side,
+/// including points inside a fan.
+RiemannPoint sample_riemann(const RiemannStates& s, double xi);
+
+// ---- Sedov–Taylor similarity solution -------------------------------------
+
+/// The spherical point-blast similarity profile for one gamma, tabulated in
+/// xi = r / r_shock(t) with r_shock = beta (E t^2 / rho0)^{1/5}.
+class SedovSolution {
+ public:
+  /// Integrate the similarity ODEs (RK4 in ln xi from the strong-shock jump
+  /// at xi = 1 down to xi_min) and normalize beta from the energy integral.
+  explicit SedovSolution(double gamma, int table_points = 512);
+
+  double gamma() const { return gamma_; }
+  /// Blast coefficient: r_shock = beta (E t^2 / rho0)^{1/5}.
+  /// beta(1.4) ~= 1.033, beta(5/3) ~= 1.152.
+  double beta() const { return beta_; }
+
+  double shock_radius(double t, double energy, double rho0) const;
+  /// rho(r, t); returns rho0 ahead of the shock.
+  double density(double r, double t, double energy, double rho0) const;
+  /// rho/rho0 as a function of xi = r/r_shock (1 -> (gamma+1)/(gamma-1)).
+  double density_ratio(double xi) const;
+
+ private:
+  double gamma_;
+  double beta_;
+  std::vector<double> xi_;  ///< ascending, xi_.back() == 1
+  std::vector<double> g_;   ///< rho/rho0 at xi_
+};
+
+// ---- Zel'dovich pancake (pre-caustic) -------------------------------------
+
+/// Single-mode Zel'dovich collapse: Lagrangian displacement
+/// psi(q) = -A sin(2 pi q) on the unit box, Eulerian map x = q + D psi(q).
+/// Exact for 1-d Omega=1 pressureless collapse while D * 2 pi A < 1
+/// (pre-caustic).
+struct ZeldovichMode {
+  double amplitude = 0.0;  ///< A; caustic forms when D * 2 pi A = 1
+  double growth = 0.0;     ///< D(a)
+};
+
+/// Invert the Lagrangian map: the q with x = q + D psi(q) (Newton; the map
+/// is monotone pre-caustic).  x is taken periodic on [0, 1).
+double zeldovich_lagrangian_q(const ZeldovichMode& m, double x);
+
+/// Density contrast delta(x) = 1/|d x/d q| - 1 at Eulerian position x.
+double zeldovich_delta(const ZeldovichMode& m, double x);
+
+/// Displacement psi evaluated at the Lagrangian preimage of x; the peculiar
+/// velocity is vfac * psi with the caller's velocity factor convention.
+double zeldovich_psi(const ZeldovichMode& m, double x);
+
+}  // namespace enzo::analysis

@@ -1,11 +1,12 @@
 #include "core/parameter_file.hpp"
 
+#include <charconv>
 #include <fstream>
 #include <functional>
-#include <map>
 #include <sstream>
 
 #include "exec/exec_config.hpp"
+#include "problems/registry.hpp"
 #include "util/constants.hpp"
 #include "util/error.hpp"
 
@@ -68,15 +69,13 @@ struct Parser {
     auto& cfg = deck.config;
     // --- problem selection -----------------------------------------------
     if (key == "ProblemType") {
-      static const std::map<std::string, ProblemType> kinds = {
-          {"Uniform", ProblemType::kUniform},
-          {"SodTube", ProblemType::kSodTube},
-          {"CollapseCloud", ProblemType::kCollapseCloud},
-          {"Cosmology", ProblemType::kCosmology},
-          {"ZeldovichPancake", ProblemType::kZeldovichPancake}};
-      auto it = kinds.find(value);
-      if (it == kinds.end()) fail("unknown ProblemType '" + value + "'");
-      deck.problem = it->second;
+      // Validated against the problem registry, so the accepted names and
+      // this error's listing can never drift from the actual generators.
+      const auto& reg = problems::Registry::global();
+      if (reg.find(value) == nullptr)
+        fail("unknown ProblemType '" + value +
+             "' (registered: " + reg.names_joined() + ")");
+      deck.problem = value;
       return;
     }
     // --- hierarchy ----------------------------------------------------------
@@ -135,7 +134,9 @@ struct Parser {
     if (key == "Sigma8") { cfg.frw.sigma8 = num(value); return; }
     if (key == "InitialRedshift") { cfg.initial_redshift = num(value); return; }
     if (key == "ComovingBoxSizeMpc") {
+      // Shared by the two comoving problems (cosmology box and pancake).
       deck.cosmology.box_comoving_cm = num(value) * constants::kMpc;
+      deck.pancake.box_comoving_cm = deck.cosmology.box_comoving_cm;
       return;
     }
     if (key == "RandomSeed") { deck.cosmology.seed = static_cast<std::uint64_t>(num(value)); return; }
@@ -169,6 +170,9 @@ struct Parser {
     // --- uniform -------------------------------------------------------------------
     if (key == "UniformDensity") { deck.uniform_density = num(value); return; }
     if (key == "UniformInternalEnergy") { deck.uniform_eint = num(value); return; }
+    // --- sedov blast ---------------------------------------------------------------
+    if (key == "SedovEnergy") { deck.sedov.energy = num(value); return; }
+    if (key == "SedovDepositRadius") { deck.sedov.radius = num(value); return; }
     // --- execution ------------------------------------------------------------------
     if (key == "Threads") {
       cfg.exec.threads = integer(value);
@@ -235,22 +239,9 @@ ParameterDeck parse_parameter_file(const std::string& path) {
 }
 
 ProblemSetup deck_problem_setup(const ParameterDeck& deck) {
-  switch (deck.problem) {
-    case ProblemType::kUniform:
-      return uniform_setup(deck.uniform_density, deck.uniform_eint);
-    case ProblemType::kSodTube:
-      return sod_tube_setup();
-    case ProblemType::kCollapseCloud: {
-      CollapseSetupOptions opt = deck.collapse;
-      opt.chemistry = deck.config.enable_chemistry;
-      return collapse_cloud_setup(opt);
-    }
-    case ProblemType::kCosmology:
-      return cosmological_setup(deck.cosmology);
-    case ProblemType::kZeldovichPancake:
-      return zeldovich_pancake_setup(deck.pancake);
-  }
-  ENZO_UNREACHABLE("unhandled problem type");
+  // Registry dispatch: throws (listing the registered names) for a problem
+  // name set programmatically without going through the parser.
+  return problems::Registry::global().at(deck.problem).make(deck);
 }
 
 void setup_from_deck(Simulation& sim, const ParameterDeck& deck) {
@@ -261,24 +252,43 @@ void configure_from_deck(Simulation& sim, const ParameterDeck& deck) {
   sim.configure_for_restart(deck_problem_setup(deck));
 }
 
+namespace {
+
+/// Shortest round-trip rendering of a double (std::to_chars): re-parsing
+/// the text recovers the bit-identical value, so render/parse cycles are
+/// lossless — the old 6-significant-digit rendering turned 5/3 into
+/// "1.66667" and silently perturbed every re-parsed config.
+std::string fmt(double v) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  return std::string(buf, res.ptr);
+}
+
+}  // namespace
+
 std::string render_deck(const ParameterDeck& deck) {
   std::ostringstream os;
   const auto& cfg = deck.config;
-  const char* ptype = "Uniform";
-  switch (deck.problem) {
-    case ProblemType::kUniform: ptype = "Uniform"; break;
-    case ProblemType::kSodTube: ptype = "SodTube"; break;
-    case ProblemType::kCollapseCloud: ptype = "CollapseCloud"; break;
-    case ProblemType::kCosmology: ptype = "Cosmology"; break;
-    case ProblemType::kZeldovichPancake: ptype = "ZeldovichPancake"; break;
-  }
-  os << "ProblemType = " << ptype << "\n";
+  // Compare against the parser's starting state, so render emits exactly
+  // the keys a deck would need to reproduce this configuration.
+  const ParameterDeck d0;
+  const auto& c0 = d0.config;
+
+  os << "ProblemType = " << deck.problem << "\n";
   os << "TopGridDimensions = " << cfg.hierarchy.root_dims[0] << " "
      << cfg.hierarchy.root_dims[1] << " " << cfg.hierarchy.root_dims[2]
      << "\n";
   os << "RefineBy = " << cfg.hierarchy.refine_factor << "\n";
   os << "MaximumRefinementLevel = " << cfg.hierarchy.max_level << "\n";
   os << "PeriodicBoundary = " << (cfg.hierarchy.periodic ? 1 : 0) << "\n";
+  if (cfg.hierarchy.nghost != c0.hierarchy.nghost)
+    os << "GhostZones = " << cfg.hierarchy.nghost << "\n";
+  if (cfg.hierarchy.flag_buffer != c0.hierarchy.flag_buffer)
+    os << "FlagBufferCells = " << cfg.hierarchy.flag_buffer << "\n";
+  if (cfg.hierarchy.cluster.min_efficiency !=
+      c0.hierarchy.cluster.min_efficiency)
+    os << "ClusterEfficiency = " << fmt(cfg.hierarchy.cluster.min_efficiency)
+       << "\n";
   // ArenaMode collapses {pool, incremental}; dump the pair only when they
   // disagree (only reachable programmatically) so a re-parse reproduces it.
   if (cfg.hierarchy.arena.pool == cfg.hierarchy.arena.incremental) {
@@ -293,26 +303,96 @@ std::string render_deck(const ParameterDeck& deck) {
   os << "GravityEnabled = " << (cfg.enable_gravity ? 1 : 0) << "\n";
   os << "ChemistryEnabled = " << (cfg.enable_chemistry ? 1 : 0) << "\n";
   os << "ParticlesEnabled = " << (cfg.enable_particles ? 1 : 0) << "\n";
-  os << "Gamma = " << cfg.hydro.gamma << "\n";
-  os << "CourantSafetyNumber = " << cfg.hydro.cfl << "\n";
+  os << "Gamma = " << fmt(cfg.hydro.gamma) << "\n";
+  os << "CourantSafetyNumber = " << fmt(cfg.hydro.cfl) << "\n";
   os << "HydroMethod = "
      << (cfg.hydro.solver == hydro::Solver::kPpm ? "PPM" : "Zeus") << "\n";
+  if (cfg.hydro.flattening != c0.hydro.flattening)
+    os << "PPMFlattening = " << (cfg.hydro.flattening ? 1 : 0) << "\n";
+  if (cfg.hydro.dual_energy_eta1 != c0.hydro.dual_energy_eta1)
+    os << "DualEnergyEta = " << fmt(cfg.hydro.dual_energy_eta1) << "\n";
   if (cfg.refinement.baryon_mass_threshold > 0)
-    os << "RefineByBaryonMass = " << cfg.refinement.baryon_mass_threshold
+    os << "RefineByBaryonMass = " << fmt(cfg.refinement.baryon_mass_threshold)
+       << "\n";
+  if (cfg.refinement.dm_mass_threshold > 0)
+    os << "RefineByDarkMatterMass = " << fmt(cfg.refinement.dm_mass_threshold)
        << "\n";
   if (cfg.refinement.jeans_number > 0)
-    os << "RefineByJeansLength = " << cfg.refinement.jeans_number << "\n";
+    os << "RefineByJeansLength = " << fmt(cfg.refinement.jeans_number) << "\n";
   if (cfg.refinement.overdensity_threshold > 0)
-    os << "RefineByOverdensity = " << cfg.refinement.overdensity_threshold
+    os << "RefineByOverdensity = " << fmt(cfg.refinement.overdensity_threshold)
        << "\n";
-  if (cfg.comoving) {
-    os << "ComovingCoordinates = 1\n";
-    os << "HubbleConstantNow = " << cfg.frw.hubble << "\n";
-    os << "OmegaMatterNow = " << cfg.frw.omega_matter << "\n";
-    os << "OmegaBaryonNow = " << cfg.frw.omega_baryon << "\n";
-    os << "OmegaLambdaNow = " << cfg.frw.omega_lambda << "\n";
-    os << "InitialRedshift = " << cfg.initial_redshift << "\n";
-  }
+  if (cfg.comoving) os << "ComovingCoordinates = 1\n";
+  if (cfg.frw.hubble != c0.frw.hubble)
+    os << "HubbleConstantNow = " << fmt(cfg.frw.hubble) << "\n";
+  if (cfg.frw.omega_matter != c0.frw.omega_matter)
+    os << "OmegaMatterNow = " << fmt(cfg.frw.omega_matter) << "\n";
+  if (cfg.frw.omega_baryon != c0.frw.omega_baryon)
+    os << "OmegaBaryonNow = " << fmt(cfg.frw.omega_baryon) << "\n";
+  if (cfg.frw.omega_lambda != c0.frw.omega_lambda)
+    os << "OmegaLambdaNow = " << fmt(cfg.frw.omega_lambda) << "\n";
+  if (cfg.frw.sigma8 != c0.frw.sigma8)
+    os << "Sigma8 = " << fmt(cfg.frw.sigma8) << "\n";
+  if (cfg.initial_redshift != c0.initial_redshift)
+    os << "InitialRedshift = " << fmt(cfg.initial_redshift) << "\n";
+  // ComovingBoxSizeMpc feeds both comoving problems; emit whichever differs
+  // from its default (a deck key always sets the two together).
+  if (deck.cosmology.box_comoving_cm != d0.cosmology.box_comoving_cm)
+    os << "ComovingBoxSizeMpc = "
+       << fmt(deck.cosmology.box_comoving_cm / constants::kMpc) << "\n";
+  else if (deck.pancake.box_comoving_cm != d0.pancake.box_comoving_cm)
+    os << "ComovingBoxSizeMpc = "
+       << fmt(deck.pancake.box_comoving_cm / constants::kMpc) << "\n";
+  if (deck.cosmology.seed != d0.cosmology.seed)
+    os << "RandomSeed = " << deck.cosmology.seed << "\n";
+  if (deck.cosmology.nested_static_levels != d0.cosmology.nested_static_levels)
+    os << "NestedStaticLevels = " << deck.cosmology.nested_static_levels
+       << "\n";
+  if (deck.cosmology.particles_per_axis != d0.cosmology.particles_per_axis)
+    os << "ParticlesPerAxis = " << deck.cosmology.particles_per_axis << "\n";
+  // --- collapse problem ---
+  if (deck.collapse.box_proper_cm != d0.collapse.box_proper_cm)
+    os << "BoxSizeParsec = "
+       << fmt(deck.collapse.box_proper_cm / constants::kParsec) << "\n";
+  if (deck.collapse.cloud_radius != d0.collapse.cloud_radius)
+    os << "CloudRadius = " << fmt(deck.collapse.cloud_radius) << "\n";
+  if (deck.collapse.overdensity != d0.collapse.overdensity)
+    os << "CloudOverdensity = " << fmt(deck.collapse.overdensity) << "\n";
+  if (deck.collapse.mean_density_cgs != d0.collapse.mean_density_cgs)
+    os << "BackgroundDensityCGS = " << fmt(deck.collapse.mean_density_cgs)
+       << "\n";
+  // The Initial* keys each feed two problems' options; emit whichever copy
+  // differs from its own default (a deck key always sets both together).
+  if (deck.collapse.temperature != d0.collapse.temperature)
+    os << "InitialTemperature = " << fmt(deck.collapse.temperature) << "\n";
+  else if (deck.pancake.initial_temperature != d0.pancake.initial_temperature)
+    os << "InitialTemperature = " << fmt(deck.pancake.initial_temperature)
+       << "\n";
+  if (deck.collapse.ionization != d0.collapse.ionization)
+    os << "InitialIonizationFraction = " << fmt(deck.collapse.ionization)
+       << "\n";
+  else if (deck.cosmology.initial_ionization !=
+           d0.cosmology.initial_ionization)
+    os << "InitialIonizationFraction = "
+       << fmt(deck.cosmology.initial_ionization) << "\n";
+  if (deck.collapse.h2_fraction != d0.collapse.h2_fraction)
+    os << "InitialH2Fraction = " << fmt(deck.collapse.h2_fraction) << "\n";
+  else if (deck.cosmology.initial_h2_fraction !=
+           d0.cosmology.initial_h2_fraction)
+    os << "InitialH2Fraction = " << fmt(deck.cosmology.initial_h2_fraction)
+       << "\n";
+  // --- pancake / uniform / sedov ---
+  if (deck.pancake.a_caustic_redshift != d0.pancake.a_caustic_redshift)
+    os << "PancakeCausticRedshift = " << fmt(deck.pancake.a_caustic_redshift)
+       << "\n";
+  if (deck.uniform_density != d0.uniform_density)
+    os << "UniformDensity = " << fmt(deck.uniform_density) << "\n";
+  if (deck.uniform_eint != d0.uniform_eint)
+    os << "UniformInternalEnergy = " << fmt(deck.uniform_eint) << "\n";
+  if (deck.sedov.energy != d0.sedov.energy)
+    os << "SedovEnergy = " << fmt(deck.sedov.energy) << "\n";
+  if (deck.sedov.radius != d0.sedov.radius)
+    os << "SedovDepositRadius = " << fmt(deck.sedov.radius) << "\n";
   if (cfg.audit_invariants) {
     os << "AuditInvariants = 1\n";
     if (cfg.audit_interval != 1)
@@ -325,13 +405,16 @@ std::string render_deck(const ParameterDeck& deck) {
     if (cfg.exec.threads != 0) os << "Threads = " << cfg.exec.threads << "\n";
   }
   if (cfg.exec.pin) os << "PinThreads = 1\n";
+  if (cfg.rebuild_interval != c0.rebuild_interval)
+    os << "RebuildInterval = " << cfg.rebuild_interval << "\n";
   os << "StopSteps = " << deck.stop_steps << "\n";
-  if (deck.stop_time > 0) os << "StopTime = " << deck.stop_time << "\n";
+  if (deck.stop_time != d0.stop_time)
+    os << "StopTime = " << fmt(deck.stop_time) << "\n";
   if (!deck.checkpoint_path.empty())
     os << "CheckpointPath = " << deck.checkpoint_path << "\n";
-  if (deck.checkpoint_interval != 0)
+  if (deck.checkpoint_interval != d0.checkpoint_interval)
     os << "CheckpointInterval = " << deck.checkpoint_interval << "\n";
-  if (deck.checkpoint_keep != 3)
+  if (deck.checkpoint_keep != d0.checkpoint_keep)
     os << "CheckpointKeep = " << deck.checkpoint_keep << "\n";
   return os.str();
 }

@@ -18,7 +18,16 @@
 //     ChemistryEnabled       = 1
 //     CloudOverdensity       = 10.0
 //
-// See `parse_parameter_file` for the full key list.
+// The problem is selected *by name* from the problem-generator registry
+// (src/problems/registry.hpp): any registered problem — built-in or added
+// via problems::Registrar — is deck-selectable, and the "unknown
+// ProblemType" error lists exactly the registered names, so the accepted
+// set can never drift from the actual generators.
+//
+// See `parse_parameter_file` for the full key list; render_deck() is the
+// exact inverse of the parser (every non-default value is emitted with
+// round-trip float precision), pinned by the deck round-trip suite in
+// tests/deck_test.cpp.
 
 #include <iosfwd>
 #include <string>
@@ -28,22 +37,24 @@
 
 namespace enzo::core {
 
-enum class ProblemType {
-  kUniform,
-  kSodTube,
-  kCollapseCloud,
-  kCosmology,
-  kZeldovichPancake,
+/// Sedov–Taylor blast options (problem `SedovBlast` / `SedovBlastSMR`):
+/// energy deposited as thermal energy in a central sphere of the given
+/// radius (code units) in an ambient medium with rho = 1, eint = 1e-4.
+struct SedovOptions {
+  double energy = 1.0;    ///< deck key SedovEnergy
+  double radius = 0.08;   ///< deck key SedovDepositRadius
 };
 
 /// Everything a deck specifies: the simulation config, the problem, and the
 /// per-problem options.
 struct ParameterDeck {
-  ProblemType problem = ProblemType::kUniform;
+  /// Problem-registry name (deck key ProblemType), e.g. "SodTube".
+  std::string problem = "Uniform";
   SimulationConfig config;
   CollapseSetupOptions collapse;
   CosmologySetupOptions cosmology;
   PancakeOptions pancake;
+  SedovOptions sedov;
   double uniform_density = 1.0;
   double uniform_eint = 1.0;
   // Run control.
@@ -58,13 +69,14 @@ struct ParameterDeck {
 };
 
 /// Parse a deck from a stream; throws enzo::Error with line numbers on
-/// malformed input or unknown keys.
+/// malformed input, unknown keys, or a ProblemType that is not registered.
 ParameterDeck parse_parameter_deck(std::istream& in);
 
 /// Convenience: parse from a file path.
 ParameterDeck parse_parameter_file(const std::string& path);
 
-/// The deck's problem as a composable ProblemSetup.
+/// The deck's problem as a composable ProblemSetup (problem-registry
+/// dispatch on deck.problem).
 ProblemSetup deck_problem_setup(const ParameterDeck& deck);
 
 /// Apply the deck's problem setup to a simulation constructed from
@@ -76,7 +88,10 @@ void setup_from_deck(Simulation& sim, const ParameterDeck& deck);
 /// itself then comes from io::read_checkpoint / restore_latest_checkpoint.
 void configure_from_deck(Simulation& sim, const ParameterDeck& deck);
 
-/// Render the effective deck back to text (round-trip/debugging).
+/// Render the effective deck back to text.  Exact inverse of the parser:
+/// re-parsing the result reproduces the deck (round-trip float formatting;
+/// values equal to the deck defaults are omitted, a fixed always-emitted
+/// core set excepted).
 std::string render_deck(const ParameterDeck& deck);
 
 }  // namespace enzo::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <string>
 #include <utility>
 
@@ -367,6 +368,14 @@ void Simulation::step_grids(int level, double dt,
       [&](std::size_t n) { return grid_cost(*grids[n]); });
   ENZO_REQUIRE(gen == hierarchy_.generation(),
                "hierarchy rebuilt during step_grids");
+  // Zone-cycles (cell-updates across every level and substep): the
+  // regression harness's throughput denominator.
+  static perf::Counter& zones =
+      perf::Registry::global().counter("driver.zone_cycles");
+  std::uint64_t cells = 0;
+  for (const Grid* g : grids)
+    cells += static_cast<std::uint64_t>(g->nx(0)) * g->nx(1) * g->nx(2);
+  zones.add(cells);
 }
 
 void Simulation::evolve_level(int level, ext::pos_t parent_time) {
@@ -392,7 +401,11 @@ void Simulation::evolve_level(int level, ext::pos_t parent_time) {
     double dt = compute_level_timestep(level);
     const double remaining = ext::pos_to_double(parent_time - t_now);
     bool last = false;
-    if (dt >= remaining * (1.0 - 1e-12)) {
+    // Clamp to the window end — and also stretch when the leftover after an
+    // unclamped step would be fp residue (≲1e-10 of the window): a
+    // denormal-tiny cleanup substep buys nothing, and at level 0 it let
+    // different resolutions land at slightly different stop times.
+    if (remaining - dt <= 1e-10 * remaining) {
       dt = remaining;
       last = true;
     }
@@ -501,14 +514,16 @@ void Simulation::evolve_level(int level, ext::pos_t parent_time) {
   }
 }
 
-void Simulation::step_root(double dt) {
+void Simulation::step_root(double dt) { step_root_to(time_ + ext::pos_t(dt), dt); }
+
+void Simulation::step_root_to(ext::pos_t target, double dt) {
   // The limiter was recorded by the compute_level_timestep(0) call (or
   // overridden by a stop-time clamp) just before this; capture it now because
   // evolve_level recomputes level-0 timesteps internally.
   const hydro::DtLimiter limiter = root_dt_limiter_;
   // enzo-lint: allow(determinism-nondeterministic-source) wall-clock telemetry
   const auto wall0 = std::chrono::steady_clock::now();
-  evolve_level(0, time_ + ext::pos_t(dt));
+  evolve_level(0, target);
   ++root_steps_;
   root_dt_limiter_ = limiter;
   if (diag_sink_ != nullptr) {
@@ -562,14 +577,24 @@ const analysis::AuditReport& Simulation::run_audit() {
 }
 
 void Simulation::evolve_until(double t_stop, int max_steps) {
-  for (int s = 0; s < max_steps && time_d() < t_stop; ++s) {
+  const ext::pos_t target(t_stop);
+  // Arrival tolerance, relative to t_stop: anything closer than a few ulps
+  // counts as arrived, so fp residue never schedules a denormal-tiny step.
+  const double tol =
+      8.0 * std::numeric_limits<double>::epsilon() * std::abs(t_stop);
+  for (int s = 0; s < max_steps; ++s) {
+    const double remaining = ext::pos_to_double(target - time_);
+    if (remaining <= tol) break;
     const double dt0 = compute_level_timestep(0);
-    double dt = dt0;
-    if (t_stop - time_d() < dt0) {
-      dt = t_stop - time_d();
+    if (dt0 >= remaining * (1.0 - 1e-12) || remaining - dt0 <= tol) {
+      // Final step: clamp (or stretch, by at most tol) onto the *exact*
+      // extended-precision target, so every resolution ends at bit-identical
+      // dd(t_stop) instead of t_stop minus resolution-dependent fp residue.
       root_dt_limiter_ = hydro::DtLimiter::kStopTime;
+      step_root_to(target, remaining);
+      continue;  // the arrival check above terminates the loop
     }
-    step_root(dt);
+    step_root(dt0);
   }
 }
 

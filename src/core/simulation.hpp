@@ -179,6 +179,10 @@ class Simulation {
   void sync_hierarchy_params();
   void evolve_level(int level, ext::pos_t parent_time);
   void step_root(double dt);
+  /// step_root landing on an exact extended-precision target time (the
+  /// final evolve_until step: every resolution ends at bit-identical
+  /// dd(t_stop)); dt is the double-precision step for diagnostics.
+  void step_root_to(ext::pos_t target, double dt);
   double compute_level_timestep(int level);
   void solve_gravity_level(int level);
   void step_grids(int level, double dt, const cosmology::Expansion& exp);

@@ -1,0 +1,57 @@
+// Problems "CollapseCloud" and "IsothermalCollapse": the controlled
+// primordial-cloud collapse (the paper's §4 science problem at laptop
+// scale).  CollapseCloud honors the deck's chemistry toggle; the
+// IsothermalCollapse variant is the classic chemistry-free control — a
+// near-isothermal EOS (gamma → 1.001 unless the deck chose another gamma)
+// stands in for the H₂ cooling that keeps the real cloud isothermal, so
+// hierarchy-depth and profile comparisons isolate the chemistry's effect.
+
+#include "core/setup.hpp"
+#include "problems/registry.hpp"
+
+namespace enzo::problems {
+
+void register_collapse_cloud(Registry& r) {
+  {
+    ProblemSpec s;
+    s.name = "CollapseCloud";
+    s.description =
+        "isolated primordial-cloud collapse (gravity + optional chemistry)";
+    s.make = [](const core::ParameterDeck& d) {
+      core::CollapseSetupOptions opt = d.collapse;
+      opt.chemistry = d.config.enable_chemistry;
+      return core::collapse_cloud_setup(opt);
+    };
+    s.smoke_deck =
+        "TopGridDimensions = 8 8 8\n"
+        "GravityEnabled = 1\n"
+        "StopSteps = 1\n";
+    r.add(std::move(s));
+  }
+  {
+    ProblemSpec s;
+    s.name = "IsothermalCollapse";
+    s.description =
+        "chemistry-free collapse control with a near-isothermal EOS "
+        "(gamma = 1.001 unless the deck sets another gamma)";
+    s.make = [](const core::ParameterDeck& d) {
+      core::CollapseSetupOptions opt = d.collapse;
+      opt.chemistry = false;
+      core::ProblemSetup setup = core::collapse_cloud_setup(opt);
+      setup.configure([](core::SimulationConfig& cfg) {
+        cfg.enable_chemistry = false;
+        // Only override the stock adiabatic default; an explicit deck Gamma
+        // (anything below 1.6) is the user's choice of effective EOS.
+        if (cfg.hydro.gamma > 1.6) cfg.hydro.gamma = 1.001;
+      });
+      return setup;
+    };
+    s.smoke_deck =
+        "TopGridDimensions = 8 8 8\n"
+        "GravityEnabled = 1\n"
+        "StopSteps = 1\n";
+    r.add(std::move(s));
+  }
+}
+
+}  // namespace enzo::problems

@@ -1,0 +1,82 @@
+#include "problems/registry.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace enzo::problems {
+
+// Built-in problem installers, one per TU in this directory.  Called
+// explicitly from the Registry constructor: a plain function call is the
+// only registration mechanism that survives static-library linking (an
+// unreferenced TU's file-level registrar objects are silently dropped).
+void register_uniform(Registry& r);
+void register_sod_tube(Registry& r);
+void register_sedov_blast(Registry& r);
+void register_collapse_cloud(Registry& r);
+void register_cosmology(Registry& r);
+void register_zeldovich_pancake(Registry& r);
+
+Registry::Registry() {
+  register_uniform(*this);
+  register_sod_tube(*this);
+  register_sedov_blast(*this);
+  register_collapse_cloud(*this);
+  register_cosmology(*this);
+  register_zeldovich_pancake(*this);
+}
+
+Registry& Registry::global() {
+  static Registry r;
+  return r;
+}
+
+void Registry::add(ProblemSpec spec) {
+  ENZO_REQUIRE(!spec.name.empty(), "problem spec needs a name");
+  ENZO_REQUIRE(static_cast<bool>(spec.make),
+               "problem '" + spec.name + "' needs a make callback");
+  ENZO_REQUIRE(find(spec.name) == nullptr,
+               "problem '" + spec.name + "' registered twice");
+  auto pos = std::lower_bound(
+      specs_.begin(), specs_.end(), spec.name,
+      [](const ProblemSpec& s, const std::string& n) { return s.name < n; });
+  specs_.insert(pos, std::move(spec));
+}
+
+const ProblemSpec* Registry::find(const std::string& name) const {
+  auto pos = std::lower_bound(
+      specs_.begin(), specs_.end(), name,
+      [](const ProblemSpec& s, const std::string& n) { return s.name < n; });
+  if (pos == specs_.end() || pos->name != name) return nullptr;
+  return &*pos;
+}
+
+const ProblemSpec& Registry::at(const std::string& name) const {
+  const ProblemSpec* s = find(name);
+  if (s == nullptr)
+    throw enzo::Error("unknown problem '" + name +
+                      "' (registered: " + names_joined() + ")");
+  return *s;
+}
+
+std::vector<std::string> Registry::names() const {
+  std::vector<std::string> out;
+  out.reserve(specs_.size());
+  for (const ProblemSpec& s : specs_) out.push_back(s.name);
+  return out;
+}
+
+std::string Registry::names_joined() const {
+  std::string out;
+  for (const ProblemSpec& s : specs_) {
+    if (!out.empty()) out += ", ";
+    out += s.name;
+  }
+  return out;
+}
+
+Registrar::Registrar(ProblemSpec spec) {
+  Registry::global().add(std::move(spec));
+}
+
+}  // namespace enzo::problems

@@ -1,0 +1,172 @@
+// Analytic reference solutions (analysis/reference.hpp) and the small-N
+// regression gates that run in the default tier-1 suite: exact Riemann
+// star-region values, Sedov blast coefficients, Zel'dovich map identities,
+// the evolve_until stop-time contract (bit-identical end times across
+// resolutions), and a cheap Sod convergence check.  The full-resolution
+// sweeps live in tests/regression_test.cpp under `ctest -L regression`.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "analysis/reference.hpp"
+#include "core/parameter_file.hpp"
+#include "core/simulation.hpp"
+#include "problems/registry.hpp"
+#include "util/constants.hpp"
+
+using namespace enzo;
+
+namespace {
+
+core::ParameterDeck parse(const std::string& text) {
+  std::istringstream in(text);
+  return core::parse_parameter_deck(in);
+}
+
+core::Simulation run_problem(const std::string& deck_text, double t_stop) {
+  auto deck = parse(deck_text);
+  core::Simulation sim(deck.config);
+  core::setup_from_deck(sim, deck);
+  sim.evolve_until(t_stop, 1 << 20);
+  return sim;
+}
+
+std::string sod_deck(int n, const std::string& problem = "SodTube") {
+  std::string text = "ProblemType = " + problem +
+                     "\nTopGridDimensions = " + std::to_string(n) +
+                     " 1 1\nGamma = 1.4\n";
+  if (problem == "SodTubeSMR") text += "MaximumRefinementLevel = 1\n";
+  return text;
+}
+
+double sod_l1(int n, double t_stop, const std::string& problem = "SodTube") {
+  auto deck = parse(sod_deck(n, problem));
+  core::Simulation sim(deck.config);
+  core::setup_from_deck(sim, deck);
+  sim.evolve_until(t_stop, 1 << 20);
+  return problems::Registry::global().at(problem).l1_density_error(sim, deck);
+}
+
+}  // namespace
+
+// ---- exact Riemann solution -----------------------------------------------
+
+TEST(RiemannReference, SodStarState) {
+  analysis::RiemannStates s;  // defaults are the Sod tube
+  const auto star = analysis::solve_riemann_star(s);
+  EXPECT_NEAR(star.p, 0.303130, 1e-5);
+  EXPECT_NEAR(star.u, 0.927453, 1e-5);
+}
+
+TEST(RiemannReference, SampledWaveStructure) {
+  analysis::RiemannStates s;
+  // Far field: the untouched initial states.
+  EXPECT_DOUBLE_EQ(analysis::sample_riemann(s, -10.0).rho, 1.0);
+  EXPECT_DOUBLE_EQ(analysis::sample_riemann(s, 10.0).rho, 0.125);
+  // Either side of the contact (u* ~= 0.9275): the rarefied left state and
+  // the shocked right state.
+  EXPECT_NEAR(analysis::sample_riemann(s, 0.90).rho, 0.42632, 1e-4);
+  EXPECT_NEAR(analysis::sample_riemann(s, 0.95).rho, 0.26557, 1e-4);
+  // The solution is continuous at the head of the left fan (xi = -c_l).
+  const double c_l = std::sqrt(s.gamma * s.p_l / s.rho_l);
+  EXPECT_NEAR(analysis::sample_riemann(s, -c_l + 1e-9).rho, 1.0, 1e-6);
+  // Pressure and velocity are continuous across the contact.
+  EXPECT_NEAR(analysis::sample_riemann(s, 0.90).p,
+              analysis::sample_riemann(s, 0.95).p, 1e-10);
+  EXPECT_NEAR(analysis::sample_riemann(s, 0.90).u,
+              analysis::sample_riemann(s, 0.95).u, 1e-10);
+}
+
+// ---- Sedov-Taylor similarity solution -------------------------------------
+
+TEST(SedovReference, BlastCoefficients) {
+  // Landau-Lifshitz / Sedov tabulated values.
+  EXPECT_NEAR(analysis::SedovSolution(1.4).beta(), 1.0328, 2e-3);
+  EXPECT_NEAR(analysis::SedovSolution(5.0 / 3.0).beta(), 1.1517, 2e-3);
+}
+
+TEST(SedovReference, ShockJumpAndAmbient) {
+  analysis::SedovSolution s(1.4);
+  // Strong-shock jump at xi = 1: rho/rho0 = (gamma+1)/(gamma-1) = 6.
+  EXPECT_NEAR(s.density_ratio(1.0), 6.0, 1e-6);
+  EXPECT_LE(s.density_ratio(0.9), s.density_ratio(1.0));
+  EXPECT_LE(s.density_ratio(0.5), s.density_ratio(0.9));
+
+  const double t = 0.05, energy = 1.0, rho0 = 1.0;
+  const double rs = s.shock_radius(t, energy, rho0);
+  EXPECT_NEAR(rs, s.beta() * std::pow(energy * t * t / rho0, 0.2), 1e-12);
+  EXPECT_DOUBLE_EQ(s.density(1.1 * rs, t, energy, rho0), rho0);
+  EXPECT_NEAR(s.density(0.999 * rs, t, energy, rho0), 6.0 * rho0, 0.1);
+}
+
+// ---- Zel'dovich pancake ---------------------------------------------------
+
+TEST(ZeldovichReference, MapInversionAndDensity) {
+  analysis::ZeldovichMode m;
+  m.amplitude = 0.1;
+  m.growth = 0.5;  // D * 2 pi A ~= 0.31: safely pre-caustic
+  for (int i = 0; i < 64; ++i) {
+    const double q = (i + 0.5) / 64.0;
+    const double psi = -m.amplitude * std::sin(constants::kTwoPi * q);
+    double x = q + m.growth * psi;
+    x -= std::floor(x);
+    EXPECT_NEAR(analysis::zeldovich_lagrangian_q(m, x), q, 1e-10);
+    const double dxdq = 1.0 - m.growth * m.amplitude * constants::kTwoPi *
+                                  std::cos(constants::kTwoPi * q);
+    EXPECT_NEAR(analysis::zeldovich_delta(m, x), 1.0 / dxdq - 1.0, 1e-9);
+    EXPECT_NEAR(analysis::zeldovich_psi(m, x), psi, 1e-10);
+  }
+}
+
+// ---- evolve_until stop-time contract --------------------------------------
+
+// The bug this pins down: the final step used to leave a resolution-dependent
+// fp residue (or take a denormal-tiny extra step), so runs of the same
+// problem at different resolutions ended at different times.  evolve_until
+// must land every resolution on exactly dd(t_stop).
+TEST(EvolveUntil, EndTimeBitIdenticalAcrossResolutions) {
+  const double t_stop = 0.1;
+  auto a = run_problem(sod_deck(32), t_stop);
+  auto b = run_problem(sod_deck(48), t_stop);
+  EXPECT_TRUE(a.time() == ext::pos_t(t_stop));
+  EXPECT_TRUE(b.time() == ext::pos_t(t_stop));
+  EXPECT_EQ(a.time_d(), b.time_d());
+
+  // Arrival is idempotent: a second call takes no further steps.
+  const long steps = a.root_steps_taken();
+  a.evolve_until(t_stop, 1 << 20);
+  EXPECT_EQ(a.root_steps_taken(), steps);
+}
+
+TEST(EvolveUntil, AwkwardStopTimeLandsExactly) {
+  // A stop time with no short binary representation, at two resolutions.
+  const double t_stop = 0.1 / 3.0;
+  auto a = run_problem(sod_deck(32), t_stop);
+  auto b = run_problem(sod_deck(64), t_stop);
+  EXPECT_TRUE(a.time() == ext::pos_t(t_stop));
+  EXPECT_TRUE(a.time() == b.time());
+}
+
+// ---- small-N convergence gates --------------------------------------------
+
+TEST(ConvergenceSmallN, SodFirstOrder) {
+  const double t = 0.1;
+  const double e32 = sod_l1(32, t);
+  const double e64 = sod_l1(64, t);
+  EXPECT_LT(e64, 0.03);
+  const double order = std::log2(e32 / e64);
+  EXPECT_GT(order, 0.5);
+  EXPECT_LT(order, 1.8);
+}
+
+TEST(ConvergenceSmallN, SodSMRNoWorseThanUnigrid) {
+  const double t = 0.1;
+  const double e_uni = sod_l1(32, t);
+  const double e_smr = sod_l1(32, t, "SodTubeSMR");
+  // Refining the middle half of the tube must not hurt the root-level
+  // solution (children project back conservatively).
+  EXPECT_LT(e_smr, e_uni * 1.05);
+}

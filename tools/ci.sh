@@ -20,7 +20,11 @@
 # tests plus the regrid-storm bench, and `kernels` (CI_STAGES="kernels") the
 # SoA kernel gate — check_vec (the kernel TUs must autovectorize), the
 # micro-kernel bench (BENCH_micro_kernels.json), and check_kernels (>40%
-# cells/sec regression vs bench/micro_kernels_baseline.json fails).
+# cells/sec regression vs bench/micro_kernels_baseline.json fails), and
+# `regression` (CI_STAGES="regression") the analytic regression harness —
+# `ctest -L regression` (full-resolution L1 convergence sweeps over the
+# problem registry) plus a check_kernels gate on the end-to-end driver
+# throughput (BENCH_regression.json vs bench/regression_baseline.json).
 #
 # Each stage uses the corresponding CMakePresets.json preset, so a local
 # repro of any failure is one command, e.g.:
@@ -128,6 +132,32 @@ for stage in $stages; do
       build-werror/tools/check_kernels \
         bench/micro_kernels_baseline.json \
         build-werror/bench/BENCH_micro_kernels.json 0.40 || failed+=(kernels)
+      ;;
+    regression)
+      banner "stage: analytic regression harness"
+      # Full-resolution convergence sweeps (Sod, Sedov, Zel'dovich; unigrid
+      # and AMR) plus the end-to-end driver throughput gate.  The bench run
+      # is repeated alone after the ctest pass so BENCH_regression.json is
+      # recorded without contention from the convergence sweeps.
+      if [ ! -d build-werror ]; then
+        cmake --preset werror && cmake --build --preset werror -j "$jobs" \
+          || { failed+=(regression); continue; }
+      fi
+      cmake --build --preset werror -j "$jobs" \
+        --target regression_test --target check_kernels \
+        || { failed+=(regression); continue; }
+      ctest --test-dir build-werror -L regression -j "$jobs" \
+        --output-on-failure || { failed+=(regression); continue; }
+      (cd build-werror/tests && \
+        ./regression_test --gtest_filter='RegressionBench.*') \
+        || { failed+=(regression); continue; }
+      # 50% tolerance: these are whole-driver runs (regrid, flux correction,
+      # projection in the loop), noisier than the pinned micro-kernels; the
+      # failures this catches — a hot path dropping out of the vector or
+      # arena path — show up as 2x+ drops.
+      build-werror/tools/check_kernels \
+        bench/regression_baseline.json \
+        build-werror/tests/BENCH_regression.json 0.50 || failed+=(regression)
       ;;
     werror|asan-ubsan|tsan)
       run_preset "$stage" || failed+=("$stage")
